@@ -1,0 +1,95 @@
+// Package ascylib is a Go implementation of ASCYLIB, the concurrent search
+// data structure (CSDS) library from
+//
+//	Tudor David, Rachid Guerraoui, Vasileios Trigonakis.
+//	"Asynchronized Concurrency: The Secret to Scaling Concurrent Search
+//	Data Structures." ASPLOS 2015.
+//
+// It provides portably scalable linked lists, hash tables, skip lists, and
+// binary search trees — the existing state-of-the-art algorithms of the
+// paper's Table 1, the ASCY re-engineered variants (harris-opt, fraser-opt,
+// the "-no" ablations, urcu-ssmem), and the two algorithms designed from
+// scratch with the ASCY patterns: the cache-line hash table CLHT (lock-based
+// and lock-free) and the versioned-ticket-lock tree BST-TK.
+//
+// All sets share one interface over 64-bit keys and values:
+//
+//	s := ascylib.MustNew("ht-clht-lb", ascylib.Capacity(1<<16))
+//	s.Insert(42, 7)
+//	v, ok := s.Search(42)
+//	s.Remove(42)
+//
+// Use Algorithms to enumerate the catalogue, and see DESIGN.md /
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+//
+// The ASCY patterns (§5 of the paper), which the compliant implementations
+// follow and the instrumentation in internal/perf machine-checks:
+//
+//	ASCY1: a search involves no waiting, retries, or stores.
+//	ASCY2: an update's parse phase stores nothing except for cleanup and
+//	       never waits or retries.
+//	ASCY3: an update whose parse fails performs no stores at all.
+//	ASCY4: a successful update's stores are close in number and region to
+//	       the sequential implementation's.
+package ascylib
+
+import (
+	"repro/internal/core"
+
+	// Register every implementation family with the core registry.
+	_ "repro/internal/bst"
+	_ "repro/internal/clht"
+	_ "repro/internal/hashtable"
+	_ "repro/internal/linkedlist"
+	_ "repro/internal/skiplist"
+)
+
+// Key is a 64-bit element key. Key 0 is reserved; valid keys are
+// 1..MaxUint64-2 (the top values serve as sentinels in some structures).
+type Key = core.Key
+
+// Value is a 64-bit opaque value word.
+type Value = core.Value
+
+// Set is the common search-data-structure interface: Search, Insert, Remove
+// (plus a linear-time, quiescent Size).
+type Set = core.Set
+
+// Algorithm describes one registered implementation.
+type Algorithm = core.Algorithm
+
+// Option configures construction.
+type Option = core.Option
+
+// Structure and synchronization classes, re-exported for filtering the
+// catalogue.
+const (
+	LinkedList = core.LinkedList
+	HashTable  = core.HashTable
+	SkipList   = core.SkipList
+	BST        = core.BST
+)
+
+// Capacity sets a hash table's (initial) bucket count.
+func Capacity(n int) Option { return core.Capacity(n) }
+
+// MaxLevel sets a skip list's maximum tower height.
+func MaxLevel(n int) Option { return core.MaxLevel(n) }
+
+// ReadOnlyFail toggles ASCY3 (read-only unsuccessful updates); it is on by
+// default and only the "-no" ablation variants disable it internally.
+func ReadOnlyFail(b bool) Option { return core.ReadOnlyFail(b) }
+
+// New constructs the named algorithm. Names are listed by Algorithms; the
+// headline ones are "ht-clht-lb", "ht-clht-lf", and "bst-tk".
+func New(name string, opts ...Option) (Set, error) { return core.New(name, opts...) }
+
+// MustNew is New, panicking on unknown names.
+func MustNew(name string, opts ...Option) Set { return core.MustNew(name, opts...) }
+
+// Algorithms returns the full catalogue (Table 1 plus the ASCY variants and
+// new designs), sorted by structure then name.
+func Algorithms() []Algorithm { return core.All() }
+
+// ByStructure filters the catalogue by family.
+func ByStructure(s core.Structure) []Algorithm { return core.ByStructure(s) }

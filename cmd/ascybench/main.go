@@ -1,0 +1,160 @@
+// Command ascybench regenerates the tables and figures of the ASPLOS'15
+// paper "Asynchronized Concurrency: The Secret to Scaling Concurrent Search
+// Data Structures" on the local host.
+//
+// Usage:
+//
+//	ascybench -list                 # Table 1: the algorithm catalogue
+//	ascybench -fig fig2a            # one experiment (fig2a..fig2d, fig3..fig9, summary)
+//	ascybench -all                  # everything
+//	ascybench -all -paper           # the paper's 5s x 11-rep protocol
+//	ascybench -fig fig8 -threads 16 -duration 1s -reps 3
+//	ascybench -bench ht-clht-lb -update 20 -initial 4096 -threads 8
+//
+// By default experiments run in quick mode (short runs, single repetition);
+// -paper restores the paper's measurement protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/ascy"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workload"
+
+	_ "repro" // register all implementations via the facade package
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "print the algorithm catalogue (Table 1) and exit")
+		fig      = flag.String("fig", "", "experiment id to run (fig2a..fig2d, fig3..fig9, summary)")
+		all      = flag.Bool("all", false, "run every experiment")
+		paper    = flag.Bool("paper", false, "use the paper's protocol: 5s runs, median of 11 reps")
+		duration = flag.Duration("duration", 0, "override run duration")
+		reps     = flag.Int("reps", 0, "override repetitions (median reported)")
+		threads  = flag.Int("threads", 0, "override the reference thread count (paper: 20)")
+		maxThr   = flag.Int("maxthreads", 0, "override the sweep maximum (default 2*GOMAXPROCS)")
+		bench    = flag.String("bench", "", "ad-hoc benchmark of one algorithm")
+		compl    = flag.Bool("compliance", false, "probe every algorithm for ASCY pattern compliance")
+		initial  = flag.Int("initial", 1024, "ad-hoc: initial size")
+		update   = flag.Int("update", 10, "ad-hoc: update percentage")
+		seed     = flag.Uint64("seed", 0, "workload seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		printCatalogue()
+		return
+	case *compl:
+		printCompliance()
+		return
+	case *bench != "":
+		runAdhoc(*bench, *initial, *update, *threads, *duration, *seed)
+		return
+	case *fig == "" && !*all:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := harness.Quick(os.Stdout)
+	if *paper {
+		opts = harness.Paper(os.Stdout)
+	}
+	if *duration != 0 {
+		opts.Duration = *duration
+	}
+	if *reps != 0 {
+		opts.Reps = *reps
+	}
+	opts.Threads = *threads
+	opts.MaxThreads = *maxThr
+	opts.Seed = *seed
+
+	if *all {
+		harness.RunAll(opts)
+		return
+	}
+	if err := harness.RunExperiment(*fig, opts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func printCatalogue() {
+	fmt.Println("ASCYLIB-Go algorithm catalogue (paper Table 1 + ASCY variants and new designs)")
+	fmt.Println()
+	for _, s := range core.Structures() {
+		fmt.Printf("%s:\n", s)
+		for _, a := range core.ByStructure(s) {
+			tag := " "
+			if a.ASCY {
+				tag = "*"
+			}
+			safe := ""
+			if !a.Safe {
+				safe = " [async bound: unsynchronized]"
+			}
+			fmt.Printf("  %s %-16s %-4s %s%s\n", tag, a.Name, a.Class, a.Desc, safe)
+		}
+		fmt.Println()
+	}
+	fmt.Println("* = ASCY-compliant (re-engineered or designed from scratch with the patterns)")
+}
+
+func printCompliance() {
+	fmt.Println("ASCY compliance probe (concurrent, seeded; see internal/ascy)")
+	fmt.Printf("%-16s %6s %6s %16s %18s\n", "algorithm", "ASCY1", "ASCY3", "restarts/update", "coh/succ-update")
+	for _, a := range core.All() {
+		if !a.Safe {
+			continue
+		}
+		r, err := ascy.CheckRegistered(a.Name, ascy.Probe{})
+		if err != nil {
+			fmt.Printf("%-16s probe failed: %v\n", a.Name, err)
+			continue
+		}
+		mark := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "NO"
+		}
+		fmt.Printf("%-16s %6s %6s %16.4f %18.2f\n",
+			a.Name, mark(r.ASCY1), mark(r.ASCY3), r.ParseRestartsPerUpdate, r.CoherencePerSuccUpdate)
+	}
+	fmt.Println("\nASCY2/ASCY4 are quantitative: compare restarts/update and coh/succ-update against the async baselines.")
+}
+
+func runAdhoc(algo string, initial, update, threads int, duration time.Duration, seed uint64) {
+	if threads == 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if duration == 0 {
+		duration = time.Second
+	}
+	cfg := workload.Config{
+		Algorithm: algo,
+		Options:   []core.Option{core.Capacity(initial)},
+		Initial:   initial,
+		UpdatePct: update,
+		Threads:   threads,
+		Duration:  duration,
+		Seed:      seed,
+	}
+	res, err := workload.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d elem, %d%% updates, %d threads, %v\n", algo, initial, update, threads, duration)
+	fmt.Printf("  throughput: %.3f Mops/s (%d ops)\n", res.Mops(), res.Ops)
+	fmt.Printf("  successful updates: %d, final size: %d\n", res.SuccUpdates, res.FinalSize)
+	fmt.Printf("  coherence events/op: %.2f\n", res.CoherencePerOp())
+}

@@ -1,0 +1,145 @@
+// kvstore: a miniature in-memory key-value store with a skip-list memtable,
+// the workload the paper's introduction motivates ("skip lists are the
+// backbone of key-value stores such as RocksDB").
+//
+// String keys are hashed to 64-bit set keys; values live in a shard of
+// indirection slots so that arbitrary []byte payloads ride on the library's
+// 64-bit values. A write-heavy ingest phase is followed by a read-mostly
+// serving phase, mirroring an LSM memtable's life cycle.
+//
+// Run with: go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ascylib "repro"
+)
+
+// KV is a tiny concurrent KV store: an ASCY-compliant skip list as the
+// index, plus a slot arena for payloads.
+type KV struct {
+	index ascylib.Set
+	arena sync.Map // slot id -> []byte
+	next  atomic.Uint64
+}
+
+// NewKV builds the store on the fraser-opt skip list (ASCY1+2 applied).
+func NewKV() *KV {
+	return &KV{index: ascylib.MustNew("sl-fraser-opt")}
+}
+
+func keyOf(k string) ascylib.Key {
+	h := fnv.New64a()
+	h.Write([]byte(k))
+	v := h.Sum64()
+	if v == 0 || v >= ^uint64(1) {
+		v = 1 // stay inside the library's valid key range
+	}
+	return ascylib.Key(v)
+}
+
+// Put stores value under key; it reports whether the key was fresh
+// (memtable semantics: one live version per key; Put on an existing key
+// deletes then reinserts).
+func (kv *KV) Put(key string, value []byte) bool {
+	slot := kv.next.Add(1)
+	kv.arena.Store(slot, value)
+	k := keyOf(key)
+	fresh := kv.index.Insert(k, ascylib.Value(slot))
+	if !fresh {
+		if old, ok := kv.index.Remove(k); ok {
+			kv.arena.Delete(uint64(old))
+		}
+		fresh = kv.index.Insert(k, ascylib.Value(slot))
+	}
+	return fresh
+}
+
+// Get fetches the value for key.
+func (kv *KV) Get(key string) ([]byte, bool) {
+	slot, ok := kv.index.Search(keyOf(key))
+	if !ok {
+		return nil, false
+	}
+	v, ok := kv.arena.Load(uint64(slot))
+	if !ok {
+		return nil, false
+	}
+	return v.([]byte), true
+}
+
+// Delete removes key.
+func (kv *KV) Delete(key string) bool {
+	slot, ok := kv.index.Remove(keyOf(key))
+	if ok {
+		kv.arena.Delete(uint64(slot))
+	}
+	return ok
+}
+
+func main() {
+	kv := NewKV()
+	const writers = 8
+	const keysPerWriter = 20000
+
+	// Phase 1: parallel ingest (write-heavy), as when a memtable absorbs
+	// a burst of puts.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keysPerWriter; i++ {
+				k := fmt.Sprintf("user:%d:event:%d", w, i)
+				kv.Put(k, []byte(fmt.Sprintf("payload-%d-%d", w, i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	ingest := time.Since(start)
+	fmt.Printf("ingest: %d keys in %v (%.2f Mops/s)\n",
+		writers*keysPerWriter, ingest,
+		float64(writers*keysPerWriter)/ingest.Seconds()/1e6)
+	fmt.Printf("memtable size: %d\n", kv.index.Size())
+
+	// Phase 2: read-mostly serving (95% gets / 5% puts) — the regime the
+	// ASCY1 search pattern is built for.
+	start = time.Now()
+	var gets, hits atomic.Uint64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keysPerWriter; i++ {
+				k := fmt.Sprintf("user:%d:event:%d", (w+1)%writers, i)
+				if i%20 == 19 {
+					kv.Put(k, []byte("updated"))
+					continue
+				}
+				gets.Add(1)
+				if _, ok := kv.Get(k); ok {
+					hits.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	serve := time.Since(start)
+	fmt.Printf("serve: %d gets (%.1f%% hit) in %v (%.2f Mops/s)\n",
+		gets.Load(), 100*float64(hits.Load())/float64(gets.Load()), serve,
+		float64(writers*keysPerWriter)/serve.Seconds()/1e6)
+
+	// Point reads after the churn.
+	if v, ok := kv.Get("user:3:event:7"); ok {
+		fmt.Printf("kv[user:3:event:7] = %q\n", v)
+	}
+	kv.Delete("user:3:event:7")
+	_, ok := kv.Get("user:3:event:7")
+	fmt.Println("after delete, present:", ok)
+}

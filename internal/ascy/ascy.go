@@ -1,0 +1,233 @@
+// Package ascy makes the paper's four ASCY patterns (§5) machine-checkable.
+//
+// It probes a structure with a seeded concurrent workload, attributing every
+// instrumented memory event to the operation class that caused it (each
+// operation runs under a fresh worker-local perf context, merged into a
+// per-outcome bucket afterwards). From the buckets it derives:
+//
+//   - ASCY1 as a hard boolean: searches performed no stores, CAS, locks,
+//     restarts, or bounded waits;
+//   - ASCY3 as a near-hard boolean: unsuccessful updates performed no
+//     synchronization beyond parse-phase cleanup (a small tolerance absorbs
+//     races like a remove that loses its final CAS after helping);
+//   - ASCY2 and ASCY4 as quantitative signals: parse restarts per update,
+//     and coherence events per successful update — the number the paper
+//     compares against the asynchronized baseline.
+//
+// The compliance test in this package asserts the paper's classification:
+// e.g. lazy, pugh, harris-opt, CLHT and BST-TK pass ASCY1; coupling, tbb,
+// harris, michael, howley and bronson do not.
+package ascy
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/xrand"
+)
+
+// Probe configures a compliance run.
+type Probe struct {
+	// Workers is the concurrency level (default 4 — enough to exercise
+	// helping, cleanup, and validation failures).
+	Workers int
+	// OpsPerWorker is the probe length (default 20000).
+	OpsPerWorker int
+	// Keys is the hot-set size (default 256; small, to force conflicts).
+	Keys int
+	// Seed makes probes reproducible.
+	Seed uint64
+}
+
+func (p *Probe) fill() {
+	if p.Workers == 0 {
+		p.Workers = 4
+	}
+	if p.OpsPerWorker == 0 {
+		p.OpsPerWorker = 20000
+	}
+	if p.Keys == 0 {
+		p.Keys = 256
+	}
+	if p.Seed == 0 {
+		p.Seed = 0xA5C1
+	}
+}
+
+// PerOp is an event profile normalized per operation of a bucket.
+type PerOp struct {
+	Ops      uint64
+	Stores   float64
+	CAS      float64 // successful + failed
+	Locks    float64
+	Restarts float64 // full restarts + parse restarts
+	Waits    float64
+	Cleanups float64
+}
+
+func perOp(c *perf.Ctx, ops uint64) PerOp {
+	if ops == 0 {
+		return PerOp{}
+	}
+	f := func(e perf.Event) float64 { return float64(c.Count(e)) / float64(ops) }
+	return PerOp{
+		Ops:      ops,
+		Stores:   f(perf.EvStore),
+		CAS:      f(perf.EvCAS) + f(perf.EvCASFail),
+		Locks:    f(perf.EvLock),
+		Restarts: f(perf.EvRestart) + f(perf.EvParseRestart),
+		Waits:    f(perf.EvWait),
+		Cleanups: f(perf.EvCleanup),
+	}
+}
+
+// sync returns the profile's synchronization footprint net of parse-phase
+// cleanup, which ASCY2/ASCY3 explicitly permit.
+func (p PerOp) syncEvents() float64 {
+	cas := p.CAS - p.Cleanups
+	if cas < 0 {
+		cas = 0
+	}
+	return p.Stores + cas + p.Locks
+}
+
+// Report is the outcome of a compliance probe.
+type Report struct {
+	Algorithm string
+
+	Searches      PerOp // all searches (hits and misses)
+	FailedUpdates PerOp // inserts of present keys, removes of absent keys
+	SuccUpdates   PerOp // updates that took effect
+
+	// ASCY1: searches performed no stores, CAS, locks, restarts, waits.
+	ASCY1 bool
+	// ASCY3: failed updates performed (almost) no synchronization beyond
+	// parse cleanup.
+	ASCY3 bool
+	// ParseRestartsPerUpdate is the ASCY2 signal (lower is better;
+	// compliant algorithms sit near zero).
+	ParseRestartsPerUpdate float64
+	// CoherencePerSuccUpdate is the ASCY4 signal: stores + CAS + 2*locks
+	// per successful update (compare against the async baseline's).
+	CoherencePerSuccUpdate float64
+}
+
+// ascy3Tolerance absorbs rare race artifacts (e.g. a remove that helped mark
+// upper skip-list levels and then lost the deciding CAS).
+const ascy3Tolerance = 0.05
+
+// Check probes s and derives its compliance report.
+func Check(name string, s core.Instrumented, p Probe) Report {
+	p.fill()
+	keyRange := uint64(2 * p.Keys)
+
+	// Populate to half-full, as the paper's workloads do.
+	seedRng := xrand.New(p.Seed)
+	for n := 0; n < p.Keys; {
+		if s.Insert(core.Key(seedRng.Uint64n(keyRange)+1), 1) {
+			n++
+		}
+	}
+
+	type buckets struct {
+		search, failUpd, succUpd     perf.Ctx
+		searches, failUpds, succUpds uint64
+		restarts                     uint64
+		updates                      uint64
+	}
+	all := make([]*buckets, p.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < p.Workers; w++ {
+		b := &buckets{}
+		all[w] = b
+		wg.Add(1)
+		go func(w int, b *buckets) {
+			defer wg.Done()
+			rng := xrand.New(p.Seed + uint64(w) + 1)
+			var tmp perf.Ctx
+			for i := 0; i < p.OpsPerWorker; i++ {
+				k := core.Key(rng.Uint64n(keyRange) + 1)
+				tmp.Reset()
+				switch rng.Intn(3) {
+				case 0:
+					s.SearchCtx(&tmp, k)
+					b.search.Merge(&tmp)
+					b.searches++
+				case 1:
+					ok := s.InsertCtx(&tmp, k, core.Value(k))
+					b.updates++
+					b.restarts += tmp.Count(perf.EvParseRestart) + tmp.Count(perf.EvRestart)
+					if ok {
+						b.succUpd.Merge(&tmp)
+						b.succUpds++
+					} else {
+						b.failUpd.Merge(&tmp)
+						b.failUpds++
+					}
+				default:
+					_, ok := s.RemoveCtx(&tmp, k)
+					b.updates++
+					b.restarts += tmp.Count(perf.EvParseRestart) + tmp.Count(perf.EvRestart)
+					if ok {
+						b.succUpd.Merge(&tmp)
+						b.succUpds++
+					} else {
+						b.failUpd.Merge(&tmp)
+						b.failUpds++
+					}
+				}
+			}
+		}(w, b)
+	}
+	wg.Wait()
+
+	var search, failUpd, succUpd perf.Ctx
+	var searches, failUpds, succUpds, restarts, updates uint64
+	for _, b := range all {
+		search.Merge(&b.search)
+		failUpd.Merge(&b.failUpd)
+		succUpd.Merge(&b.succUpd)
+		searches += b.searches
+		failUpds += b.failUpds
+		succUpds += b.succUpds
+		restarts += b.restarts
+		updates += b.updates
+	}
+
+	r := Report{
+		Algorithm:     name,
+		Searches:      perOp(&search, searches),
+		FailedUpdates: perOp(&failUpd, failUpds),
+		SuccUpdates:   perOp(&succUpd, succUpds),
+	}
+	r.ASCY1 = r.Searches.Stores == 0 && r.Searches.CAS == 0 &&
+		r.Searches.Locks == 0 && r.Searches.Restarts == 0 && r.Searches.Waits == 0
+	r.ASCY3 = r.FailedUpdates.syncEvents() <= ascy3Tolerance
+	if updates > 0 {
+		r.ParseRestartsPerUpdate = float64(restarts) / float64(updates)
+	}
+	if succUpds > 0 {
+		r.CoherencePerSuccUpdate = float64(succUpd.Coherence()) / float64(succUpds)
+	}
+	return r
+}
+
+// CheckRegistered probes a registry algorithm by name.
+func CheckRegistered(name string, p Probe) (Report, error) {
+	set, err := core.New(name, core.Capacity(256))
+	if err != nil {
+		return Report{}, err
+	}
+	inst, ok := set.(core.Instrumented)
+	if !ok {
+		return Report{}, errNotInstrumented(name)
+	}
+	return Check(name, inst, p), nil
+}
+
+type errNotInstrumented string
+
+func (e errNotInstrumented) Error() string {
+	return "ascy: algorithm " + string(e) + " is not instrumented"
+}

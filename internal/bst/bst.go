@@ -1,0 +1,58 @@
+// Package bst implements the binary-search-tree algorithms of Table 1 —
+// sequential internal and external trees (async bounds), bronson, drachsler,
+// ellen, howley, natarajan — plus BST-TK, the paper's new external tree with
+// versioned ticket locks (§6.2, Figure 10).
+//
+// Conventions shared by the external trees (async-ext, ellen, natarajan,
+// bst-tk): internal "router" nodes hold keys only, elements live in leaves,
+// and routing is "go left iff k < node.key". A router created for keys
+// {a < b} gets key b, left child a, right child b. Sentinel routers/leaves
+// use key MaxUint64, so user keys must be at most MaxUint64-1.
+package bst
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+const sentinelKey = core.Key(math.MaxUint64)
+
+func register(name string, class core.Class, desc string, safe, ascy bool, f func(cfg core.Config) core.Set) {
+	core.Register(core.Algorithm{
+		Name:      "bst-" + name,
+		Structure: core.BST,
+		Class:     class,
+		Desc:      desc,
+		Safe:      safe,
+		ASCY:      ascy,
+		New:       f,
+	})
+}
+
+func init() {
+	register("async-int", core.Seq,
+		"sequential internal BST run unsynchronized; async upper bound",
+		false, false, func(cfg core.Config) core.Set { return NewSeqInt(cfg) })
+	register("async-ext", core.Seq,
+		"sequential external BST run unsynchronized; async upper bound",
+		false, false, func(cfg core.Config) core.Set { return NewSeqExt(cfg) })
+	register("tk", core.LockBased,
+		"BST-TK: external tree, versioned ticket locks; 1 lock per insert, 2 per remove (the paper's new design)",
+		true, true, func(cfg core.Config) core.Set { return NewTK(cfg) })
+	register("natarajan", core.LockFree,
+		"external lock-free tree with edge flagging/tagging; minimal atomics (Natarajan & Mittal)",
+		true, true, func(cfg core.Config) core.Set { return NewNatarajan(cfg) })
+	register("ellen", core.LockFree,
+		"external lock-free tree with Info-record helping (Ellen et al.)",
+		true, false, func(cfg core.Config) core.Set { return NewEllen(cfg) })
+	register("howley", core.LockFree,
+		"internal lock-free tree with per-node operation records; helping on all operations (Howley & Jones)",
+		true, false, func(cfg core.Config) core.Set { return NewHowley(cfg) })
+	register("drachsler", core.LockBased,
+		"internal tree with logical ordering (pred/succ list); >=3 locks per removal (Drachsler et al.)",
+		true, false, func(cfg core.Config) core.Set { return NewDrachsler(cfg) })
+	register("bronson", core.LockBased,
+		"partially external optimistic tree with version numbers; readers may wait on in-flight updates (Bronson et al.)",
+		true, false, func(cfg core.Config) core.Set { return NewBronson(cfg) })
+}

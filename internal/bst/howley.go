@@ -1,0 +1,353 @@
+package bst
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+// Howley & Jones (SPAA'12): a non-blocking *internal* BST. Every node
+// carries an operation word; any thread that encounters a pending operation
+// helps it before proceeding — including searches, which is precisely the
+// ASCY1/2 violation the paper charges howley for ("howley employs helping
+// even while searching or parsing the tree", §5/Figure 7). Deleting a node
+// with two children relocates the successor's key/value into it via a
+// RELOCATE state machine.
+
+// Operation-word states.
+const (
+	hwNone int32 = iota
+	hwMark
+	hwChildCAS
+	hwRelocate
+)
+
+// Relocation states.
+const (
+	relocOngoing int32 = iota
+	relocSuccessful
+	relocFailed
+)
+
+// hwOp is an immutable operation record; the containing node's op word
+// points at one, and all hand-offs are CASes on that word (object identity
+// plays the role of the C version's pointer tagging).
+type hwOp struct {
+	state int32
+	child *hwChildCASOp
+	reloc *hwRelocateOp
+}
+
+var hwNoneOp = &hwOp{state: hwNone} // shared initial/none op
+
+type hwChildCASOp struct {
+	isLeft           bool
+	expected, update *hwNode
+}
+
+type hwRelocateOp struct {
+	state                 atomic.Int32 // relocOngoing/Successful/Failed
+	dest                  *hwNode
+	destOp                *hwOp
+	removeKey, replaceKey uint64
+	replaceValue          uint64
+}
+
+type hwNode struct {
+	key   atomic.Uint64 // mutable: relocation overwrites it
+	value atomic.Uint64
+	left  atomic.Pointer[hwNode]
+	right atomic.Pointer[hwNode]
+	op    atomic.Pointer[hwOp]
+}
+
+func newHWNode(k core.Key, v core.Value) *hwNode {
+	n := &hwNode{}
+	n.key.Store(uint64(k))
+	n.value.Store(uint64(v))
+	n.op.Store(hwNoneOp)
+	return n
+}
+
+// Howley is the howley tree of Table 1.
+type Howley struct {
+	root *hwNode // sentinel, key 0 (< every user key); tree in root.right
+}
+
+// NewHowley returns an empty tree.
+func NewHowley(cfg core.Config) *Howley {
+	return &Howley{root: newHWNode(0, 0)}
+}
+
+// find results.
+const (
+	hwFound int32 = iota
+	hwNotFoundL
+	hwNotFoundR
+	hwAbort
+)
+
+// find locates k starting at root (the subtree root for successor searches),
+// helping any pending operation it meets and restarting after. It returns
+// the last node visited (curr) and its parent, with the op words observed
+// while they were quiescent.
+func (t *Howley) find(c *perf.Ctx, k core.Key, root *hwNode) (pred *hwNode, predOp *hwOp, curr *hwNode, currOp *hwOp, result int32) {
+retry:
+	for {
+		result = hwNotFoundR
+		curr = root
+		currOp = curr.op.Load()
+		if currOp.state != hwNone {
+			if root == t.root {
+				c.Inc(perf.EvHelp)
+				t.helpChildCAS(c, currOp, curr)
+				continue retry
+			}
+			return nil, nil, nil, nil, hwAbort
+		}
+		var lastRight *hwNode = curr
+		var lastRightOp *hwOp = currOp
+		next := curr.right.Load()
+		for next != nil {
+			pred, predOp = curr, currOp
+			curr = next
+			currOp = curr.op.Load()
+			if currOp.state != hwNone {
+				c.Inc(perf.EvHelp)
+				t.help(c, pred, predOp, curr, currOp)
+				continue retry
+			}
+			c.Inc(perf.EvTraverse)
+			ckey := core.Key(curr.key.Load())
+			switch {
+			case k < ckey:
+				result = hwNotFoundL
+				next = curr.left.Load()
+			case k > ckey:
+				result = hwNotFoundR
+				next = curr.right.Load()
+				lastRight, lastRightOp = curr, currOp
+			default:
+				return pred, predOp, curr, currOp, hwFound
+			}
+		}
+		if lastRightOp != lastRight.op.Load() {
+			// A deletion may have moved things behind our back.
+			c.Inc(perf.EvRestart)
+			continue retry
+		}
+		return pred, predOp, curr, currOp, result
+	}
+}
+
+func (t *Howley) help(c *perf.Ctx, pred *hwNode, predOp *hwOp, curr *hwNode, currOp *hwOp) {
+	switch currOp.state {
+	case hwChildCAS:
+		t.helpChildCAS(c, currOp, curr)
+	case hwRelocate:
+		t.helpRelocate(c, currOp.reloc, pred, predOp, curr)
+	case hwMark:
+		t.helpMarked(c, pred, predOp, curr)
+	}
+}
+
+// helpChildCAS completes a pending child swap and releases the op word.
+func (t *Howley) helpChildCAS(c *perf.Ctx, op *hwOp, dest *hwNode) {
+	if op.state != hwChildCAS {
+		return
+	}
+	addr := &dest.right
+	if op.child.isLeft {
+		addr = &dest.left
+	}
+	if addr.CompareAndSwap(op.child.expected, op.child.update) {
+		c.Inc(perf.EvCAS)
+	}
+	if dest.op.CompareAndSwap(op, hwNoneOp) {
+		c.Inc(perf.EvCAS)
+	}
+}
+
+// helpMarked splices a marked (≤1 child) node out from under pred via a
+// ChildCAS on pred.
+func (t *Howley) helpMarked(c *perf.Ctx, pred *hwNode, predOp *hwOp, curr *hwNode) {
+	newRef := curr.left.Load()
+	if newRef == nil {
+		newRef = curr.right.Load()
+	}
+	isLeft := curr == pred.left.Load()
+	casOp := &hwOp{state: hwChildCAS, child: &hwChildCASOp{isLeft: isLeft, expected: curr, update: newRef}}
+	if pred.op.CompareAndSwap(predOp, casOp) {
+		c.Inc(perf.EvCAS)
+		t.helpChildCAS(c, casOp, pred)
+	} else {
+		c.Inc(perf.EvCASFail)
+	}
+}
+
+// helpRelocate drives the two-node relocation state machine: claim the
+// destination, copy the successor's pair into it, then mark and excise the
+// successor.
+func (t *Howley) helpRelocate(c *perf.Ctx, op *hwRelocateOp, pred *hwNode, predOp *hwOp, curr *hwNode) bool {
+	seen := op.state.Load()
+	if seen == relocOngoing {
+		claimOp := &hwOp{state: hwRelocate, reloc: op}
+		claimed := op.dest.op.CompareAndSwap(op.destOp, claimOp)
+		if claimed {
+			c.Inc(perf.EvCAS)
+		} else {
+			c.Inc(perf.EvCASFail)
+		}
+		w := op.dest.op.Load()
+		if claimed || (w.state == hwRelocate && w.reloc == op) {
+			op.state.CompareAndSwap(relocOngoing, relocSuccessful)
+			seen = relocSuccessful
+		} else {
+			op.state.CompareAndSwap(relocOngoing, relocFailed)
+			seen = op.state.Load()
+		}
+	}
+	if seen == relocSuccessful {
+		// Copy the pair into dest (idempotent: all helpers write the
+		// same values) and release dest's op word.
+		op.dest.key.Store(op.replaceKey)
+		op.dest.value.Store(op.replaceValue)
+		c.Inc(perf.EvStore)
+		if w := op.dest.op.Load(); w.state == hwRelocate && w.reloc == op {
+			if op.dest.op.CompareAndSwap(w, hwNoneOp) {
+				c.Inc(perf.EvCAS)
+			}
+		}
+	}
+	// Resolve the successor node (curr): marked for excision on success,
+	// restored on failure.
+	if w := curr.op.Load(); w.state == hwRelocate && w.reloc == op {
+		target := hwNoneOp
+		if seen == relocSuccessful {
+			target = &hwOp{state: hwMark}
+		}
+		if curr.op.CompareAndSwap(w, target) {
+			c.Inc(perf.EvCAS)
+			if seen == relocSuccessful {
+				t.helpMarked(c, pred, predOp, curr)
+			}
+		}
+	}
+	return seen == relocSuccessful
+}
+
+// SearchCtx implements core.Instrumented. Note: find helps pending
+// operations and restarts — howley's searches are not ASCY1, by design.
+func (t *Howley) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
+	_, _, curr, _, res := t.find(c, k, t.root)
+	if res == hwFound {
+		return core.Value(curr.value.Load()), true
+	}
+	return 0, false
+}
+
+// InsertCtx implements core.Instrumented.
+func (t *Howley) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
+	for {
+		c.ParseBegin()
+		_, _, curr, currOp, res := t.find(c, k, t.root)
+		c.ParseEnd()
+		if res == hwFound {
+			return false
+		}
+		n := newHWNode(k, v)
+		isLeft := res == hwNotFoundL
+		var old *hwNode
+		if isLeft {
+			old = curr.left.Load()
+		} else {
+			old = curr.right.Load()
+		}
+		casOp := &hwOp{state: hwChildCAS, child: &hwChildCASOp{isLeft: isLeft, expected: old, update: n}}
+		if curr.op.CompareAndSwap(currOp, casOp) {
+			c.Inc(perf.EvCAS)
+			t.helpChildCAS(c, casOp, curr)
+			return true
+		}
+		c.Inc(perf.EvCASFail)
+		c.Inc(perf.EvRestart)
+	}
+}
+
+// RemoveCtx implements core.Instrumented.
+func (t *Howley) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
+	for {
+		c.ParseBegin()
+		pred, predOp, curr, currOp, res := t.find(c, k, t.root)
+		c.ParseEnd()
+		if res != hwFound {
+			return 0, false
+		}
+		val := core.Value(curr.value.Load())
+		if curr.right.Load() == nil || curr.left.Load() == nil {
+			// At most one child: mark, then splice out.
+			if curr.op.CompareAndSwap(currOp, &hwOp{state: hwMark}) {
+				c.Inc(perf.EvCAS)
+				t.helpMarked(c, pred, predOp, curr)
+				return val, true
+			}
+			c.Inc(perf.EvCASFail)
+			c.Inc(perf.EvRestart)
+			continue
+		}
+		// Two children: relocate the in-order successor's pair here.
+		pred2, predOp2, succ, succOp, res2 := t.find(c, k, curr)
+		if res2 == hwAbort {
+			c.Inc(perf.EvRestart)
+			continue
+		}
+		if res2 == hwFound {
+			// Another relocation already moved k into the subtree;
+			// retry from the top.
+			c.Inc(perf.EvRestart)
+			continue
+		}
+		reloc := &hwRelocateOp{
+			dest:         curr,
+			destOp:       currOp,
+			removeKey:    uint64(k),
+			replaceKey:   succ.key.Load(),
+			replaceValue: succ.value.Load(),
+		}
+		if succ.op.CompareAndSwap(succOp, &hwOp{state: hwRelocate, reloc: reloc}) {
+			c.Inc(perf.EvCAS)
+			if t.helpRelocate(c, reloc, pred2, predOp2, succ) {
+				return val, true
+			}
+		} else {
+			c.Inc(perf.EvCASFail)
+		}
+		c.Inc(perf.EvRestart)
+	}
+}
+
+// Search looks up k.
+func (t *Howley) Search(k core.Key) (core.Value, bool) { return t.SearchCtx(nil, k) }
+
+// Insert adds (k, v) if k is absent.
+func (t *Howley) Insert(k core.Key, v core.Value) bool { return t.InsertCtx(nil, k, v) }
+
+// Remove deletes k if present.
+func (t *Howley) Remove(k core.Key) (core.Value, bool) { return t.RemoveCtx(nil, k) }
+
+// Size counts reachable nodes (excluding the sentinel). Quiescent use only.
+func (t *Howley) Size() int {
+	n := 0
+	stack := []*hwNode{t.root.right.Load()}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if nd == nil {
+			continue
+		}
+		n++
+		stack = append(stack, nd.left.Load(), nd.right.Load())
+	}
+	return n
+}

@@ -1,0 +1,243 @@
+package clht
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/perf"
+)
+
+// LB is CLHT-LB (§6.1): the bucket's concurrency word is a spinlock;
+// updates search first (ASCY3), then lock and modify the pair in place.
+// Searches never synchronize: they read each pair with the paper's atomic
+// snapshot (val, key, val re-check) and complete with no stores (ASCY1).
+type LB struct {
+	tab          atomic.Pointer[table]
+	resizeLock   locks.TAS
+	readOnlyFail bool
+	// expandThreshold is the chain length (in overflow buckets) that
+	// triggers a resize instead of another link.
+	expandThreshold int
+}
+
+// NewLB builds a CLHT-LB with cfg.Buckets cache-line buckets (power of two).
+func NewLB(cfg core.Config) *LB {
+	h := &LB{readOnlyFail: cfg.ReadOnlyFail, expandThreshold: 2}
+	h.tab.Store(newTable(pow2(cfg.Buckets)))
+	return h
+}
+
+// lockBucket spins on the bucket's concurrency word.
+func lockBucket(b *bucket) {
+	for i := 0; ; {
+		if b.conc.Load() == 0 && b.conc.CompareAndSwap(0, 1) {
+			return
+		}
+		i = locks.Pause(i)
+	}
+}
+
+func unlockBucket(b *bucket) { b.conc.Store(0) }
+
+// SearchCtx implements core.Instrumented. The per-pair atomic snapshot is
+// the paper's: read val, check key, re-check val.
+func (h *LB) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
+	t := h.tab.Load()
+	for b := &t.buckets[mix(k)&t.mask]; b != nil; b = b.next.Load() {
+		c.Inc(perf.EvTraverse)
+		for i := 0; i < entriesPerBucket; i++ {
+			v := b.val[i].Load()
+			if b.key[i].Load() == uint64(k) && b.val[i].Load() == v {
+				return core.Value(v), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// InsertCtx implements core.Instrumented.
+func (h *LB) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
+	if h.readOnlyFail {
+		// ASCY3: "updates first perform a search to check whether the
+		// operation is at all feasible".
+		c.ParseBegin()
+		_, in := h.SearchCtx(c, k)
+		c.ParseEnd()
+		if in {
+			return false
+		}
+	}
+	for {
+		t := h.tab.Load()
+		first := &t.buckets[mix(k)&t.mask]
+		lockBucket(first)
+		c.Inc(perf.EvLock)
+		if h.tab.Load() != t {
+			unlockBucket(first) // resized under us; retry on the new table
+			c.Inc(perf.EvRestart)
+			continue
+		}
+		var freeB *bucket
+		freeI := -1
+		chainLen := 0
+		b := first
+		for {
+			for i := 0; i < entriesPerBucket; i++ {
+				if b.key[i].Load() == uint64(k) {
+					unlockBucket(first)
+					return false
+				}
+				if freeI < 0 && b.key[i].Load() == 0 {
+					freeB, freeI = b, i
+				}
+			}
+			nxt := b.next.Load()
+			if nxt == nil {
+				break
+			}
+			b = nxt
+			chainLen++
+		}
+		if freeI >= 0 {
+			// Publish val before key: a concurrent search matches
+			// the key only after the value is in place.
+			freeB.val[freeI].Store(uint64(v))
+			freeB.key[freeI].Store(uint64(k))
+			c.Inc(perf.EvStore)
+			unlockBucket(first)
+			return true
+		}
+		// Chain full: link a fresh bucket, or resize when the chain is
+		// already long ("the operation either links a new bucket by
+		// using the next pointer, or resizes the hash table").
+		nb := &bucket{}
+		nb.val[0].Store(uint64(v))
+		nb.key[0].Store(uint64(k))
+		b.next.Store(nb)
+		c.Inc(perf.EvStore)
+		unlockBucket(first)
+		if chainLen+1 >= h.expandThreshold {
+			h.resize(t)
+		}
+		return true
+	}
+}
+
+// RemoveCtx implements core.Instrumented.
+func (h *LB) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
+	if h.readOnlyFail {
+		c.ParseBegin()
+		_, in := h.SearchCtx(c, k)
+		c.ParseEnd()
+		if !in {
+			return 0, false
+		}
+	}
+	for {
+		t := h.tab.Load()
+		first := &t.buckets[mix(k)&t.mask]
+		lockBucket(first)
+		c.Inc(perf.EvLock)
+		if h.tab.Load() != t {
+			unlockBucket(first)
+			c.Inc(perf.EvRestart)
+			continue
+		}
+		for b := first; b != nil; b = b.next.Load() {
+			for i := 0; i < entriesPerBucket; i++ {
+				if b.key[i].Load() == uint64(k) {
+					v := core.Value(b.val[i].Load())
+					b.key[i].Store(0) // linearization point for searches
+					c.Inc(perf.EvStore)
+					unlockBucket(first)
+					return v, true
+				}
+			}
+		}
+		unlockBucket(first)
+		return 0, false
+	}
+}
+
+// resize doubles the table: it serializes resizers, locks every old bucket
+// (quiescing updates), copies all pairs into a fresh table, publishes it,
+// and releases the old locks so blocked updaters retry on the new table.
+// Searches are never blocked; they linearize on their table-pointer load.
+func (h *LB) resize(old *table) {
+	h.resizeLock.Lock()
+	defer h.resizeLock.Unlock()
+	if h.tab.Load() != old {
+		return
+	}
+	for i := range old.buckets {
+		lockBucket(&old.buckets[i])
+	}
+	nt := newTable(len(old.buckets) * 2)
+	for i := range old.buckets {
+		for b := &old.buckets[i]; b != nil; b = b.next.Load() {
+			for s := 0; s < entriesPerBucket; s++ {
+				k := b.key[s].Load()
+				if k == 0 {
+					continue
+				}
+				h.put(nt, core.Key(k), core.Value(b.val[s].Load()))
+			}
+		}
+	}
+	h.tab.Store(nt)
+	for i := range old.buckets {
+		unlockBucket(&old.buckets[i])
+	}
+}
+
+// put inserts into a private (not yet published) table.
+func (h *LB) put(t *table, k core.Key, v core.Value) {
+	b := &t.buckets[mix(k)&t.mask]
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			if b.key[i].Load() == 0 {
+				b.val[i].Store(uint64(v))
+				b.key[i].Store(uint64(k))
+				return
+			}
+		}
+		nxt := b.next.Load()
+		if nxt == nil {
+			nb := &bucket{}
+			nb.val[0].Store(uint64(v))
+			nb.key[0].Store(uint64(k))
+			b.next.Store(nb)
+			return
+		}
+		b = nxt
+	}
+}
+
+// Search looks up k.
+func (h *LB) Search(k core.Key) (core.Value, bool) { return h.SearchCtx(nil, k) }
+
+// Insert adds (k, v) if k is absent.
+func (h *LB) Insert(k core.Key, v core.Value) bool { return h.InsertCtx(nil, k, v) }
+
+// Remove deletes k if present.
+func (h *LB) Remove(k core.Key) (core.Value, bool) { return h.RemoveCtx(nil, k) }
+
+// Size counts occupied slots. Quiescent use only.
+func (h *LB) Size() int {
+	t := h.tab.Load()
+	n := 0
+	for i := range t.buckets {
+		for b := &t.buckets[i]; b != nil; b = b.next.Load() {
+			for s := 0; s < entriesPerBucket; s++ {
+				if b.key[s].Load() != 0 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Buckets reports the current table size (tests observe resizing).
+func (h *LB) Buckets() int { return len(h.tab.Load().buckets) }

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// oversub reproduces the §4 observation the figures do not plot: "Lock-
+// freedom is more important when we employ more threads than hardware
+// contexts. In these deployments, lock-freedom provides better scalability
+// than lock-based designs." Lock-based and lock-free siblings are compared
+// at the reference thread count and at 4x oversubscription.
+func init() {
+	registerExperiment(Experiment{
+		ID:    "oversub",
+		Title: "§4: lock-based vs lock-free under oversubscription",
+		Run:   runOversub,
+	})
+}
+
+func runOversub(o Options) {
+	pairs := []struct {
+		family, lb, lf string
+		initial        int
+	}{
+		{"linkedlist", "ll-lazy", "ll-harris-opt", 1024},
+		{"hashtable", "ht-clht-lb", "ht-clht-lf", 4096},
+		{"skiplist", "sl-herlihy", "sl-fraser-opt", 1024},
+		{"bst", "bst-tk", "bst-natarajan", 2048},
+	}
+	over := 4 * o.MaxThreads
+	fmt.Fprintf(o.Out, "-- 20%% updates; Mops/s at %d threads vs %d threads (oversubscribed) --\n", o.Threads, over)
+	header(o.Out, "family", "lb@ref", "lf@ref", "lb@over", "lf@over", "lf/lb@over")
+	for _, p := range pairs {
+		lbRef := o.run(p.lb, p.initial, 20, o.Threads)
+		lfRef := o.run(p.lf, p.initial, 20, o.Threads)
+		lbOver := o.run(p.lb, p.initial, 20, over)
+		lfOver := o.run(p.lf, p.initial, 20, over)
+		ratio := 0.0
+		if lbOver.Throughput() > 0 {
+			ratio = lfOver.Throughput() / lbOver.Throughput()
+		}
+		fmt.Fprintf(o.Out, "%-16s %12.3f %12.3f %12.3f %12.3f %12.2f\n",
+			p.family, lbRef.Mops(), lfRef.Mops(), lbOver.Mops(), lfOver.Mops(), ratio)
+	}
+	fmt.Fprintln(o.Out, "expected shape: the lf/lb ratio grows when threads exceed hardware contexts")
+}
+
+// nonuniform reproduces the §4 remark: "We briefly experiment with
+// non-uniform workloads ... such as those with update spikes and
+// continuously increasing structure size. We notice that our observations
+// are valid in these scenarios as well."
+func init() {
+	registerExperiment(Experiment{
+		ID:    "nonuniform",
+		Title: "§4: non-uniform workloads (update spike; growing structure)",
+		Run:   runNonuniform,
+	})
+}
+
+func runNonuniform(o Options) {
+	algos := []string{"ll-async", "ll-lazy", "ll-pugh", "ll-harris", "ll-harris-opt"}
+
+	// Update spike: a read-mostly phase, a 100%-update burst, then
+	// read-mostly again; the per-phase throughput ordering must match the
+	// uniform results.
+	fmt.Fprintf(o.Out, "-- update spike: 2%% -> 80%% -> 2%% updates, 1024 elem, %d threads; Mops/s per phase --\n", o.Threads)
+	header(o.Out, "algorithm", "calm-1", "spike", "calm-2")
+	for _, algo := range algos {
+		var phases []float64
+		for _, upd := range []int{2, 80, 2} {
+			r := o.run(algo, 1024, upd, o.Threads)
+			phases = append(phases, r.Mops())
+		}
+		fmt.Fprintf(o.Out, "%-16s %12.3f %12.3f %12.3f\n", algo, phases[0], phases[1], phases[2])
+	}
+
+	// Growing structure: inserts outnumber removes 3:1, so the set grows
+	// throughout the run; throughput is reported alongside growth.
+	fmt.Fprintf(o.Out, "-- growing structure: insert-biased updates, %d threads --\n", o.Threads)
+	header(o.Out, "algorithm", "Mops/s", "start-size", "end-size")
+	for _, algo := range algos {
+		cfg := workload.Config{
+			Algorithm:  algo,
+			Initial:    256,
+			KeyRange:   1 << 20, // huge key space: most inserts succeed
+			UpdatePct:  40,
+			Threads:    o.Threads,
+			Duration:   o.Duration,
+			Seed:       o.Seed,
+			InsertBias: 75,
+		}
+		res, err := workload.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(o.Out, "%-16s %12.3f %12d %12d\n", algo, res.Mops(), 256, res.FinalSize)
+	}
+	fmt.Fprintln(o.Out, "expected shape: per-phase and growth-phase orderings match the uniform workloads'")
+}

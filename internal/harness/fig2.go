@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+)
+
+// Figure 2: cross-platform results per data structure on three workloads —
+// average contention (throughput vs thread count; 4096 elements, 10%
+// updates), high contention (reference thread count, 512 elements, 25%
+// updates), and low contention (reference thread count, 16384 elements, 10%
+// updates) — with scalability ratios versus single-threaded execution.
+
+type fig2Spec struct {
+	id, title string
+	algos     []string
+}
+
+var fig2Specs = []fig2Spec{
+	{"fig2a", "Linked lists: cross-workload throughput + scalability (Fig. 2a)",
+		[]string{"ll-async", "ll-lazy", "ll-pugh", "ll-copy", "ll-coupling", "ll-harris", "ll-michael"}},
+	{"fig2b", "Hash tables: cross-workload throughput + scalability (Fig. 2b)",
+		[]string{"ht-async", "ht-coupling", "ht-lazy", "ht-pugh", "ht-copy", "ht-urcu", "ht-java", "ht-tbb", "ht-harris"}},
+	{"fig2c", "Skip lists: cross-workload throughput + scalability (Fig. 2c)",
+		[]string{"sl-async", "sl-pugh", "sl-herlihy", "sl-fraser"}},
+	{"fig2d", "BSTs: cross-workload throughput + scalability (Fig. 2d)",
+		[]string{"bst-async-int", "bst-async-ext", "bst-bronson", "bst-drachsler", "bst-ellen", "bst-howley", "bst-natarajan"}},
+}
+
+func init() {
+	for _, spec := range fig2Specs {
+		spec := spec
+		registerExperiment(Experiment{
+			ID:    spec.id,
+			Title: spec.title,
+			Run:   func(o Options) { runFig2(o, spec) },
+		})
+	}
+}
+
+func runFig2(o Options, spec fig2Spec) {
+	// Top graphs: throughput vs threads, average contention.
+	fmt.Fprintf(o.Out, "-- average contention: 4096 elements, 10%% updates; Mops/s by thread count --\n")
+	sweep := o.threadSweep()
+	cols := []string{"algorithm"}
+	for _, t := range sweep {
+		cols = append(cols, fmt.Sprintf("%dthr", t))
+	}
+	header(o.Out, cols...)
+	for _, algo := range spec.algos {
+		fmt.Fprintf(o.Out, "%-16s", algo)
+		for _, t := range sweep {
+			r := o.run(algo, 4096, 10, t)
+			fmt.Fprintf(o.Out, " %12.3f", r.Mops())
+		}
+		fmt.Fprintln(o.Out)
+	}
+	// Bottom histograms: high and low contention at the reference thread
+	// count, with the scalability ratio printed on top of each bar.
+	for _, w := range []struct {
+		name             string
+		initial, updates int
+	}{
+		{"high contention: 512 elements, 25% updates", 512, 25},
+		{"low contention: 16384 elements, 10% updates", 16384, 10},
+	} {
+		fmt.Fprintf(o.Out, "-- %s; %d threads --\n", w.name, o.Threads)
+		header(o.Out, "algorithm", "Mops/s", "scalability")
+		for _, algo := range spec.algos {
+			single := o.run(algo, w.initial, w.updates, 1)
+			multi := o.run(algo, w.initial, w.updates, o.Threads)
+			scal := 0.0
+			if single.Throughput() > 0 {
+				scal = multi.Throughput() / single.Throughput()
+			}
+			fmt.Fprintf(o.Out, "%-16s %12.3f %12.1f\n", algo, multi.Mops(), scal)
+		}
+	}
+}
+
+// Figure 3: cache-line transfer events per operation vs scalability for the
+// linked lists (4096 elements, 10% updates, reference thread count). The
+// hardware cache-miss counter is substituted by the perf event accounting —
+// see DESIGN.md.
+func init() {
+	registerExperiment(Experiment{
+		ID:    "fig3",
+		Title: "Linked lists: coherence events/op vs scalability (Fig. 3)",
+		Run:   runFig3,
+	})
+}
+
+func runFig3(o Options) {
+	algos := []string{"ll-async", "ll-copy", "ll-coupling", "ll-harris", "ll-lazy", "ll-michael", "ll-pugh"}
+	fmt.Fprintf(o.Out, "-- 4096 elements, 10%% updates, %d threads; events counted per op --\n", o.Threads)
+	header(o.Out, "algorithm", "coh/op", "stores/op", "cas/op", "locks/op", "scalability")
+	for _, algo := range algos {
+		single := o.run(algo, 4096, 10, 1)
+		multi := o.run(algo, 4096, 10, o.Threads)
+		scal := 0.0
+		if single.Throughput() > 0 {
+			scal = multi.Throughput() / single.Throughput()
+		}
+		fmt.Fprintf(o.Out, "%-16s %12.2f %12.2f %12.2f %12.2f %12.1f\n",
+			algo,
+			multi.CoherencePerOp(),
+			multi.Perf.PerOp(perf.EvStore),
+			multi.Perf.PerOp(perf.EvCAS)+multi.Perf.PerOp(perf.EvCASFail),
+			multi.Perf.PerOp(perf.EvLock),
+			scal)
+	}
+	fmt.Fprintln(o.Out, "expected shape: fewer coherence events/op <=> better scalability; async fewest, coupling/copy most")
+}

@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// Figure 4 (ASCY1, linked lists): 1024 elements, 5% updates (2.5%
+// successful): (a) total throughput vs threads, (b) power relative to async,
+// (c) average search latency, (d) search-latency distribution.
+func init() {
+	registerExperiment(Experiment{
+		ID:    "fig4",
+		Title: "ASCY1 on linked lists: 1024 elem, 5% updates (Fig. 4)",
+		Run:   runFig4,
+	})
+}
+
+func runFig4(o Options) {
+	algos := []string{"ll-async", "ll-lazy", "ll-pugh", "ll-copy", "ll-harris", "ll-michael", "ll-harris-opt"}
+	sample := func(c *workload.Config) { c.SampleEvery = 8 }
+
+	fmt.Fprintln(o.Out, "-- (a) total throughput (Mops/s) by threads --")
+	sweep := o.threadSweep()
+	cols := []string{"algorithm"}
+	for _, t := range sweep {
+		cols = append(cols, fmt.Sprintf("%dthr", t))
+	}
+	header(o.Out, cols...)
+	results := map[string]map[int]workload.Result{}
+	for _, algo := range algos {
+		results[algo] = map[int]workload.Result{}
+		fmt.Fprintf(o.Out, "%-16s", algo)
+		for _, t := range sweep {
+			r := o.run(algo, 1024, 5, t, sample)
+			results[algo][t] = r
+			fmt.Fprintf(o.Out, " %12.3f", r.Mops())
+		}
+		fmt.Fprintln(o.Out)
+	}
+
+	fmt.Fprintf(o.Out, "-- (b) power relative to async at %d threads --\n", o.Threads)
+	header(o.Out, "algorithm", "rel-power")
+	asyncP := powerOf(results["ll-async"][o.Threads])
+	for _, algo := range algos {
+		fmt.Fprintf(o.Out, "%-16s %12.3f\n", algo, power.Relative(powerOf(results[algo][o.Threads]), asyncP))
+	}
+
+	fmt.Fprintf(o.Out, "-- (c) mean search latency (ns) at %d threads --\n", o.Threads)
+	header(o.Out, "algorithm", "search-ns")
+	for _, algo := range algos {
+		fmt.Fprintf(o.Out, "%-16s %12.0f\n", algo, searchLatNS(results[algo][o.Threads]))
+	}
+
+	fmt.Fprintf(o.Out, "-- (d) search latency distribution (1/25/50/75/99 pct, ns) at %d threads --\n", o.Threads)
+	header(o.Out, "algorithm", "p1/25/50/75/99")
+	for _, algo := range algos {
+		r := results[algo][o.Threads]
+		fmt.Fprintf(o.Out, "%-16s %24s\n", algo, pctRow(r.Latency[workload.OpSearchHit]))
+	}
+	fmt.Fprintln(o.Out, "expected shape: lazy/pugh within ~10% of async; harris-opt 10-30% faster searches than harris/michael with a tighter distribution")
+}
+
+// Figure 5 (ASCY2, skip lists): 1024 elements, 20% updates (10% successful):
+// (a) throughput, (b) relative power, (c) update latency, (d) parse-phase
+// latency distribution, plus the parse-restart overhead percentages the
+// paper quotes for fraser vs fraser-opt.
+func init() {
+	registerExperiment(Experiment{
+		ID:    "fig5",
+		Title: "ASCY2 on skip lists: 1024 elem, 20% updates (Fig. 5)",
+		Run:   runFig5,
+	})
+}
+
+func runFig5(o Options) {
+	algos := []string{"sl-async", "sl-pugh", "sl-herlihy", "sl-fraser", "sl-fraser-opt"}
+	opts := func(c *workload.Config) {
+		c.SampleEvery = 8
+		c.ParseTiming = true
+	}
+	fmt.Fprintln(o.Out, "-- (a) throughput (Mops/s) by threads --")
+	sweep := o.threadSweep()
+	cols := []string{"algorithm"}
+	for _, t := range sweep {
+		cols = append(cols, fmt.Sprintf("%dthr", t))
+	}
+	header(o.Out, cols...)
+	ref := map[string]workload.Result{}
+	for _, algo := range algos {
+		fmt.Fprintf(o.Out, "%-16s", algo)
+		for _, t := range sweep {
+			r := o.run(algo, 1024, 20, t, opts)
+			if t == o.Threads {
+				ref[algo] = r
+			}
+			fmt.Fprintf(o.Out, " %12.3f", r.Mops())
+		}
+		fmt.Fprintln(o.Out)
+	}
+
+	fmt.Fprintf(o.Out, "-- (b) power relative to async, (c) update latency, (d) parse distribution at %d threads --\n", o.Threads)
+	header(o.Out, "algorithm", "rel-power", "update-ns", "parse-restart%", "parse-p1/25/50/75/99")
+	asyncP := powerOf(ref["sl-async"])
+	for _, algo := range algos {
+		r := ref[algo]
+		restartPct := 0.0
+		if r.Perf.Updates > 0 {
+			restartPct = 100 * float64(r.Perf.Count(perf.EvParseRestart)) / float64(r.Perf.Updates)
+		}
+		fmt.Fprintf(o.Out, "%-16s %12.3f %12.0f %14.3f %24s\n",
+			algo, power.Relative(powerOf(r), asyncP), updateLatNS(r), restartPct, pctRow(r.ParseLat))
+	}
+	fmt.Fprintln(o.Out, "expected shape: fraser-opt >= fraser throughput with ~10x fewer parse restarts (paper: 1.07% -> 0.09% at 20 thr)")
+}
+
+// Figure 6 (ASCY3, hash tables): 8192 elements, 8192 buckets, 10% updates
+// (5% successful): throughput / relative power / unsuccessful-update latency
+// / update-latency distribution by op class, for ASCY3 vs "-no" variants.
+func init() {
+	registerExperiment(Experiment{
+		ID:    "fig6",
+		Title: "ASCY3 on hash tables: 8192 elem, read-only vs locking failed updates (Fig. 6)",
+		Run:   runFig6,
+	})
+}
+
+func runFig6(o Options) {
+	algos := []string{
+		"ht-async",
+		"ht-lazy-no", "ht-lazy",
+		"ht-pugh-no", "ht-pugh",
+		"ht-copy-no", "ht-copy",
+		"ht-java-no", "ht-java",
+	}
+	sample := func(c *workload.Config) { c.SampleEvery = 8 }
+
+	fmt.Fprintln(o.Out, "-- (a) throughput (Mops/s) by threads --")
+	sweep := o.threadSweep()
+	cols := []string{"algorithm"}
+	for _, t := range sweep {
+		cols = append(cols, fmt.Sprintf("%dthr", t))
+	}
+	header(o.Out, cols...)
+	ref := map[string]workload.Result{}
+	for _, algo := range algos {
+		fmt.Fprintf(o.Out, "%-16s", algo)
+		for _, t := range sweep {
+			r := o.run(algo, 8192, 10, t, sample)
+			if t == o.Threads {
+				ref[algo] = r
+			}
+			fmt.Fprintf(o.Out, " %12.3f", r.Mops())
+		}
+		fmt.Fprintln(o.Out)
+	}
+
+	fmt.Fprintf(o.Out, "-- (b,c) power vs async and unsuccessful-update latency at %d threads --\n", o.Threads)
+	header(o.Out, "algorithm", "rel-power", "failupd-ns")
+	asyncP := powerOf(ref["ht-async"])
+	for _, algo := range algos {
+		r := ref[algo]
+		fi, fr := r.Latency[workload.OpInsertFalse], r.Latency[workload.OpRemoveFalse]
+		var failNS float64
+		if n := fi.N + fr.N; n > 0 {
+			failNS = (fi.MeanNS*float64(fi.N) + fr.MeanNS*float64(fr.N)) / float64(n)
+		}
+		fmt.Fprintf(o.Out, "%-16s %12.3f %12.0f\n", algo, power.Relative(powerOf(r), asyncP), failNS)
+	}
+
+	fmt.Fprintf(o.Out, "-- (d) update latency distribution by class (1/25/50/75/99 pct, ns) at %d threads --\n", o.Threads)
+	header(o.Out, "algorithm", "ins-true", "ins-false", "rem-true", "rem-false")
+	for _, algo := range algos {
+		r := ref[algo]
+		fmt.Fprintf(o.Out, "%-16s %22s %22s %22s %22s\n", algo,
+			pctRow(r.Latency[workload.OpInsertTrue]), pctRow(r.Latency[workload.OpInsertFalse]),
+			pctRow(r.Latency[workload.OpRemoveTrue]), pctRow(r.Latency[workload.OpRemoveFalse]))
+	}
+	fmt.Fprintln(o.Out, "expected shape: ASCY3 variants up to ~12.5% higher throughput; 1.5-4x lower unsuccessful-update latency than -no variants")
+}
+
+// Figure 7 (ASCY4, BSTs): 2048 elements, 20% updates (10% successful):
+// throughput / relative power / update latency / successful-op latency
+// distribution, plus atomics-per-update accounting (natarajan ~2 vs >3).
+func init() {
+	registerExperiment(Experiment{
+		ID:    "fig7",
+		Title: "ASCY4 on BSTs: 2048 elem, 20% updates (Fig. 7)",
+		Run:   runFig7,
+	})
+}
+
+func runFig7(o Options) {
+	algos := []string{"bst-async-int", "bst-async-ext", "bst-bronson", "bst-drachsler", "bst-ellen", "bst-howley", "bst-natarajan"}
+	sample := func(c *workload.Config) { c.SampleEvery = 8 }
+
+	fmt.Fprintln(o.Out, "-- (a) throughput (Mops/s) by threads --")
+	sweep := o.threadSweep()
+	cols := []string{"algorithm"}
+	for _, t := range sweep {
+		cols = append(cols, fmt.Sprintf("%dthr", t))
+	}
+	header(o.Out, cols...)
+	ref := map[string]workload.Result{}
+	for _, algo := range algos {
+		fmt.Fprintf(o.Out, "%-16s", algo)
+		for _, t := range sweep {
+			r := o.run(algo, 2048, 20, t, sample)
+			if t == o.Threads {
+				ref[algo] = r
+			}
+			fmt.Fprintf(o.Out, " %12.3f", r.Mops())
+		}
+		fmt.Fprintln(o.Out)
+	}
+
+	fmt.Fprintf(o.Out, "-- (b,c) power vs async-int, update latency, atomics & locks per successful update at %d threads --\n", o.Threads)
+	header(o.Out, "algorithm", "rel-power", "update-ns", "atomics/upd", "locks/upd", "nJ/op")
+	asyncP := powerOf(ref["bst-async-int"])
+	for _, algo := range algos {
+		r := ref[algo]
+		atomics, lcks := 0.0, 0.0
+		if r.SuccUpdates > 0 {
+			atomics = float64(r.Perf.Count(perf.EvCAS)+r.Perf.Count(perf.EvCASFail)) / float64(r.SuccUpdates)
+			lcks = float64(r.Perf.Count(perf.EvLock)) / float64(r.SuccUpdates)
+		}
+		sec := r.Elapsed.Seconds()
+		nj := power.Default.EnergyPerOpNJ(r.Cfg.Threads, r.Throughput(), float64(r.Perf.Coherence())/sec)
+		fmt.Fprintf(o.Out, "%-16s %12.3f %12.0f %12.2f %12.2f %12.1f\n",
+			algo, power.Relative(powerOf(r), asyncP), updateLatNS(r), atomics, lcks, nj)
+	}
+
+	fmt.Fprintf(o.Out, "-- (d) successful-op latency distribution (1/25/50/75/99 pct, ns) at %d threads --\n", o.Threads)
+	header(o.Out, "algorithm", "search-hit", "ins-true", "rem-true")
+	for _, algo := range algos {
+		r := ref[algo]
+		fmt.Fprintf(o.Out, "%-16s %22s %22s %22s\n", algo,
+			pctRow(r.Latency[workload.OpSearchHit]),
+			pctRow(r.Latency[workload.OpInsertTrue]),
+			pctRow(r.Latency[workload.OpRemoveTrue]))
+	}
+	fmt.Fprintln(o.Out, "expected shape: natarajan best prior BST, ~2-3 atomics/update vs >3 for others; drachsler >=3 locks/removal; howley/ellen pay for helping")
+}

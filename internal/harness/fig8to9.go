@@ -1,0 +1,131 @@
+package harness
+
+import "fmt"
+
+// Figure 8: CLHT vs pugh hash table — 4096 elements, reference thread count,
+// update rates {0, 1, 20, 100}%, with scalability ratios on the bars.
+func init() {
+	registerExperiment(Experiment{
+		ID:    "fig8",
+		Title: "CLHT vs pugh hash table across update rates (Fig. 8)",
+		Run:   runFig8,
+	})
+}
+
+func runFig8(o Options) {
+	algos := []string{"ht-pugh", "ht-clht-lb", "ht-clht-lf"}
+	rates := []int{0, 1, 20, 100}
+	fmt.Fprintf(o.Out, "-- 4096 elements, %d threads; Mops/s (scalability) by update rate --\n", o.Threads)
+	cols := []string{"algorithm"}
+	for _, u := range rates {
+		cols = append(cols, fmt.Sprintf("%d%%upd", u))
+	}
+	header(o.Out, cols...)
+	for _, algo := range algos {
+		fmt.Fprintf(o.Out, "%-16s", algo)
+		for _, u := range rates {
+			single := o.run(algo, 4096, u, 1)
+			multi := o.run(algo, 4096, u, o.Threads)
+			scal := 0.0
+			if single.Throughput() > 0 {
+				scal = multi.Throughput() / single.Throughput()
+			}
+			fmt.Fprintf(o.Out, " %7.1f(%4.1f)", multi.Mops(), scal)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintln(o.Out, "expected shape: clht-lb ~23% and clht-lf ~13% above pugh on average; clht-lb ahead at the reference thread count")
+}
+
+// Figure 9: BST-TK vs natarajan — 4096 elements, reference thread count,
+// update rates {0, 1, 10, 20, 100}%.
+func init() {
+	registerExperiment(Experiment{
+		ID:    "fig9",
+		Title: "BST-TK vs natarajan across update rates (Fig. 9)",
+		Run:   runFig9,
+	})
+}
+
+func runFig9(o Options) {
+	algos := []string{"bst-natarajan", "bst-tk"}
+	rates := []int{0, 1, 10, 20, 100}
+	fmt.Fprintf(o.Out, "-- 4096 elements, %d threads; Mops/s (scalability) by update rate --\n", o.Threads)
+	cols := []string{"algorithm"}
+	for _, u := range rates {
+		cols = append(cols, fmt.Sprintf("%d%%upd", u))
+	}
+	header(o.Out, cols...)
+	for _, algo := range algos {
+		fmt.Fprintf(o.Out, "%-16s", algo)
+		for _, u := range rates {
+			single := o.run(algo, 4096, u, 1)
+			multi := o.run(algo, 4096, u, o.Threads)
+			scal := 0.0
+			if single.Throughput() > 0 {
+				scal = multi.Throughput() / single.Throughput()
+			}
+			fmt.Fprintf(o.Out, " %7.1f(%4.1f)", multi.Mops(), scal)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintln(o.Out, "expected shape: bst-tk within ~1% of natarajan on average (slightly ahead or behind by workload)")
+}
+
+// summary reproduces the §4 headline numbers: per-structure best-concurrent
+// vs async gap and average scalability by contention level.
+func init() {
+	registerExperiment(Experiment{
+		ID:    "summary",
+		Title: "§4 headline: best-concurrent vs async gap; scalability by contention",
+		Run:   runSummary,
+	})
+}
+
+func runSummary(o Options) {
+	type family struct {
+		name   string
+		async  string
+		concur []string
+	}
+	families := []family{
+		{"linkedlist", "ll-async", []string{"ll-lazy", "ll-pugh", "ll-copy", "ll-coupling", "ll-harris", "ll-michael", "ll-harris-opt"}},
+		{"hashtable", "ht-async", []string{"ht-coupling", "ht-lazy", "ht-pugh", "ht-copy", "ht-urcu", "ht-java", "ht-tbb", "ht-harris", "ht-clht-lb", "ht-clht-lf"}},
+		{"skiplist", "sl-async", []string{"sl-pugh", "sl-herlihy", "sl-fraser", "sl-fraser-opt"}},
+		{"bst", "bst-async-ext", []string{"bst-bronson", "bst-drachsler", "bst-ellen", "bst-howley", "bst-natarajan", "bst-tk"}},
+	}
+	contentions := []struct {
+		name             string
+		initial, updates int
+	}{
+		{"high", 512, 25},
+		{"average", 4096, 10},
+		{"low", 16384, 10},
+	}
+	for _, c := range contentions {
+		fmt.Fprintf(o.Out, "-- %s contention (%d elem, %d%% upd), %d threads --\n", c.name, c.initial, c.updates, o.Threads)
+		header(o.Out, "structure", "async-Mops", "best-Mops", "best-algo", "gap%", "best-scal")
+		for _, f := range families {
+			async := o.run(f.async, c.initial, c.updates, o.Threads)
+			bestName, bestT, bestScal := "", 0.0, 0.0
+			for _, algo := range f.concur {
+				r := o.run(algo, c.initial, c.updates, o.Threads)
+				if r.Throughput() > bestT {
+					bestT = r.Throughput()
+					bestName = algo
+					s := o.run(algo, c.initial, c.updates, 1)
+					if s.Throughput() > 0 {
+						bestScal = r.Throughput() / s.Throughput()
+					}
+				}
+			}
+			gap := 0.0
+			if async.Throughput() > 0 {
+				gap = 100 * (1 - bestT/async.Throughput())
+			}
+			fmt.Fprintf(o.Out, "%-16s %12.3f %12.3f %12s %12.1f %12.1f\n",
+				f.name, async.Mops(), bestT/1e6, bestName, gap, bestScal)
+		}
+	}
+	fmt.Fprintln(o.Out, "expected shape: best concurrent within ~10-30% of async per structure; scalability ordered low >= average >= high contention")
+}

@@ -1,0 +1,232 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§4–§6). Each figure has a runner that executes the paper's
+// workload (scaled to this host) and prints the same rows/series the paper
+// plots; cmd/ascybench is the CLI front end and bench_test.go exposes one
+// testing.B benchmark per figure.
+//
+// The experiment parameters are the paper's: initial sizes, update rates,
+// key range = 2N, update split half insert / half remove, medians over
+// repetitions. Thread counts scale to the host ("20 threads" in the paper
+// maps to min(20, GOMAXPROCS) unless overridden).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options tune how experiments run. Zero value = quick mode.
+type Options struct {
+	// Out receives the report.
+	Out io.Writer
+	// Duration per measured run (paper: 5s). Quick default: 150ms.
+	Duration time.Duration
+	// Reps per data point, median reported (paper: 11). Quick default: 1.
+	Reps int
+	// Threads overrides the paper's "20 threads" reference point.
+	Threads int
+	// MaxThreads caps thread sweeps. Default: 2*GOMAXPROCS (the paper
+	// sweeps into oversubscription on several platforms).
+	MaxThreads int
+	// Seed for reproducibility.
+	Seed uint64
+}
+
+// Paper returns the paper's measurement protocol: 5-second runs, median of
+// 11 repetitions.
+func Paper(out io.Writer) Options {
+	return Options{Out: out, Duration: 5 * time.Second, Reps: 11}
+}
+
+// Quick returns a fast protocol for smoke runs and CI.
+func Quick(out io.Writer) Options {
+	return Options{Out: out, Duration: 150 * time.Millisecond, Reps: 1}
+}
+
+func (o *Options) fill() {
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	if o.Duration == 0 {
+		o.Duration = 150 * time.Millisecond
+	}
+	if o.Reps == 0 {
+		o.Reps = 1
+	}
+	if o.Threads == 0 {
+		// The paper's reference point is 20 threads; scale to the host
+		// but keep at least 4 workers so concurrency effects manifest
+		// even on small (or single-core) machines, where every worker
+		// beyond the first is oversubscription — a regime the paper
+		// also probes ("more threads than hardware contexts").
+		o.Threads = min(20, max(4, runtime.GOMAXPROCS(0)))
+	}
+	if o.MaxThreads == 0 {
+		o.MaxThreads = max(16, 2*runtime.GOMAXPROCS(0))
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xA5CF
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// threadSweep mirrors the paper's x axes: 1 up to MaxThreads, denser at the
+// low end.
+func (o Options) threadSweep() []int {
+	var ts []int
+	for t := 1; t <= o.MaxThreads; {
+		ts = append(ts, t)
+		switch {
+		case t < 4:
+			t++
+		case t < 16:
+			t += 4
+		default:
+			t += 8
+		}
+	}
+	if last := ts[len(ts)-1]; last != o.MaxThreads {
+		ts = append(ts, o.MaxThreads)
+	}
+	return ts
+}
+
+func (o Options) run(algo string, initial, updatePct, threads int, extra ...func(*workload.Config)) workload.Result {
+	cfg := workload.Config{
+		Algorithm: algo,
+		Initial:   initial,
+		UpdatePct: updatePct,
+		Threads:   threads,
+		Duration:  o.Duration,
+		Seed:      o.Seed,
+	}
+	// Hash tables use one bucket per expected element, as in the paper's
+	// setups (e.g. "8192 elements, 8192 (initial) buckets").
+	cfg.Options = []core.Option{core.Capacity(initial)}
+	for _, f := range extra {
+		f(&cfg)
+	}
+	res, err := workload.RunMedian(cfg, o.Reps)
+	if err != nil {
+		panic(err) // unknown algorithm: programming error in a runner table
+	}
+	return res
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string // e.g. "fig2a"
+	Title string
+	Run   func(o Options)
+}
+
+var experiments []Experiment
+
+func registerExperiment(e Experiment) { experiments = append(experiments, e) }
+
+// Experiments lists all registered figure/table runners in ID order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(experiments))
+	copy(out, experiments)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RunExperiment executes the experiment with the given ID.
+func RunExperiment(id string, o Options) error {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			o.fill()
+			fmt.Fprintf(o.Out, "== %s: %s ==\n", e.ID, e.Title)
+			e.Run(o)
+			return nil
+		}
+	}
+	return fmt.Errorf("harness: unknown experiment %q (use -list)", id)
+}
+
+// RunAll executes every experiment.
+func RunAll(o Options) {
+	for _, e := range Experiments() {
+		o2 := o
+		o2.fill()
+		fmt.Fprintf(o2.Out, "== %s: %s ==\n", e.ID, e.Title)
+		e.Run(o2)
+		fmt.Fprintln(o2.Out)
+	}
+}
+
+// header prints a table header row.
+func header(w io.Writer, cols ...string) {
+	fmt.Fprintf(w, "%-16s", cols[0])
+	for _, c := range cols[1:] {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 16+13*(len(cols)-1)))
+}
+
+// powerOf computes the modelled watts of a run.
+func powerOf(r workload.Result) float64 {
+	sec := r.Elapsed.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	return power.Default.Estimate(r.Cfg.Threads, r.Throughput(), float64(r.Perf.Coherence())/sec)
+}
+
+// latNS extracts a mean latency in nanoseconds for an op class, merging hit
+// and miss for searches.
+func searchLatNS(r workload.Result) float64 {
+	hit, miss := r.Latency[workload.OpSearchHit], r.Latency[workload.OpSearchMiss]
+	n := hit.N + miss.N
+	if n == 0 {
+		return 0
+	}
+	return (hit.MeanNS*float64(hit.N) + miss.MeanNS*float64(miss.N)) / float64(n)
+}
+
+func updateLatNS(r workload.Result) float64 {
+	var sum float64
+	var n int
+	for _, cl := range []workload.OpClass{workload.OpInsertTrue, workload.OpInsertFalse, workload.OpRemoveTrue, workload.OpRemoveFalse} {
+		s := r.Latency[cl]
+		sum += s.MeanNS * float64(s.N)
+		n += s.N
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func pctRow(s stats.Summary) string {
+	if s.N == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d/%d/%d/%d",
+		s.Percentiles[1], s.Percentiles[25], s.Percentiles[50],
+		s.Percentiles[75], s.Percentiles[99])
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	_ "repro" // register the full catalogue
+)
+
+func tinyOpts(buf *bytes.Buffer) Options {
+	return Options{
+		Out:        buf,
+		Duration:   10 * time.Millisecond,
+		Reps:       1,
+		Threads:    2,
+		MaxThreads: 2,
+		Seed:       1,
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "summary",
+		// §4 text experiments beyond the numbered figures.
+		"oversub", "nonuniform",
+	}
+	got := map[string]bool{}
+	for _, e := range Experiments() {
+		got[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Fatalf("figure %s has no runner", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+}
+
+func TestExperimentsSorted(t *testing.T) {
+	es := Experiments()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].ID >= es[i].ID {
+			t.Fatalf("experiments not sorted: %s >= %s", es[i-1].ID, es[i].ID)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := RunExperiment("fig99", Quick(nil)); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+// Each runner must execute end to end and print its table; these are smoke
+// tests with tiny durations, not measurements.
+func TestRunnersSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("figure runners execute the deliberately-unsynchronized async baselines; their races are the paper's methodology")
+	}
+	for _, id := range []string{"fig3", "fig8", "fig9", "oversub", "nonuniform"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := RunExperiment(id, tinyOpts(&buf)); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "algorithm") && !strings.Contains(out, "family") {
+				t.Fatalf("%s produced no table:\n%s", id, out)
+			}
+			if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+				t.Fatalf("%s produced NaN/Inf:\n%s", id, out)
+			}
+		})
+	}
+}
+
+func TestFig4SmokeHasAllSections(t *testing.T) {
+	if raceEnabled {
+		t.Skip("figure runners execute the deliberately-unsynchronized async baselines; their races are the paper's methodology")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("fig4", tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{"(a) total throughput", "(b) power relative", "(c) mean search latency", "(d) search latency distribution"} {
+		if !strings.Contains(out, section) {
+			t.Fatalf("fig4 output missing section %q:\n%s", section, out)
+		}
+	}
+}
+
+func TestThreadSweepShape(t *testing.T) {
+	o := Options{MaxThreads: 32}
+	o.fill()
+	sweep := o.threadSweep()
+	if sweep[0] != 1 {
+		t.Fatalf("sweep starts at %d", sweep[0])
+	}
+	if sweep[len(sweep)-1] != 32 {
+		t.Fatalf("sweep ends at %d, want 32", sweep[len(sweep)-1])
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] <= sweep[i-1] {
+			t.Fatalf("sweep not increasing: %v", sweep)
+		}
+	}
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.Duration == 0 || o.Reps == 0 || o.Threads < 4 || o.MaxThreads < o.Threads || o.Seed == 0 {
+		t.Fatalf("fill left zero fields: %+v", o)
+	}
+	p := Paper(nil)
+	if p.Duration != 5*time.Second || p.Reps != 11 {
+		t.Fatalf("Paper protocol wrong: %+v", p)
+	}
+}

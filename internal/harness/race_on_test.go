@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that the race detector is active. The figure runners
+// deliberately execute the paper's *asynchronized* baselines — sequential
+// structures shared without synchronization, the paper's §1 methodology —
+// so their data races are the object of study, not defects; runner smoke
+// tests skip under -race.
+const raceEnabled = true

@@ -1,0 +1,178 @@
+package hashtable
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	for _, name := range []string{
+		"ht-async", "ht-coupling", "ht-pugh", "ht-pugh-no", "ht-lazy",
+		"ht-lazy-no", "ht-copy", "ht-copy-no", "ht-harris", "ht-java",
+		"ht-java-no", "ht-tbb", "ht-urcu", "ht-urcu-ssmem",
+	} {
+		// Small tables exercise chains.
+		settest.RunRegistered(t, name, core.Capacity(64))
+	}
+}
+
+func TestJavaResizeGrows(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Buckets = 64 // floor is nStripes
+	j := NewJava(cfg)
+	before := j.Buckets()
+	const n = 10000
+	for k := core.Key(1); k <= n; k++ {
+		if !j.Insert(k, core.Value(k)) {
+			t.Fatalf("insert(%d) failed", k)
+		}
+	}
+	if j.Buckets() <= before {
+		t.Fatalf("java table did not resize: %d -> %d", before, j.Buckets())
+	}
+	for k := core.Key(1); k <= n; k++ {
+		v, ok := j.Search(k)
+		if !ok || v != core.Value(k) {
+			t.Fatalf("search(%d) = (%d,%v) after resize", k, v, ok)
+		}
+	}
+}
+
+func TestJavaResizeUnderConcurrency(t *testing.T) {
+	cfg := core.DefaultConfig()
+	j := NewJava(cfg)
+	const workers = 8
+	const perWorker = 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := core.Key(w*perWorker + 1)
+			for i := core.Key(0); i < perWorker; i++ {
+				j.Insert(base+i, core.Value(base+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := j.Size(); got != workers*perWorker {
+		t.Fatalf("size = %d, want %d", got, workers*perWorker)
+	}
+	for k := core.Key(1); k <= workers*perWorker; k += 97 {
+		if v, ok := j.Search(k); !ok || v != core.Value(k) {
+			t.Fatalf("search(%d) failed after concurrent resize", k)
+		}
+	}
+}
+
+// TestURCURemovalWaitsForReaders: a removal must block until a concurrent
+// reader inside its critical section finishes. We simulate a slow reader by
+// holding a read-side handle open directly on the table's domain.
+func TestURCURemovalWaitsForReaders(t *testing.T) {
+	u := NewURCU(core.DefaultConfig(), true)
+	u.Insert(1, 10)
+	rd := u.dom.ReadLock()
+	done := make(chan struct{})
+	go func() {
+		u.Remove(1) // must block on Synchronize
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("removal completed while a reader was still inside its critical section")
+	default:
+	}
+	// Give the remover a chance to actually reach Synchronize, then
+	// release the reader; the removal must now complete.
+	for i := 0; i < 1000; i++ {
+		select {
+		case <-done:
+			t.Fatal("removal completed early")
+		default:
+		}
+	}
+	rd.Unlock()
+	<-done
+	if _, ok := u.Search(1); ok {
+		t.Fatal("key still present after removal")
+	}
+}
+
+// TestURCUSSMEMRemovalDoesNotWait: the ASCY4 variant must complete removals
+// while a reader handle from the RCU domain is outstanding (it uses SSMEM
+// epochs, not grace periods).
+func TestURCUSSMEMRemovalDoesNotWait(t *testing.T) {
+	u := NewURCU(core.DefaultConfig(), false)
+	u.Insert(1, 10)
+	rd := u.dom.ReadLock() // would block the waitGP variant
+	defer rd.Unlock()
+	done := make(chan struct{})
+	go func() {
+		u.Remove(1)
+		close(done)
+	}()
+	<-done
+	if _, ok := u.Search(1); ok {
+		t.Fatal("key still present after removal")
+	}
+}
+
+// TestASCY3JavaLatencyEvents mirrors Figure 6's setup: with ASCY3 the failed
+// update is read-only; the "-no" variant locks its stripe.
+func TestASCY3JavaLatencyEvents(t *testing.T) {
+	mk := func(ro bool) *Java {
+		cfg := core.DefaultConfig()
+		cfg.ReadOnlyFail = ro
+		return NewJava(cfg)
+	}
+	with, without := mk(true), mk(false)
+	for k := core.Key(2); k <= 200; k += 2 {
+		with.Insert(k, 0)
+		without.Insert(k, 0)
+	}
+	ctxWith, ctxWithout := &perf.Ctx{}, &perf.Ctx{}
+	for k := core.Key(2); k <= 200; k += 2 {
+		with.InsertCtx(ctxWith, k, 1)
+		without.InsertCtx(ctxWithout, k, 1)
+	}
+	if n := ctxWith.Count(perf.EvLock); n != 0 {
+		t.Errorf("ASCY3 java: %d locks on failed inserts, want 0", n)
+	}
+	if n := ctxWithout.Count(perf.EvLock); n == 0 {
+		t.Error("java-no: failed inserts took no locks; variant is not exercising ASCY3-off")
+	}
+}
+
+// TestTBBSearchLocks documents the tbb behaviour the paper highlights: even
+// searches acquire (reader) locks.
+func TestTBBSearchLocks(t *testing.T) {
+	b := NewTBB(core.DefaultConfig())
+	b.Insert(1, 1)
+	ctx := &perf.Ctx{}
+	b.SearchCtx(ctx, 1)
+	b.SearchCtx(ctx, 2)
+	if n := ctx.Count(perf.EvLock); n != 2 {
+		t.Fatalf("tbb searches took %d locks, want 2", n)
+	}
+}
+
+func TestChainedDistribution(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Buckets = 128
+	ht := NewChained(cfg, func() core.Instrumented { return nil })
+	if len(ht.buckets) != 128 {
+		t.Fatalf("buckets = %d, want 128", len(ht.buckets))
+	}
+	// mix must spread sequential keys across buckets.
+	seen := map[uint64]bool{}
+	for k := core.Key(1); k <= 1000; k++ {
+		seen[mix(k)&ht.mask] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("sequential keys hit only %d/128 buckets", len(seen))
+	}
+}

@@ -1,0 +1,133 @@
+// Package locks implements the spin locks used by the lock-based structures:
+// a test-and-set lock, a ticket lock, and the versioned ticket lock that is
+// the core mechanism of BST-TK (§6.2).
+//
+// These are user-level spin locks rather than sync.Mutex because the
+// algorithms under study embed fine-grained per-node locks whose acquire and
+// release paths must cost exactly one atomic read-modify-write and one store
+// — the coherence behaviour the paper reasons about. All locks yield to the
+// Go scheduler while spinning so that oversubscribed runs (more workers than
+// cores, §4) make progress.
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// spinThreshold is the number of busy iterations between scheduler yields.
+const spinThreshold = 128
+
+// Pause burns one spin iteration, yielding to the runtime every
+// spinThreshold calls. The returned value is the next iteration count.
+func Pause(i int) int {
+	if i%spinThreshold == spinThreshold-1 {
+		runtime.Gosched()
+	}
+	return i + 1
+}
+
+// TAS is a test-and-set spin lock. The zero value is unlocked.
+type TAS struct {
+	v atomic.Uint32
+}
+
+// TryLock attempts to acquire the lock without spinning.
+func (l *TAS) TryLock() bool {
+	return l.v.Load() == 0 && l.v.CompareAndSwap(0, 1)
+}
+
+// Lock acquires the lock, spinning (with test-and-test-and-set to avoid
+// hammering the line) until it is free.
+func (l *TAS) Lock() {
+	for i := 0; ; {
+		if l.TryLock() {
+			return
+		}
+		for l.v.Load() != 0 {
+			i = Pause(i)
+		}
+	}
+}
+
+// Unlock releases the lock with a single store.
+func (l *TAS) Unlock() {
+	l.v.Store(0)
+}
+
+// Locked reports whether the lock is currently held. Advisory only.
+func (l *TAS) Locked() bool {
+	return l.v.Load() != 0
+}
+
+// Ticket is a FIFO ticket lock. The zero value is unlocked.
+type Ticket struct {
+	next    atomic.Uint32
+	serving atomic.Uint32
+}
+
+// Lock takes a ticket and spins until it is served. Acquisition order is
+// first-come-first-served.
+func (l *Ticket) Lock() {
+	t := l.next.Add(1) - 1
+	for i := 0; l.serving.Load() != t; {
+		i = Pause(i)
+	}
+}
+
+// TryLock acquires the lock only if no other thread holds or awaits it.
+func (l *Ticket) TryLock() bool {
+	s := l.serving.Load()
+	return l.next.Load() == s && l.next.CompareAndSwap(s, s+1)
+}
+
+// Unlock serves the next ticket.
+func (l *Ticket) Unlock() {
+	l.serving.Add(1)
+}
+
+// VTicket is the versioned ticket lock of BST-TK. The paper's observation
+// (§6.2) is that a ticket lock already contains a version field: the
+// "now serving" counter. BST-TK's parse records that version; its update
+// then tries to acquire *that specific version* with a single CAS, which
+// simultaneously validates that no concurrent update intervened and locks
+// the node. Unlocking increments the version, publishing the change.
+//
+// The lock packs ticket (high 32 bits) and version/serving (low 32 bits)
+// into one word so the acquire-and-validate is one CAS, and so two VTickets
+// (left and right child locks) fit in 16 bytes of a tree node, mirroring the
+// paper's two 32-bit locks per node.
+type VTicket struct {
+	w atomic.Uint64
+}
+
+// Version returns the current version. If the lock is held the version is
+// mid-update and the caller's subsequent TryLockVersion will fail, so no
+// separate "locked" check is needed on the read side.
+func (l *VTicket) Version() uint32 {
+	return uint32(l.w.Load())
+}
+
+// Locked reports whether the lock is currently held (ticket ahead of
+// serving). Advisory; used by tests and the contention-avoidance wait.
+func (l *VTicket) Locked() bool {
+	w := l.w.Load()
+	return uint32(w>>32) != uint32(w)
+}
+
+// TryLockVersion atomically acquires the lock iff its version is still v —
+// i.e. iff the node is unlocked and unchanged since the caller's parse
+// observed version v. This is steps 3–4 of the paper's Figure 10 collapsed
+// into one CAS.
+func (l *VTicket) TryLockVersion(v uint32) bool {
+	old := uint64(v)<<32 | uint64(v)
+	return l.w.CompareAndSwap(old, uint64(v+1)<<32|uint64(v))
+}
+
+// Unlock releases the lock and increments the version (steps 6–7 of
+// Figure 10). Only the holder may call it.
+func (l *VTicket) Unlock() {
+	w := l.w.Load()
+	v := uint32(w) + 1
+	l.w.Store(uint64(v)<<32 | uint64(v))
+}

@@ -1,0 +1,25 @@
+// Package pad provides cache-line-size constants and padding types.
+//
+// The paper's algorithms are designed around 64-byte cache lines (CLHT's
+// bucket is exactly one line; per-node locks are placed to avoid false
+// sharing). Go gives no direct control over allocation alignment, but
+// padding fields to line size prevents false sharing between adjacent
+// fields and between pool-allocated objects, which preserves the behaviour
+// the paper's C layout achieves.
+package pad
+
+// CacheLineSize is the coherence granularity assumed throughout the library,
+// matching all six platforms evaluated in the paper.
+const CacheLineSize = 64
+
+// CacheLinePad occupies one full cache line. Embed it between fields that
+// must not share a line.
+type CacheLinePad [CacheLineSize]byte
+
+// Padded wraps a uint64 so that consecutive array elements live on distinct
+// cache lines. Used for per-thread counters (SSMEM timestamps, RCU reader
+// epochs) that are written by one thread and scanned by others.
+type Padded struct {
+	Value uint64
+	_     [CacheLineSize - 8]byte
+}

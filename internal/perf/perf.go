@@ -1,0 +1,190 @@
+// Package perf provides per-operation event accounting for the CSDS
+// implementations.
+//
+// The ASPLOS'15 paper measures hardware cache misses and argues that they are
+// caused by stores and atomic operations on shared cache lines ("stores cause
+// cache-line invalidations, which in turn generate cache misses", §4). Go has
+// no portable access to hardware performance counters, so this package counts
+// the causes instead of the symptom: shared-memory stores, CAS attempts and
+// failures, lock acquisitions, operation restarts, helping, cleanup unlinks,
+// and traversal lengths. Figure 3's miss/scalability correlation and the
+// power model (internal/power) are rebuilt on top of these counts.
+//
+// A Ctx is owned by exactly one worker goroutine and is threaded through the
+// instrumented operation entry points (core.Instrumented). Because every
+// worker has its own Ctx, accounting is contention-free and exact. All Ctx
+// methods are safe to call on a nil receiver, so implementations
+// unconditionally instrument their hot paths; with a nil Ctx the cost is a
+// single predictable branch.
+package perf
+
+import "time"
+
+// Event identifies a class of instrumented memory or control events.
+type Event int
+
+// The instrumented event classes. EvStore through EvLock are "coherence
+// events": each one writes a shared cache line and, on real hardware, forces
+// a cache-line transfer on the next remote access.
+const (
+	// EvStore counts plain stores to shared structure memory
+	// (pointer swings, mark bits, in-place value updates).
+	EvStore Event = iota
+	// EvCAS counts successful compare-and-swap operations.
+	EvCAS
+	// EvCASFail counts failed compare-and-swap attempts. A failed CAS
+	// still acquires the line in exclusive state, so it is a coherence
+	// event too.
+	EvCASFail
+	// EvLock counts lock acquisitions (each is at least one atomic
+	// read-modify-write plus a release store).
+	EvLock
+	// EvRestart counts whole-operation restarts (e.g. a failed validation
+	// or a failed cleanup that forces re-traversal).
+	EvRestart
+	// EvParseRestart counts restarts of the parse phase of an update.
+	EvParseRestart
+	// EvHelp counts helping steps performed on behalf of other threads'
+	// pending operations (lock-free helping protocols).
+	EvHelp
+	// EvCleanup counts physical unlinks of logically deleted nodes
+	// performed during traversals or updates.
+	EvCleanup
+	// EvTraverse counts node hops during traversals.
+	EvTraverse
+	// EvWait counts bounded-wait episodes (spinning on another thread's
+	// in-flight update, as in bronson's version wait).
+	EvWait
+
+	numEvents
+)
+
+var eventNames = [numEvents]string{
+	"stores", "cas", "cas-fail", "locks", "restarts",
+	"parse-restarts", "helps", "cleanups", "traversals", "waits",
+}
+
+// String returns the short accounting name of the event.
+func (e Event) String() string {
+	if e < 0 || e >= numEvents {
+		return "unknown"
+	}
+	return eventNames[e]
+}
+
+// Events returns all instrumented event classes in display order.
+func Events() []Event {
+	evs := make([]Event, numEvents)
+	for i := range evs {
+		evs[i] = Event(i)
+	}
+	return evs
+}
+
+// Ctx accumulates events for a single worker goroutine. The zero value is
+// ready to use. A nil *Ctx is valid and records nothing.
+type Ctx struct {
+	counts [numEvents]uint64
+
+	// Op-level tallies, maintained by the workload driver.
+	Ops, Updates, SuccUpdates uint64
+
+	// Parse-phase timing (Figure 5d). Enabled by EnableParseTiming.
+	timing       bool
+	parseStart   time.Time
+	ParseSamples []int64 // nanoseconds per parse phase
+}
+
+// Inc records one occurrence of event e.
+func (c *Ctx) Inc(e Event) {
+	if c != nil {
+		c.counts[e]++
+	}
+}
+
+// Add records n occurrences of event e.
+func (c *Ctx) Add(e Event, n uint64) {
+	if c != nil {
+		c.counts[e] += n
+	}
+}
+
+// Count returns the number of recorded occurrences of e.
+func (c *Ctx) Count(e Event) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counts[e]
+}
+
+// EnableParseTiming turns on per-parse latency sampling (used by the
+// skip-list parse-distribution experiment, Figure 5d).
+func (c *Ctx) EnableParseTiming() {
+	if c != nil {
+		c.timing = true
+	}
+}
+
+// ParseBegin marks the start of an update's parse phase.
+func (c *Ctx) ParseBegin() {
+	if c != nil && c.timing {
+		c.parseStart = time.Now()
+	}
+}
+
+// ParseEnd marks the end of an update's parse phase and records its latency.
+func (c *Ctx) ParseEnd() {
+	if c != nil && c.timing {
+		c.ParseSamples = append(c.ParseSamples, time.Since(c.parseStart).Nanoseconds())
+	}
+}
+
+// Coherence returns the number of coherence events: memory operations that,
+// on real hardware, dirty a shared cache line and force a transfer on the
+// next remote access. Locks count twice (acquire RMW + release store).
+func (c *Ctx) Coherence() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counts[EvStore] + c.counts[EvCAS] + c.counts[EvCASFail] + 2*c.counts[EvLock]
+}
+
+// Merge adds other's counters into c. Used by the workload driver to
+// aggregate per-worker contexts after a run.
+func (c *Ctx) Merge(other *Ctx) {
+	if c == nil || other == nil {
+		return
+	}
+	for i := range c.counts {
+		c.counts[i] += other.counts[i]
+	}
+	c.Ops += other.Ops
+	c.Updates += other.Updates
+	c.SuccUpdates += other.SuccUpdates
+	c.ParseSamples = append(c.ParseSamples, other.ParseSamples...)
+}
+
+// Reset clears all counters and samples.
+func (c *Ctx) Reset() {
+	if c == nil {
+		return
+	}
+	*c = Ctx{timing: c.timing}
+}
+
+// PerOp returns event count per completed operation, or 0 if no operations
+// were recorded.
+func (c *Ctx) PerOp(e Event) float64 {
+	if c == nil || c.Ops == 0 {
+		return 0
+	}
+	return float64(c.counts[e]) / float64(c.Ops)
+}
+
+// CoherencePerOp returns coherence events per completed operation.
+func (c *Ctx) CoherencePerOp() float64 {
+	if c == nil || c.Ops == 0 {
+		return 0
+	}
+	return float64(c.Coherence()) / float64(c.Ops)
+}

@@ -1,0 +1,109 @@
+package perf
+
+import "testing"
+
+func TestNilCtxIsSafe(t *testing.T) {
+	var c *Ctx
+	c.Inc(EvStore)
+	c.Add(EvCAS, 5)
+	c.ParseBegin()
+	c.ParseEnd()
+	c.Reset()
+	c.Merge(&Ctx{})
+	if c.Count(EvStore) != 0 || c.Coherence() != 0 || c.PerOp(EvStore) != 0 {
+		t.Fatal("nil ctx reported nonzero counts")
+	}
+}
+
+func TestCounting(t *testing.T) {
+	c := &Ctx{}
+	c.Inc(EvStore)
+	c.Inc(EvStore)
+	c.Add(EvCAS, 3)
+	c.Inc(EvCASFail)
+	c.Inc(EvLock)
+	if got := c.Count(EvStore); got != 2 {
+		t.Fatalf("stores = %d", got)
+	}
+	// Coherence: 2 stores + 3 CAS + 1 CAS-fail + 2*1 lock = 8.
+	if got := c.Coherence(); got != 8 {
+		t.Fatalf("coherence = %d, want 8", got)
+	}
+	c.Ops = 4
+	if got := c.PerOp(EvCAS); got != 0.75 {
+		t.Fatalf("cas/op = %v, want 0.75", got)
+	}
+	if got := c.CoherencePerOp(); got != 2 {
+		t.Fatalf("coherence/op = %v, want 2", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := &Ctx{}, &Ctx{}
+	a.Inc(EvStore)
+	b.Inc(EvStore)
+	b.Inc(EvRestart)
+	b.Ops = 7
+	b.ParseSamples = []int64{10, 20}
+	a.Merge(b)
+	if a.Count(EvStore) != 2 || a.Count(EvRestart) != 1 || a.Ops != 7 {
+		t.Fatal("merge lost counts")
+	}
+	if len(a.ParseSamples) != 2 {
+		t.Fatal("merge lost parse samples")
+	}
+}
+
+func TestParseTiming(t *testing.T) {
+	c := &Ctx{}
+	c.ParseBegin()
+	c.ParseEnd()
+	if len(c.ParseSamples) != 0 {
+		t.Fatal("samples recorded without EnableParseTiming")
+	}
+	c.EnableParseTiming()
+	for i := 0; i < 3; i++ {
+		c.ParseBegin()
+		c.ParseEnd()
+	}
+	if len(c.ParseSamples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(c.ParseSamples))
+	}
+	for _, s := range c.ParseSamples {
+		if s < 0 {
+			t.Fatalf("negative sample %d", s)
+		}
+	}
+}
+
+func TestResetKeepsTimingFlag(t *testing.T) {
+	c := &Ctx{}
+	c.EnableParseTiming()
+	c.Inc(EvStore)
+	c.Reset()
+	if c.Count(EvStore) != 0 {
+		t.Fatal("reset did not clear counts")
+	}
+	c.ParseBegin()
+	c.ParseEnd()
+	if len(c.ParseSamples) != 1 {
+		t.Fatal("reset dropped the timing flag")
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Events() {
+		n := e.String()
+		if n == "" || n == "unknown" {
+			t.Fatalf("event %d has no name", e)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate event name %q", n)
+		}
+		seen[n] = true
+	}
+	if Event(-1).String() != "unknown" || Event(999).String() != "unknown" {
+		t.Fatal("out-of-range events must stringify as unknown")
+	}
+}

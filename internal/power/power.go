@@ -1,0 +1,57 @@
+// Package power estimates CPU power from the harness's activity counters.
+//
+// Substitution note (see DESIGN.md): the paper measures wall power with
+// platform instrumentation that Go cannot reach portably. Its causal account
+// of the measurements, however, is explicit: ASCY-compliant algorithms draw
+// less power because they perform fewer cache-line transfers per operation
+// (§5, e.g. "this is achieved by decreasing the number of cache-line
+// transfers"). This package makes that causal model executable:
+//
+//	P = Pstatic + Pactive·threads + e_op·(ops/s) + e_coh·(coherence events/s)
+//
+// with constants in the range published for Xeon-class parts (tens of watts
+// static, a few watts per active core, nanojoules per operation/transfer).
+// The figure runners only ever *compare* estimates — power relative to the
+// async baseline, exactly like the paper's Figures 4b–7b — so the constants'
+// absolute calibration affects nothing but the scale.
+package power
+
+// Model holds the energy coefficients.
+type Model struct {
+	StaticW     float64 // package idle watts
+	ActiveWCore float64 // watts per busy hardware thread
+	OpJ         float64 // joules per completed operation (core work)
+	CoherenceJ  float64 // joules per coherence event (line transfer)
+}
+
+// Default is a Xeon-like calibration.
+var Default = Model{
+	StaticW:     50,
+	ActiveWCore: 2.5,
+	OpJ:         5e-9,
+	CoherenceJ:  2e-8,
+}
+
+// Estimate returns modelled watts for a run with the given active thread
+// count, operation rate, and coherence-event rate (both per second).
+func (m Model) Estimate(threads int, opsPerSec, cohPerSec float64) float64 {
+	return m.StaticW + m.ActiveWCore*float64(threads) + m.OpJ*opsPerSec + m.CoherenceJ*cohPerSec
+}
+
+// Relative returns p/base — the "ratio to async" the paper plots.
+func Relative(p, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return p / base
+}
+
+// EnergyPerOpNJ returns nanojoules per operation, the metric behind the
+// paper's "drachsler and howley consume 41% and 49% more energy per
+// operation than natarajan" comparison (§5).
+func (m Model) EnergyPerOpNJ(threads int, opsPerSec, cohPerSec float64) float64 {
+	if opsPerSec == 0 {
+		return 0
+	}
+	return m.Estimate(threads, opsPerSec, cohPerSec) / opsPerSec * 1e9
+}

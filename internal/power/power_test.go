@@ -1,0 +1,54 @@
+package power
+
+import "testing"
+
+func TestEstimateMonotone(t *testing.T) {
+	m := Default
+	base := m.Estimate(4, 1e6, 1e6)
+	if m.Estimate(8, 1e6, 1e6) <= base {
+		t.Fatal("power not increasing in threads")
+	}
+	if m.Estimate(4, 2e6, 1e6) <= base {
+		t.Fatal("power not increasing in ops rate")
+	}
+	if m.Estimate(4, 1e6, 2e6) <= base {
+		t.Fatal("power not increasing in coherence rate")
+	}
+}
+
+func TestStaticFloor(t *testing.T) {
+	if got := Default.Estimate(0, 0, 0); got != Default.StaticW {
+		t.Fatalf("idle power = %v, want %v", got, Default.StaticW)
+	}
+}
+
+func TestRelative(t *testing.T) {
+	if r := Relative(110, 100); r != 1.1 {
+		t.Fatalf("relative = %v", r)
+	}
+	if r := Relative(5, 0); r != 0 {
+		t.Fatalf("relative with zero base = %v", r)
+	}
+}
+
+// TestCoherenceDominatesAtEqualThroughput captures the paper's causal claim:
+// at the same throughput and thread count, the algorithm with more coherence
+// events draws more power, and energy/op orders the same way.
+func TestCoherenceDominatesAtEqualThroughput(t *testing.T) {
+	lean := Default.Estimate(8, 1e7, 1e7)  // ~1 coherence event/op
+	heavy := Default.Estimate(8, 1e7, 5e7) // ~5 events/op
+	if heavy <= lean {
+		t.Fatal("more coherence traffic did not cost more power")
+	}
+	el := Default.EnergyPerOpNJ(8, 1e7, 1e7)
+	eh := Default.EnergyPerOpNJ(8, 1e7, 5e7)
+	if eh <= el {
+		t.Fatal("energy/op not ordered by coherence traffic")
+	}
+}
+
+func TestEnergyPerOpZeroThroughput(t *testing.T) {
+	if e := Default.EnergyPerOpNJ(8, 0, 0); e != 0 {
+		t.Fatalf("energy/op at zero throughput = %v", e)
+	}
+}

@@ -1,0 +1,101 @@
+// Package rcu implements user-space read-copy-update grace periods, the
+// substrate under the paper's urcu hash table (Table 1: "after each
+// successful removal, it waits for all ongoing operations to complete before
+// freeing the memory").
+//
+// The paper uses URCU 0.8. This port provides the same two-sided contract:
+// readers bracket structure traversals with ReadLock/Unlock and never write
+// shared memory; writers call Synchronize, which blocks until every reader
+// that was inside a critical section when Synchronize began has left it.
+// That wait is precisely what makes the urcu table's update path expensive
+// relative to ASCY4-style designs — the behaviour Figure 2b exposes — so it
+// is implemented faithfully rather than elided, even though Go's GC would
+// make the wait unnecessary for safety.
+//
+// The implementation is epoch-based, like URCU's QSBR flavour: a global
+// grace-period counter plus one padded per-reader state word. Reader
+// registration is pooled so that plain goroutines (which have no thread
+// identity) can participate with two atomic stores per critical section.
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/locks"
+	"repro/internal/pad"
+)
+
+// Domain is an independent RCU domain: one per data structure.
+type Domain struct {
+	gp atomic.Uint64 // grace-period counter
+
+	mu      sync.Mutex // guards readers slice (append-only) and serializes Synchronize
+	readers []*Reader
+
+	pool sync.Pool
+}
+
+// Reader is a read-side handle. Obtain with ReadLock, release with Unlock.
+type Reader struct {
+	d *Domain
+	// state: 0 when quiescent; 2*gp+1 while inside a critical section
+	// entered during grace period gp.
+	state pad.Padded
+}
+
+// NewDomain returns an empty RCU domain.
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.pool.New = func() any {
+		r := &Reader{d: d}
+		d.mu.Lock()
+		d.readers = append(d.readers, r)
+		d.mu.Unlock()
+		return r
+	}
+	return d
+}
+
+// ReadLock enters a read-side critical section and returns the handle that
+// must be passed to Unlock. Critical sections must not nest on the same
+// handle and must not block on writers.
+func (d *Domain) ReadLock() *Reader {
+	r := d.pool.Get().(*Reader)
+	// Publish: active during the current grace period. Sequentially
+	// consistent store orders this before any structure access.
+	atomic.StoreUint64(&r.state.Value, d.gp.Load()<<1|1)
+	return r
+}
+
+// Unlock leaves the critical section.
+func (r *Reader) Unlock() {
+	atomic.StoreUint64(&r.state.Value, 0)
+	r.d.pool.Put(r)
+}
+
+// Synchronize waits for a full grace period: every read-side critical
+// section that began before the call is guaranteed to have completed when it
+// returns. Concurrent Synchronize calls serialize, as in URCU.
+func (d *Domain) Synchronize() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	g := d.gp.Add(1)
+	for _, r := range d.readers {
+		for i := 0; ; {
+			s := atomic.LoadUint64(&r.state.Value)
+			if s == 0 || s>>1 >= g {
+				break // quiescent, or entered after this grace period began
+			}
+			i = locks.Pause(i)
+		}
+	}
+}
+
+// Readers reports how many reader slots have been registered (grows to the
+// maximum read-side concurrency seen). Exposed for tests and stats.
+func (d *Domain) Readers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.readers)
+}

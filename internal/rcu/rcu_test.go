@@ -1,0 +1,154 @@
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSynchronizeWaitsForReader(t *testing.T) {
+	d := NewDomain()
+	rd := d.ReadLock()
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Synchronize returned while a reader was active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rd.Unlock()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Synchronize did not return after the reader left")
+	}
+}
+
+// TestSynchronizeNotStarvedByNewReaders: a continuous stream of read-side
+// critical sections must not starve Synchronize — only readers that began
+// before the grace period are waited for.
+func TestSynchronizeNotStarvedByNewReaders(t *testing.T) {
+	d := NewDomain()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rd := d.ReadLock()
+				rd.Unlock()
+			}
+		}()
+	}
+	doneCh := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			d.Synchronize()
+		}
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Synchronize starved by a stream of new readers")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestGracePeriodProtectsUnlinkedData models the urcu pattern: unlink, wait,
+// reuse. After Synchronize, no reader may still observe the unlinked value.
+func TestGracePeriodProtectsUnlinkedData(t *testing.T) {
+	d := NewDomain()
+	var shared atomic.Pointer[int]
+	v1 := new(int)
+	*v1 = 1
+	shared.Store(v1)
+
+	var misuse atomic.Int32
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rd := d.ReadLock()
+				p := shared.Load()
+				if *p == -1 { // reclaimed value observed inside a critical section
+					misuse.Add(1)
+				}
+				rd.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		old := shared.Load()
+		next := new(int)
+		*next = i + 2
+		shared.Store(next)
+		d.Synchronize()
+		*old = -1 // "reuse" — safe only after the grace period
+	}
+	close(stop)
+	wg.Wait()
+	if misuse.Load() != 0 {
+		t.Fatalf("readers observed reclaimed memory %d times", misuse.Load())
+	}
+}
+
+func TestReaderPoolBounded(t *testing.T) {
+	d := NewDomain()
+	const workers = 64
+	const iters = 100
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				rd := d.ReadLock()
+				rd.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Slots are pooled, so the registry must grow far slower than one
+	// per critical section. (Under -race, sync.Pool deliberately drops
+	// items to shake out bugs, so the bound is loose.)
+	if n := d.Readers(); n >= workers*iters/2 {
+		t.Fatalf("reader registry grew per-ReadLock: %d slots for %d sections", n, workers*iters)
+	}
+}
+
+func TestConcurrentSynchronize(t *testing.T) {
+	d := NewDomain()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rd := d.ReadLock()
+				rd.Unlock()
+				d.Synchronize()
+			}
+		}()
+	}
+	wg.Wait() // must terminate
+}

@@ -1,0 +1,82 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFraserOptChurnRegression guards against the marked-ref parse bug: the
+// optimistic parse can hand an update a ref read from a predecessor that was
+// fully removed during the level descent; CASing such a ref used to lose
+// inserts and admit duplicates. The test churns hard and then audits
+// presence accounting and the level-0 structure.
+func TestFraserOptChurnRegression(t *testing.T) {
+	for round := 0; round < 6; round++ {
+		l := NewFraser(core.DefaultConfig(), true)
+		const workers = 8
+		const keyRange = 64
+		var present [keyRange + 1]atomic.Int64
+		var insT, remT [keyRange + 1]atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(int64(round*100 + w)))
+				for i := 0; i < 5000; i++ {
+					k := core.Key(r.Intn(keyRange) + 1)
+					switch r.Intn(3) {
+					case 0:
+						if l.Insert(k, core.Value(k)) {
+							present[k].Add(1)
+							insT[k].Add(1)
+						}
+					case 1:
+						if _, ok := l.Remove(k); ok {
+							present[k].Add(-1)
+							remT[k].Add(1)
+						}
+					default:
+						l.Search(k)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for k := core.Key(1); k <= keyRange; k++ {
+			n := present[k].Load()
+			_, ok := l.Search(k)
+			if ok != (n == 1) {
+				// Dump level-0 neighbourhood of k.
+				t.Logf("round %d key %d: search=%v presence=%d inserts=%d removes=%d", round, k, ok, n, insT[k].Load(), remT[k].Load())
+				found := false
+				for curr := l.head.next[0].Load().n; curr != l.tail; {
+					ref := curr.next[0].Load()
+					if curr.key == k {
+						t.Logf("  level0 has key %d marked=%v height=%d", curr.key, ref.marked, len(curr.next))
+						if !ref.marked {
+							found = true
+						}
+					}
+					curr = ref.n
+				}
+				t.Logf("  level0 reachable unmarked: %v", found)
+				// Check upper levels for the key.
+				for lvl := 1; lvl < l.maxLevel; lvl++ {
+					for curr := l.head.next[lvl].Load().n; curr != nil && curr != l.tail; {
+						ref := curr.next[lvl].Load()
+						if curr.key == k {
+							t.Logf("  level%d has key %d marked=%v", lvl, curr.key, ref.marked)
+						}
+						curr = ref.n
+					}
+				}
+				t.Fatalf("inconsistency found in round %d", round)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package skiplist
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+func TestPughLevelCycleHunt(t *testing.T) {
+	for round := 0; round < 40; round++ {
+		l := NewPugh(core.DefaultConfig())
+		const workers = 8
+		const keyRange = 512
+		var inserts int64 = 1 << 40 // bound computed loosely below
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := xrand.New(uint64(round*100 + w + 1))
+				for i := 0; i < 8000; i++ {
+					k := core.Key(r.Uint64n(keyRange) + 1)
+					switch r.Intn(3) {
+					case 0:
+						l.Insert(k, core.Value(k))
+					case 1:
+						l.Remove(k)
+					default:
+						l.Search(k)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		_ = inserts
+		// Cycle detection per level: bounded walk.
+		const maxSteps = 8 * 8000 * 2
+		for lvl := 0; lvl < l.maxLevel; lvl++ {
+			steps := 0
+			prev := core.Key(0)
+			descents := 0
+			for curr := l.head.next[lvl].Load(); curr.key != tailKey; curr = curr.next[lvl].Load() {
+				if curr.key < prev {
+					descents++
+				}
+				prev = curr.key
+				if steps++; steps > maxSteps {
+					t.Fatalf("round %d: level %d walk exceeded %d steps (cycle); descents=%d", round, lvl, maxSteps, descents)
+				}
+			}
+			if descents > 0 {
+				t.Logf("round %d level %d: %d key descents (backward edges) in %d steps", round, lvl, descents, steps)
+			}
+		}
+	}
+}
+
+// TestPughStaleUpperLinkRegression reconstructs the livelock found by the
+// benchmark harness: a removal can leave a deleted node linked at upper
+// levels (when its level predecessor could not be locked). Traversals that
+// adopted such a node as their descent predecessor then followed its frozen
+// pointers, missing live territory: removals retried forever and quiescent
+// searches could miss present keys. The fixed traversals adopt only live
+// predecessors, and getLock splices deleted leftovers.
+func TestPughStaleUpperLinkRegression(t *testing.T) {
+	l := NewPugh(core.DefaultConfig())
+	// Build a list where node 50 certainly has height >= 2 by retrying.
+	var x *pNode
+	for attempt := 0; ; attempt++ {
+		l = NewPugh(core.DefaultConfig())
+		for _, k := range []core.Key{10, 30, 50, 70, 90} {
+			l.Insert(k, core.Value(k))
+		}
+		for n := l.head.next[0].Load(); n.key != tailKey; n = n.next[0].Load() {
+			if n.key == 50 && len(n.next) >= 2 {
+				x = n
+			}
+		}
+		if x != nil {
+			break
+		}
+		if attempt > 200 {
+			t.Fatal("could not build a tall node 50")
+		}
+	}
+	// Simulate the race leftover: 50 is deleted and unlinked at level 0
+	// but still linked at level >= 1 with frozen pointers.
+	x.deleted.Store(true)
+	for n := l.head.next[0].Load(); n.key != tailKey; n = n.next[0].Load() {
+		if n.next[0].Load() == x {
+			n.next[0].Store(x.next[0].Load())
+		}
+	}
+	// Insert 60 — it links on the live path, invisible to x's frozen
+	// level-0 pointer (which still jumps 50 -> 70).
+	if !l.Insert(60, 600) {
+		t.Fatal("insert(60) failed")
+	}
+	// A search for 60 must not descend through the stale node 50.
+	if v, ok := l.Search(60); !ok || v != 600 {
+		t.Fatalf("search(60) = (%d,%v); stale-path descent hid a live key", v, ok)
+	}
+	// A removal of 60 must terminate (the old code live-locked here).
+	done := make(chan struct{})
+	go func() {
+		if _, ok := l.Remove(60); !ok {
+			t.Error("remove(60) failed")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("remove(60) live-locked on the stale upper link")
+	}
+	if _, ok := l.Search(60); ok {
+		t.Fatal("60 still present")
+	}
+}

@@ -1,0 +1,134 @@
+package ssmem
+
+import (
+	"testing"
+)
+
+type obj struct{ v int }
+
+func TestAllocReusesAfterSafeEpoch(t *testing.T) {
+	c := NewCollector()
+	a := NewAllocator[obj](c, 4)
+	var freed []*obj
+	for i := 0; i < 4; i++ {
+		a.OpStart()
+		p := a.Alloc()
+		freed = append(freed, p)
+		a.Free(p) // 4th Free hits the threshold and stamps the batch
+		a.OpEnd()
+	}
+	// No other thread is registered, and this thread is quiescent:
+	// the batch is reclaimable.
+	a.OpStart()
+	p := a.Alloc()
+	a.OpEnd()
+	found := false
+	for _, f := range freed {
+		if f == p {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("allocation did not reuse reclaimed memory")
+	}
+	if s := a.Stats(); s.Reused != 1 || s.Collected != 4 {
+		t.Fatalf("stats = %+v, want Reused=1 Collected=4", s)
+	}
+}
+
+func TestNoReuseWhileThreadActive(t *testing.T) {
+	c := NewCollector()
+	writer := NewAllocator[obj](c, 1)
+	reader := NewAllocator[obj](c, 1)
+
+	reader.OpStart() // reader enters an operation and stays there
+
+	writer.OpStart()
+	p := writer.Alloc()
+	writer.Free(p) // threshold 1: stamped immediately, snapshot sees reader active
+	writer.OpEnd()
+
+	writer.OpStart()
+	q := writer.Alloc()
+	if q == p {
+		t.Fatal("memory reused while another thread was inside an operation")
+	}
+	writer.Free(q)
+	writer.OpEnd()
+
+	reader.OpEnd() // reader leaves; the old batches become safe
+
+	writer.OpStart()
+	r := writer.Alloc()
+	writer.OpEnd()
+	if r != p && r != q {
+		t.Fatal("memory still not reused after the reader quiesced")
+	}
+}
+
+func TestThresholdBatching(t *testing.T) {
+	c := NewCollector()
+	a := NewAllocator[obj](c, 10)
+	for i := 0; i < 9; i++ {
+		a.Free(&obj{})
+	}
+	if len(a.released) != 0 {
+		t.Fatalf("batch released before threshold: %d", len(a.released))
+	}
+	a.Free(&obj{})
+	if len(a.released) != 1 {
+		t.Fatalf("batch not released at threshold: %d", len(a.released))
+	}
+	if a.Stats().Garbage != 10 {
+		t.Fatalf("garbage = %d, want 10", a.Stats().Garbage)
+	}
+}
+
+func TestFlushRelease(t *testing.T) {
+	c := NewCollector()
+	a := NewAllocator[obj](c, 100)
+	a.Free(&obj{})
+	a.FlushRelease()
+	if got := a.Collect(); got != 1 {
+		t.Fatalf("collected %d, want 1", got)
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	c := NewCollector()
+	a := NewAllocator[obj](c, 0)
+	if a.threshold != DefaultThreshold {
+		t.Fatalf("threshold = %d, want %d", a.threshold, DefaultThreshold)
+	}
+	if DefaultThreshold != 512 {
+		t.Fatalf("paper default is 512 freed locations, got %d", DefaultThreshold)
+	}
+}
+
+func TestCrossThreadVisibility(t *testing.T) {
+	c := NewCollector()
+	a := NewAllocator[obj](c, 1)
+	b := NewAllocator[obj](c, 1)
+
+	b.OpStart()
+	a.OpStart()
+	p := a.Alloc()
+	a.Free(p)
+	a.OpEnd()
+	// b still active: not reclaimable.
+	a.OpStart()
+	if q := a.Alloc(); q == p {
+		t.Fatal("reused while b active")
+	}
+	a.OpEnd()
+	b.OpEnd()
+	b.OpStart()
+	b.OpEnd()
+	// Now safe.
+	a.OpStart()
+	reclaimed := a.Collect()
+	a.OpEnd()
+	if reclaimed == 0 && a.Stats().Reused == 0 {
+		t.Fatal("batch never became reclaimable after all threads quiesced")
+	}
+}

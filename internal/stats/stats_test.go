@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySummary(t *testing.T) {
+	var r Recorder
+	s := r.Summarize()
+	if s.N != 0 || s.MeanNS != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	if s.String() != "n=0" {
+		t.Fatalf("empty summary string = %q", s.String())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var r Recorder
+	r.Add(42)
+	s := r.Summarize()
+	if s.N != 1 || s.MeanNS != 42 {
+		t.Fatalf("summary = %+v", s)
+	}
+	for _, p := range PaperPercentiles {
+		if s.Percentiles[p] != 42 {
+			t.Fatalf("p%v = %d, want 42", p, s.Percentiles[p])
+		}
+	}
+}
+
+func TestKnownPercentiles(t *testing.T) {
+	var r Recorder
+	for i := int64(1); i <= 100; i++ {
+		r.Add(i)
+	}
+	s := r.Summarize()
+	checks := map[float64]int64{1: 1, 25: 25, 50: 50, 75: 75, 99: 99}
+	for p, want := range checks {
+		if got := s.Percentiles[p]; got != want {
+			t.Fatalf("p%v = %d, want %d", p, got, want)
+		}
+	}
+	if s.MeanNS != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.MeanNS)
+	}
+}
+
+func TestOrderIndependent(t *testing.T) {
+	var a, b Recorder
+	vals := rand.New(rand.NewSource(5)).Perm(1000)
+	for _, v := range vals {
+		a.Add(int64(v))
+	}
+	for i := 999; i >= 0; i-- {
+		b.Add(int64(vals[i]))
+	}
+	sa, sb := a.Summarize(), b.Summarize()
+	for _, p := range PaperPercentiles {
+		if sa.Percentiles[p] != sb.Percentiles[p] {
+			t.Fatalf("p%v differs by insertion order", p)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Recorder
+	a.Add(1)
+	b.Add(2)
+	b.Add(3)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	var r Recorder
+	r.Add(3)
+	r.Add(1)
+	r.Add(2)
+	r.Summarize()
+	if r.samples[0] != 3 || r.samples[1] != 1 || r.samples[2] != 2 {
+		t.Fatal("Summarize sorted the recorder in place")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Recorder
+		for _, v := range raw {
+			r.Add(int64(v))
+		}
+		s := r.Summarize()
+		return s.Percentiles[1] <= s.Percentiles[25] &&
+			s.Percentiles[25] <= s.Percentiles[50] &&
+			s.Percentiles[50] <= s.Percentiles[75] &&
+			s.Percentiles[75] <= s.Percentiles[99]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median(nil); m != 0 {
+		t.Fatalf("median of empty = %v", m)
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 3 {
+		t.Fatalf("even median (upper) = %v, want 3", m)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int64{10, 20, 30})
+	if s.N != 3 || s.MeanNS != 20 {
+		t.Fatalf("SummarizeInts = %+v", s)
+	}
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+
+	_ "repro/internal/linkedlist"
+)
+
+func quickCfg(algo string) Config {
+	return Config{
+		Algorithm: algo,
+		Initial:   128,
+		UpdatePct: 20,
+		Threads:   4,
+		Duration:  40 * time.Millisecond,
+		Seed:      99,
+	}
+}
+
+func TestPopulateReachesInitialSize(t *testing.T) {
+	cfg := quickCfg("ll-lazy")
+	s, err := core.New(cfg.Algorithm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Populate(s, cfg)
+	if got := s.Size(); got != cfg.Initial {
+		t.Fatalf("populated size = %d, want %d", got, cfg.Initial)
+	}
+}
+
+func TestRunProducesOps(t *testing.T) {
+	res, err := Run(quickCfg("ll-lazy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations executed")
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	if res.Mops() != res.Throughput()/1e6 {
+		t.Fatal("Mops inconsistent with Throughput")
+	}
+	// Size hovers near Initial: updates split insert/remove on a 2N key
+	// range keeps it within a loose band.
+	if res.FinalSize < res.Cfg.Initial/2 || res.FinalSize > res.Cfg.Initial*2 {
+		t.Fatalf("final size %d drifted outside [%d, %d]", res.FinalSize, res.Cfg.Initial/2, res.Cfg.Initial*2)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	_, err := Run(Config{Algorithm: "nope"})
+	if err == nil {
+		t.Fatal("Run with unknown algorithm did not error")
+	}
+}
+
+func TestUpdateMixRespected(t *testing.T) {
+	cfg := quickCfg("ll-lazy")
+	cfg.UpdatePct = 50
+	cfg.Duration = 100 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Perf.Updates) / float64(res.Ops)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("update fraction = %.3f, want ~0.50", frac)
+	}
+	// Roughly half of updates succeed (keys drawn from [1..2N]).
+	succ := float64(res.SuccUpdates) / float64(res.Perf.Updates)
+	if succ < 0.3 || succ > 0.7 {
+		t.Fatalf("successful-update fraction = %.3f, want ~0.5", succ)
+	}
+}
+
+func TestZeroAndFullUpdateRates(t *testing.T) {
+	for _, pct := range []int{0, 100} {
+		cfg := quickCfg("ll-lazy")
+		cfg.UpdatePct = pct
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pct == 0 && res.Perf.Updates != 0 {
+			t.Fatalf("0%% updates but %d updates ran", res.Perf.Updates)
+		}
+		if pct == 100 && res.Perf.Updates != res.Ops {
+			t.Fatalf("100%% updates but %d/%d updates", res.Perf.Updates, res.Ops)
+		}
+	}
+}
+
+func TestLatencySampling(t *testing.T) {
+	cfg := quickCfg("ll-lazy")
+	cfg.SampleEvery = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Latency {
+		total += s.N
+	}
+	if total == 0 {
+		t.Fatal("sampling enabled but no latency samples")
+	}
+	// Sampled every 4th op: sample count should be within a loose factor
+	// of ops/4.
+	want := int(res.Ops) / 4
+	if total < want/2 || total > want*2 {
+		t.Fatalf("samples = %d, want ~%d", total, want)
+	}
+}
+
+func TestParseTiming(t *testing.T) {
+	cfg := quickCfg("ll-lazy")
+	cfg.ParseTiming = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParseLat.N == 0 {
+		t.Fatal("parse timing enabled but no parse samples")
+	}
+}
+
+func TestInstrumentationFlows(t *testing.T) {
+	res, err := Run(quickCfg("ll-coupling")) // coupling locks every hop
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Perf.Coherence() == 0 {
+		t.Fatal("instrumented run recorded no coherence events")
+	}
+	if res.CoherencePerOp() <= 1 {
+		t.Fatalf("coupling should lock >1 time per op, got %.2f events/op", res.CoherencePerOp())
+	}
+}
+
+func TestRunMedianPicksExistingRun(t *testing.T) {
+	res, err := RunMedian(quickCfg("ll-lazy"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("median run has no ops")
+	}
+}
+
+func TestOpClassNames(t *testing.T) {
+	seen := map[string]bool{}
+	for cl := OpClass(0); cl < numOpClasses; cl++ {
+		n := cl.String()
+		if n == "" || seen[n] {
+			t.Fatalf("bad class name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,84 @@
+// Package xrand implements the xorshift128+ pseudo-random generator used by
+// the benchmark workload drivers.
+//
+// The ASCYLIB harness uses a per-thread marsaglia xorshift generator so that
+// key selection costs a handful of cycles and never synchronizes between
+// threads. This port keeps those properties: each worker owns a State seeded
+// deterministically from the worker index, so runs are reproducible and the
+// generator itself contributes no coherence traffic.
+package xrand
+
+// State is a xorshift128+ generator. Not safe for concurrent use; give each
+// worker its own State.
+type State struct {
+	s0, s1 uint64
+}
+
+// New returns a generator seeded from seed. Two distinct seeds yield
+// independent-looking streams; seed 0 is remapped to a fixed constant because
+// xorshift must not start at the all-zero state.
+func New(seed uint64) *State {
+	s := &State{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the generator state derived from seed via splitmix64, the
+// standard recommended initialization for xorshift generators.
+func (s *State) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	s.s0 = splitmix64(&seed)
+	s.s1 = splitmix64(&seed)
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *State) Uint64() uint64 {
+	x := s.s0
+	y := s.s1
+	s.s0 = y
+	x ^= x << 23
+	s.s1 = x ^ y ^ (x >> 17) ^ (y >> 26)
+	return s.s1 + y
+}
+
+// Uint64n returns a pseudo-random value in [0, n). n must be > 0.
+func (s *State) Uint64n(n uint64) uint64 {
+	// Multiply-shift range reduction (Lemire); the slight modulo bias of
+	// the plain approach is irrelevant for workload generation but this
+	// is just as cheap.
+	hi, _ := mul64(s.Uint64(), n)
+	return hi
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be > 0.
+func (s *State) Intn(n int) int {
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (s *State) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return
+}
