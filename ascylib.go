@@ -19,6 +19,19 @@
 //	v, ok := s.Search(42)
 //	s.Remove(42)
 //
+// The v2 surface extends every algorithm with Update (atomic
+// read-modify-write), GetOrInsert, and ForEach (Extended, via Extend or
+// NewExtended) and with ordered scans Range/Min/Max (Ordered, via
+// OrderedOf) — natively where the structure supports them, through correct
+// generic fallbacks elsewhere; Algorithm.Caps and `ascybench list` report
+// which. The generic facade Map[K, V] carries typed integer keys
+// (order-preserving, so Range works on signed keys too) and arbitrary
+// values on the 64-bit core:
+//
+//	m := ascylib.MustNewMap[int64, string]("sl-fraser-opt")
+//	m.Put(-3, "hello")
+//	m.Range(-10, 10, func(k int64, v string) bool { return true })
+//
 // Use Algorithms to enumerate the catalogue, and see DESIGN.md /
 // EXPERIMENTS.md for the reproduction of the paper's evaluation.
 //
@@ -55,8 +68,25 @@ type Value = core.Value
 // (plus a linear-time, quiescent Size).
 type Set = core.Set
 
+// Extended is the v2 operation surface: Set plus Update (atomic
+// read-modify-write), GetOrInsert, and ForEach. Obtain one for any
+// algorithm with NewExtended or Extend; see Capabilities for whether the
+// operations are native or served by the generic fallbacks.
+type Extended = core.Extended
+
+// Ordered is the sorted-scan surface: Range, Min, Max. The ordered families
+// (lists, skip lists, BSTs) implement it natively; OrderedOf serves it for
+// the hash tables through a snapshot-and-sort fallback.
+type Ordered = core.Ordered
+
+// UpdateFunc is one read-modify-write step for Extended.Update.
+type UpdateFunc = core.UpdateFunc
+
 // Algorithm describes one registered implementation.
 type Algorithm = core.Algorithm
+
+// Capabilities reports which v2 operations an algorithm implements natively.
+type Capabilities = core.Capabilities
 
 // Option configures construction.
 type Option = core.Option
@@ -86,6 +116,22 @@ func New(name string, opts ...Option) (Set, error) { return core.New(name, opts.
 
 // MustNew is New, panicking on unknown names.
 func MustNew(name string, opts ...Option) Set { return core.MustNew(name, opts...) }
+
+// NewExtended constructs the named algorithm with the full v2 surface:
+// native Update/GetOrInsert/ForEach where the implementation has them,
+// correct generic fallbacks elsewhere.
+func NewExtended(name string, opts ...Option) (Extended, error) {
+	return core.NewExtended(name, opts...)
+}
+
+// Extend upgrades any Set from this library to the Extended surface. See
+// core.Extend for the fallback atomicity contract.
+func Extend(s Set) Extended { return core.Extend(s) }
+
+// OrderedOf returns an ordered view of s; native reports whether the
+// structure enumerates in key order itself (true for lists, skip lists, and
+// BSTs) or the view snapshots and sorts (hash tables).
+func OrderedOf(s Set) (o Ordered, native bool) { return core.OrderedOf(s) }
 
 // Algorithms returns the full catalogue (Table 1 plus the ASCY variants and
 // new designs), sorted by structure then name.

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
+//	ascybench list                  # capability matrix of the v2 surface
+//	ascybench describe bst-tk       # one algorithm in detail
 //	ascybench -list                 # Table 1: the algorithm catalogue
-//	ascybench -fig fig2a            # one experiment (fig2a..fig2d, fig3..fig9, summary)
+//	ascybench -fig fig2a            # one experiment (fig2a..fig2d, fig3..fig9, rangemix, summary)
 //	ascybench -all                  # everything
 //	ascybench -all -paper           # the paper's 5s x 11-rep protocol
 //	ascybench -fig fig8 -threads 16 -duration 1s -reps 3
 //	ascybench -bench ht-clht-lb -update 20 -initial 4096 -threads 8
+//	ascybench -bench sl-fraser-opt -rangepct 10 -rangespan 100
 //
 // By default experiments run in quick mode (short runs, single repetition);
 // -paper restores the paper's measurement protocol.
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/ascy"
@@ -31,6 +35,25 @@ import (
 )
 
 func main() {
+	// Subcommands (the v2 registry surface) come before flag parsing so
+	// the flag-based interface stays exactly as it was.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "list":
+			printMatrix()
+			return
+		case "describe":
+			if len(os.Args) < 3 {
+				fmt.Fprintln(os.Stderr, "usage: ascybench describe <algorithm>")
+				os.Exit(2)
+			}
+			if err := describeAlgorithm(os.Args[2]); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	var (
 		list     = flag.Bool("list", false, "print the algorithm catalogue (Table 1) and exit")
 		fig      = flag.String("fig", "", "experiment id to run (fig2a..fig2d, fig3..fig9, summary)")
@@ -44,6 +67,8 @@ func main() {
 		compl    = flag.Bool("compliance", false, "probe every algorithm for ASCY pattern compliance")
 		initial  = flag.Int("initial", 1024, "ad-hoc: initial size")
 		update   = flag.Int("update", 10, "ad-hoc: update percentage")
+		rangePct = flag.Int("rangepct", 0, "ad-hoc: range-scan percentage")
+		rangeSp  = flag.Uint64("rangespan", 100, "ad-hoc: keys per range scan")
 		seed     = flag.Uint64("seed", 0, "workload seed")
 	)
 	flag.Parse()
@@ -56,7 +81,7 @@ func main() {
 		printCompliance()
 		return
 	case *bench != "":
-		runAdhoc(*bench, *initial, *update, *threads, *duration, *seed)
+		runAdhoc(*bench, *initial, *update, *rangePct, *rangeSp, *threads, *duration, *seed)
 		return
 	case *fig == "" && !*all:
 		flag.Usage()
@@ -132,7 +157,7 @@ func printCompliance() {
 	fmt.Println("\nASCY2/ASCY4 are quantitative: compare restarts/update and coh/succ-update against the async baselines.")
 }
 
-func runAdhoc(algo string, initial, update, threads int, duration time.Duration, seed uint64) {
+func runAdhoc(algo string, initial, update, rangePct int, rangeSpan uint64, threads int, duration time.Duration, seed uint64) {
 	if threads == 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
@@ -144,6 +169,8 @@ func runAdhoc(algo string, initial, update, threads int, duration time.Duration,
 		Options:   []core.Option{core.Capacity(initial)},
 		Initial:   initial,
 		UpdatePct: update,
+		RangePct:  rangePct,
+		RangeSpan: rangeSpan,
 		Threads:   threads,
 		Duration:  duration,
 		Seed:      seed,
@@ -153,8 +180,77 @@ func runAdhoc(algo string, initial, update, threads int, duration time.Duration,
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: %d elem, %d%% updates, %d threads, %v\n", algo, initial, update, threads, duration)
+	fmt.Printf("%s: %d elem, %d%% updates, %d%% scans, %d threads, %v\n",
+		algo, initial, update, rangePct, threads, duration)
 	fmt.Printf("  throughput: %.3f Mops/s (%d ops)\n", res.Mops(), res.Ops)
 	fmt.Printf("  successful updates: %d, final size: %d\n", res.SuccUpdates, res.FinalSize)
 	fmt.Printf("  coherence events/op: %.2f\n", res.CoherencePerOp())
+	if res.RangeOps > 0 {
+		fmt.Printf("  range scans: %d (%.1f items/scan)\n", res.RangeOps, res.ItemsPerScan())
+	}
+}
+
+// printMatrix renders the registry's capability matrix: what each algorithm
+// serves natively on the v2 surface and what falls back to the generic
+// paths in core.
+func printMatrix() {
+	fmt.Println("v2 capability matrix (native = implemented in the structure; fallback = generic path in core)")
+	fmt.Println()
+	fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s\n",
+		"algorithm", "class", "safe", "ascy", "ordered", "update", "getorins", "foreach", "range")
+	fmt.Println(strings.Repeat("-", 86))
+	nf := func(native bool) string {
+		if native {
+			return "native"
+		}
+		return "fallback"
+	}
+	for _, s := range core.Structures() {
+		for _, a := range core.ByStructure(s) {
+			c := a.Caps()
+			yn := func(b bool) string {
+				if b {
+					return "yes"
+				}
+				return "-"
+			}
+			fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s\n",
+				a.Name, a.Class, yn(a.Safe), yn(a.ASCY), yn(a.Ordered),
+				nf(c.NativeUpdate), nf(c.NativeGetOrInsert),
+				nf(c.NativeForEach), nf(c.NativeRange))
+		}
+	}
+	fmt.Println()
+	fmt.Println("every algorithm serves the whole surface: Update/GetOrInsert/ForEach via core.Extend,")
+	fmt.Println("Range/Min/Max via core.OrderedOf (sorted families natively, hash tables by snapshot+sort)")
+}
+
+// describeAlgorithm prints one registry entry in detail.
+func describeAlgorithm(name string) error {
+	a, ok := core.Get(name)
+	if !ok {
+		return fmt.Errorf("ascybench: unknown algorithm %q (run `ascybench list`)", name)
+	}
+	c := a.Caps()
+	fmt.Printf("%s\n  %s\n", a.Name, a.Desc)
+	fmt.Printf("  structure:  %s\n", a.Structure)
+	fmt.Printf("  class:      %s\n", a.Class)
+	fmt.Printf("  safe:       %v", a.Safe)
+	if !a.Safe {
+		fmt.Printf("  (async upper bound: run unsynchronized, deliberately incorrect)")
+	}
+	fmt.Println()
+	fmt.Printf("  ascy:       %v\n", a.ASCY)
+	fmt.Printf("  ordered:    %v\n", a.Ordered)
+	nf := func(native bool) string {
+		if native {
+			return "native"
+		}
+		return "fallback (core.Extend / core.OrderedOf)"
+	}
+	fmt.Printf("  update:      %s\n", nf(c.NativeUpdate))
+	fmt.Printf("  getorinsert: %s\n", nf(c.NativeGetOrInsert))
+	fmt.Printf("  foreach:     %s\n", nf(c.NativeForEach))
+	fmt.Printf("  range:       %s\n", nf(c.NativeRange))
+	return nil
 }

@@ -2,10 +2,13 @@
 // the workload the paper's introduction motivates ("skip lists are the
 // backbone of key-value stores such as RocksDB").
 //
-// String keys are hashed to 64-bit set keys; values live in a shard of
-// indirection slots so that arbitrary []byte payloads ride on the library's
-// 64-bit values. A write-heavy ingest phase is followed by a read-mostly
-// serving phase, mirroring an LSM memtable's life cycle.
+// Built on the typed facade ascylib.Map[uint64, []byte]: string keys are
+// hashed to 64-bit map keys, and arbitrary []byte payloads ride on the
+// library's 64-bit values through the facade's built-in value arena — the
+// hand-rolled slot arena this example used to carry is gone. A write-heavy
+// ingest phase is followed by a read-mostly serving phase, mirroring an LSM
+// memtable's life cycle, and the flush uses the v2 Range surface to drain
+// the memtable in key order like a real memtable-to-SSTable flush.
 //
 // Run with: go run ./examples/kvstore
 package main
@@ -21,65 +24,53 @@ import (
 )
 
 // KV is a tiny concurrent KV store: an ASCY-compliant skip list as the
-// index, plus a slot arena for payloads.
+// index, typed through the generic facade.
 type KV struct {
-	index ascylib.Set
-	arena sync.Map // slot id -> []byte
-	next  atomic.Uint64
+	m *ascylib.Map[uint64, []byte]
 }
 
 // NewKV builds the store on the fraser-opt skip list (ASCY1+2 applied).
 func NewKV() *KV {
-	return &KV{index: ascylib.MustNew("sl-fraser-opt")}
+	return &KV{m: ascylib.MustNewMap[uint64, []byte]("sl-fraser-opt")}
 }
 
-func keyOf(k string) ascylib.Key {
+func keyOf(k string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(k))
 	v := h.Sum64()
-	if v == 0 || v >= ^uint64(1) {
-		v = 1 // stay inside the library's valid key range
+	if v == 0 || v >= ^uint64(0)-2 {
+		v = 1 // stay inside the facade's valid key range
 	}
-	return ascylib.Key(v)
+	return v
 }
 
-// Put stores value under key; it reports whether the key was fresh
-// (memtable semantics: one live version per key; Put on an existing key
-// deletes then reinserts).
+// Put stores value under key (upsert); it reports whether the key was fresh.
 func (kv *KV) Put(key string, value []byte) bool {
-	slot := kv.next.Add(1)
-	kv.arena.Store(slot, value)
-	k := keyOf(key)
-	fresh := kv.index.Insert(k, ascylib.Value(slot))
-	if !fresh {
-		if old, ok := kv.index.Remove(k); ok {
-			kv.arena.Delete(uint64(old))
-		}
-		fresh = kv.index.Insert(k, ascylib.Value(slot))
-	}
-	return fresh
+	return kv.m.Put(keyOf(key), value)
 }
 
 // Get fetches the value for key.
 func (kv *KV) Get(key string) ([]byte, bool) {
-	slot, ok := kv.index.Search(keyOf(key))
-	if !ok {
-		return nil, false
-	}
-	v, ok := kv.arena.Load(uint64(slot))
-	if !ok {
-		return nil, false
-	}
-	return v.([]byte), true
+	return kv.m.Get(keyOf(key))
 }
 
 // Delete removes key.
 func (kv *KV) Delete(key string) bool {
-	slot, ok := kv.index.Remove(keyOf(key))
-	if ok {
-		kv.arena.Delete(uint64(slot))
-	}
+	_, ok := kv.m.Delete(keyOf(key))
 	return ok
+}
+
+// FlushScan drains the memtable in key order (as a flush to an SSTable
+// would) through the v2 Range surface — the skip list serves the scan
+// natively, in sorted order, inside the structure. It returns entries
+// visited and payload bytes.
+func (kv *KV) FlushScan() (entries int, bytes int) {
+	kv.m.Range(0, ^uint64(0)-2, func(_ uint64, v []byte) bool {
+		entries++
+		bytes += len(v)
+		return true
+	})
+	return entries, bytes
 }
 
 func main() {
@@ -106,7 +97,7 @@ func main() {
 	fmt.Printf("ingest: %d keys in %v (%.2f Mops/s)\n",
 		writers*keysPerWriter, ingest,
 		float64(writers*keysPerWriter)/ingest.Seconds()/1e6)
-	fmt.Printf("memtable size: %d\n", kv.index.Size())
+	fmt.Printf("memtable size: %d\n", kv.m.Len())
 
 	// Phase 2: read-mostly serving (95% gets / 5% puts) — the regime the
 	// ASCY1 search pattern is built for.
@@ -134,6 +125,13 @@ func main() {
 	fmt.Printf("serve: %d gets (%.1f%% hit) in %v (%.2f Mops/s)\n",
 		gets.Load(), 100*float64(hits.Load())/float64(gets.Load()), serve,
 		float64(writers*keysPerWriter)/serve.Seconds()/1e6)
+
+	// Phase 3: ordered flush scan over the whole memtable (v2 Range
+	// surface; the skip list serves it natively).
+	start = time.Now()
+	entries, bytes := kv.FlushScan()
+	fmt.Printf("flush scan: %d entries, %d payload bytes in %v (native order: %v)\n",
+		entries, bytes, time.Since(start), kv.m.NativeOrder())
 
 	// Point reads after the churn.
 	if v, ok := kv.Get("user:3:event:7"); ok {

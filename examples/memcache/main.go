@@ -3,10 +3,12 @@
 // hash tables are crucial ... in Memcached"; Fan et al. tripled Memcached
 // throughput by fixing exactly this table).
 //
-// The cache maps 64-bit object ids to version-stamped entries in CLHT-LF,
-// the paper's lock-free cache-line hash table, and measures a hot-set GET
-// workload with misses filled from a slow "backing store" — the classic
-// look-aside pattern.
+// Built on the typed facade ascylib.Map[uint64, string] over CLHT-LF, the
+// paper's lock-free cache-line hash table. The version-stamped entry array
+// this example used to hand-roll is gone: string payloads live in the
+// facade's generation-tagged value arena, and racing fills resolve through
+// the v2 GetOrInsert — native on CLHT, one bucket pass — instead of an
+// insert-and-drop dance.
 //
 // Run with: go run ./examples/memcache
 package main
@@ -22,59 +24,37 @@ import (
 	"repro/internal/xrand"
 )
 
-// Cache is a fixed-capacity look-aside cache over CLHT-LF.
+// Cache is a look-aside cache over CLHT-LF.
 type Cache struct {
-	table ascylib.Set
-	// entries is the value arena: the set's 64-bit values index it.
-	entries []atomic.Pointer[entry]
-	nextIdx atomic.Uint64
-	mask    uint64
+	m *ascylib.Map[uint64, string]
 
 	hits, misses, fills atomic.Uint64
 }
 
-type entry struct {
-	id      uint64
-	payload string
-}
-
 // NewCache builds a cache with the given power-of-two capacity.
 func NewCache(capacity int) *Cache {
-	return &Cache{
-		table:   ascylib.MustNew("ht-clht-lf", ascylib.Capacity(capacity)),
-		entries: make([]atomic.Pointer[entry], 2*capacity),
-		mask:    uint64(2*capacity - 1),
-	}
+	return &Cache{m: ascylib.MustNewMap[uint64, string]("ht-clht-lf", ascylib.Capacity(capacity))}
 }
 
 // Get returns the cached payload for id, filling from loader on a miss.
+// Concurrent fills of the same id race through GetOrInsert: the first
+// writer wins, as in a real look-aside cache.
 func (c *Cache) Get(id uint64, loader func(uint64) string) string {
-	if slot, ok := c.table.Search(ascylib.Key(id)); ok {
-		if e := c.entries[uint64(slot)&c.mask].Load(); e != nil && e.id == id {
-			c.hits.Add(1)
-			return e.payload
-		}
+	if v, ok := c.m.Get(id); ok {
+		c.hits.Add(1)
+		return v
 	}
 	c.misses.Add(1)
-	payload := loader(id)
-	c.put(id, payload)
-	return payload
-}
-
-func (c *Cache) put(id uint64, payload string) {
-	slot := c.nextIdx.Add(1) & c.mask
-	c.entries[slot].Store(&entry{id: id, payload: payload})
-	if !c.table.Insert(ascylib.Key(id), ascylib.Value(slot)) {
-		// Racing fill of the same id: first writer wins, as in a real
-		// look-aside cache; drop ours.
-		return
+	payload, inserted := c.m.GetOrInsert(id, loader(id))
+	if inserted {
+		c.fills.Add(1)
 	}
-	c.fills.Add(1)
+	return payload
 }
 
 // Invalidate drops id from the cache (e.g. on a write-through update).
 func (c *Cache) Invalidate(id uint64) bool {
-	_, ok := c.table.Remove(ascylib.Key(id))
+	_, ok := c.m.Delete(id)
 	return ok
 }
 
@@ -124,8 +104,8 @@ func main() {
 
 	total := float64(clients * requests)
 	fmt.Printf("requests: %.0f in %v (%.2f Mreq/s)\n", total, elapsed, total/elapsed.Seconds()/1e6)
-	fmt.Printf("cache hits: %d (%.1f%%), misses: %d, backend reads: %d\n",
+	fmt.Printf("cache hits: %d (%.1f%%), misses: %d, fills: %d, backend reads: %d\n",
 		cache.hits.Load(), 100*float64(cache.hits.Load())/total,
-		cache.misses.Load(), dbReads.Load())
-	fmt.Printf("cached objects at quiescence: %d\n", cache.table.Size())
+		cache.misses.Load(), cache.fills.Load(), dbReads.Load())
+	fmt.Printf("cached objects at quiescence: %d\n", cache.m.Len())
 }

@@ -51,12 +51,15 @@ const (
 
 // Bronson is the bronson tree of Table 1.
 type Bronson struct {
+	core.OrderedVia
 	root *brNode // sentinel, key 0; user tree entirely in root.right
 }
 
 // NewBronson returns an empty tree.
 func NewBronson(cfg core.Config) *Bronson {
-	return &Bronson{root: &brNode{key: 0}}
+	s := &Bronson{root: &brNode{key: 0}}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 func (n *brNode) child(k core.Key) *atomic.Pointer[brNode] {

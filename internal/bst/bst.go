@@ -26,6 +26,7 @@ func register(name string, class core.Class, desc string, safe, ascy bool, f fun
 		Desc:      desc,
 		Safe:      safe,
 		ASCY:      ascy,
+		Ordered:   true, // in-order traversal enumerates keys sorted
 		New:       f,
 	})
 }

@@ -119,6 +119,7 @@ func (n *tkNode) child(left bool) *atomic.Pointer[tkNode] {
 // operation restarts, exactly as in Figure 10. Searches are pure traversals
 // (ASCY1); unsuccessful updates return after the parse (ASCY3).
 type TK struct {
+	core.OrderedVia
 	groot *tkNode // sentinel router above the user tree
 }
 
@@ -127,7 +128,9 @@ func NewTK(cfg core.Config) *TK {
 	groot := &tkNode{key: sentinelKey}
 	groot.left.Store(&tkNode{key: sentinelKey, leaf: true})
 	groot.right.Store(&tkNode{key: sentinelKey, leaf: true})
-	return &TK{groot: groot}
+	s := &TK{groot: groot}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // SearchCtx implements core.Instrumented: the sequential external-tree

@@ -38,6 +38,7 @@ type drNode struct {
 
 // Drachsler is the drachsler tree of Table 1.
 type Drachsler struct {
+	core.OrderedVia
 	head *drNode // list head, key 0; also the tree root sentinel
 	tail *drNode // list tail, key MaxUint64
 }
@@ -50,7 +51,9 @@ func NewDrachsler(cfg core.Config) *Drachsler {
 	tail.pred.Store(head)
 	head.right.Store(tail)
 	tail.parent.Store(head)
-	return &Drachsler{head: head, tail: tail}
+	s := &Drachsler{head: head, tail: tail}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // locate runs the tree traversal and then the logical-ordering walk,

@@ -68,6 +68,7 @@ func newEInternal(k core.Key) *eNode {
 // Ellen is the ellen tree of Table 1, with the R/S sentinel structure shared
 // with the natarajan tree.
 type Ellen struct {
+	core.OrderedVia
 	root *eNode
 }
 
@@ -79,7 +80,9 @@ func NewEllen(cfg core.Config) *Ellen {
 	s.right.Store(newELeaf(sentinelKey, 0))
 	r.left.Store(s)
 	r.right.Store(newELeaf(sentinelKey, 0))
-	return &Ellen{root: r}
+	t := &Ellen{root: r}
+	t.OrderedVia = core.OrderedVia{Ascend: t.ascend}
+	return t
 }
 
 // search descends to the leaf for k, recording grandparent/parent and the

@@ -39,7 +39,17 @@ type hwOp struct {
 	reloc *hwRelocateOp
 }
 
-var hwNoneOp = &hwOp{state: hwNone} // shared initial/none op
+// hwNoneOp is the initial "no operation" word of a fresh node. It must only
+// ever be *installed* at node creation: the C original distinguishes op-word
+// generations with tagged pointers, and the Go equivalent is releasing an op
+// word with a *fresh* none op (newHWNoneOp) each time. Re-installing this
+// singleton would let a node's op word return to a previously-observed
+// pointer (None -> ChildCAS -> None), and a racer that read its child
+// pointers against the first None could then CAS its own op in against a
+// stale snapshot and lose an insert (ABA).
+var hwNoneOp = &hwOp{state: hwNone}
+
+func newHWNoneOp() *hwOp { return &hwOp{state: hwNone} }
 
 type hwChildCASOp struct {
 	isLeft           bool
@@ -72,12 +82,15 @@ func newHWNode(k core.Key, v core.Value) *hwNode {
 
 // Howley is the howley tree of Table 1.
 type Howley struct {
+	core.OrderedVia
 	root *hwNode // sentinel, key 0 (< every user key); tree in root.right
 }
 
 // NewHowley returns an empty tree.
 func NewHowley(cfg core.Config) *Howley {
-	return &Howley{root: newHWNode(0, 0)}
+	s := &Howley{root: newHWNode(0, 0)}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // find results.
@@ -96,6 +109,7 @@ func (t *Howley) find(c *perf.Ctx, k core.Key, root *hwNode) (pred *hwNode, pred
 retry:
 	for {
 		result = hwNotFoundR
+		pred, predOp = nil, nil
 		curr = root
 		currOp = curr.op.Load()
 		if currOp.state != hwNone {
@@ -164,7 +178,7 @@ func (t *Howley) helpChildCAS(c *perf.Ctx, op *hwOp, dest *hwNode) {
 	if addr.CompareAndSwap(op.child.expected, op.child.update) {
 		c.Inc(perf.EvCAS)
 	}
-	if dest.op.CompareAndSwap(op, hwNoneOp) {
+	if dest.op.CompareAndSwap(op, newHWNoneOp()) {
 		c.Inc(perf.EvCAS)
 	}
 }
@@ -215,7 +229,7 @@ func (t *Howley) helpRelocate(c *perf.Ctx, op *hwRelocateOp, pred *hwNode, predO
 		op.dest.value.Store(op.replaceValue)
 		c.Inc(perf.EvStore)
 		if w := op.dest.op.Load(); w.state == hwRelocate && w.reloc == op {
-			if op.dest.op.CompareAndSwap(w, hwNoneOp) {
+			if op.dest.op.CompareAndSwap(w, newHWNoneOp()) {
 				c.Inc(perf.EvCAS)
 			}
 		}
@@ -223,14 +237,19 @@ func (t *Howley) helpRelocate(c *perf.Ctx, op *hwRelocateOp, pred *hwNode, predO
 	// Resolve the successor node (curr): marked for excision on success,
 	// restored on failure.
 	if w := curr.op.Load(); w.state == hwRelocate && w.reloc == op {
-		target := hwNoneOp
+		target := newHWNoneOp()
 		if seen == relocSuccessful {
 			target = &hwOp{state: hwMark}
 		}
 		if curr.op.CompareAndSwap(w, target) {
 			c.Inc(perf.EvCAS)
 			if seen == relocSuccessful {
-				t.helpMarked(c, pred, predOp, curr)
+				// predOp may be stale by now (when pred == dest,
+				// the claim above replaced its op word); splice
+				// against pred's current op so the excision does
+				// not silently fail and leave the marked node to
+				// a later traversal.
+				t.helpMarked(c, pred, pred.op.Load(), curr)
 			}
 		}
 	}
@@ -308,6 +327,15 @@ func (t *Howley) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 			c.Inc(perf.EvRestart)
 			continue
 		}
+		if succ == curr {
+			// The successor walk restarted after helping and found
+			// curr's right subtree gone: curr no longer has two
+			// children, so the relocation no longer applies (a
+			// self-relocation would "succeed" without removing
+			// anything). Re-evaluate from the top.
+			c.Inc(perf.EvRestart)
+			continue
+		}
 		reloc := &hwRelocateOp{
 			dest:         curr,
 			destOp:       currOp,
@@ -336,7 +364,9 @@ func (t *Howley) Insert(k core.Key, v core.Value) bool { return t.InsertCtx(nil,
 // Remove deletes k if present.
 func (t *Howley) Remove(k core.Key) (core.Value, bool) { return t.RemoveCtx(nil, k) }
 
-// Size counts reachable nodes (excluding the sentinel). Quiescent use only.
+// Size counts reachable live nodes (excluding the sentinel and nodes whose
+// op word is MARK: those are logically deleted, awaiting excision by the
+// next traversal that helps them). Quiescent use only.
 func (t *Howley) Size() int {
 	n := 0
 	stack := []*hwNode{t.root.right.Load()}
@@ -346,7 +376,9 @@ func (t *Howley) Size() int {
 		if nd == nil {
 			continue
 		}
-		n++
+		if nd.op.Load().state != hwMark {
+			n++
+		}
 		stack = append(stack, nd.left.Load(), nd.right.Load())
 	}
 	return n

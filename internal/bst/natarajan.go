@@ -54,6 +54,7 @@ type nmRec struct {
 // Searches are pure traversals (ASCY1); deletion injects a flag on the leaf
 // edge, then tags the sibling edge and splices at the ancestor.
 type Natarajan struct {
+	core.OrderedVia
 	root *nmNode // sentinel R; R.left -> sentinel S; user tree under S.left
 }
 
@@ -66,6 +67,7 @@ func NewNatarajan(cfg core.Config) *Natarajan {
 	r.left.Store(&nmEdge{n: s})
 	r.right.Store(&nmEdge{n: newNMLeaf(sentinelKey, 0)})
 	t := &Natarajan{root: r}
+	t.OrderedVia = core.OrderedVia{Ascend: t.ascend}
 	return t
 }
 

@@ -18,13 +18,16 @@ type siNode struct {
 // async-int upper bound; traversals are bounded by AsyncStepLimit because
 // racing updates can malform the tree.
 type SeqInt struct {
+	core.OrderedVia
 	root  *siNode // sentinel: real tree hangs off root.left
 	limit int
 }
 
 // NewSeqInt returns an empty sequential internal BST.
 func NewSeqInt(cfg core.Config) *SeqInt {
-	return &SeqInt{root: &siNode{key: sentinelKey}, limit: cfg.AsyncStepLimit}
+	s := &SeqInt{root: &siNode{key: sentinelKey}, limit: cfg.AsyncStepLimit}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // SearchCtx implements core.Instrumented.
@@ -189,6 +192,7 @@ func (n *seNode) leaf() bool { return n.left == nil }
 // SeqExt is a textbook external BST (elements in leaves, routers internal);
 // the async-ext upper bound when shared unsynchronized.
 type SeqExt struct {
+	core.OrderedVia
 	root  *seNode // sentinel router; tree hangs off root.left
 	limit int
 }
@@ -198,7 +202,9 @@ func NewSeqExt(cfg core.Config) *SeqExt {
 	root := &seNode{key: sentinelKey}
 	root.left = &seNode{key: sentinelKey} // sentinel leaf
 	root.right = &seNode{key: sentinelKey}
-	return &SeqExt{root: root, limit: cfg.AsyncStepLimit}
+	s := &SeqExt{root: root, limit: cfg.AsyncStepLimit}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // parse returns (grandparent, parent, leaf) for k.

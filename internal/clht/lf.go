@@ -79,7 +79,8 @@ func (h *LF) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 // dupScan walks the whole chain looking for key k in slots other than the
 // caller's own (myB, myI). It returns:
 //
-//	dupValid    — k is VALID somewhere else: the insert must fail;
+//	dupValid    — k is VALID somewhere else (its value in dupVal): the
+//	              insert must fail;
 //	deferFirst  — k is INSERTING in a slot ordered before mine in chain
 //	              order: the caller must roll back and retry, deferring
 //	              to the chain-order winner so exactly one commits.
@@ -89,7 +90,7 @@ func (h *LF) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 // obliviously. Sequential consistency of the key stores guarantees at least
 // one of us sees the other, so the earlier-positioned inserter spins until
 // the later slot resolves (to VALID k → fail, or anything else → continue).
-func (h *LF) dupScan(c *perf.Ctx, k core.Key, myB *bucket, myI int) (dupValid, deferFirst bool) {
+func (h *LF) dupScan(c *perf.Ctx, k core.Key, myB *bucket, myI int) (dupVal core.Value, dupValid, deferFirst bool) {
 	beforeMine := true
 	for b := &h.t.buckets[mix(k)&h.t.mask]; b != nil; b = b.next.Load() {
 	rescan:
@@ -107,14 +108,15 @@ func (h *LF) dupScan(c *perf.Ctx, k core.Key, myB *bucket, myI int) (dupValid, d
 				continue
 			}
 			if st == slotValid {
+				v := b.val[i].Load()
 				if b.conc.Load() != s {
 					goto rescan
 				}
-				return true, false
+				return core.Value(v), true, false
 			}
 			// INSERTING with (possibly stale) key k.
 			if beforeMine {
-				return false, true
+				return 0, false, true
 			}
 			// Ordered after mine: wait for the owner's next step,
 			// then re-examine this bucket.
@@ -129,16 +131,30 @@ func (h *LF) dupScan(c *perf.Ctx, k core.Key, myB *bucket, myI int) (dupValid, d
 			goto rescan
 		}
 	}
-	return false, false
+	return 0, false, false
 }
 
 // InsertCtx implements core.Instrumented.
 func (h *LF) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
+	_, inserted := h.getOrInsertCtx(c, k, v)
+	return inserted
+}
+
+// GetOrInsert implements core.GetOrInserter natively: the insert protocol
+// already performs the feasibility search and the uniqueness re-check, so
+// returning the incumbent's value on failure costs nothing extra.
+func (h *LF) GetOrInsert(k core.Key, v core.Value) (core.Value, bool) {
+	return h.getOrInsertCtx(nil, k, v)
+}
+
+// getOrInsertCtx is the insert protocol (§6.1). It returns the value now
+// associated with k and whether this call inserted it.
+func (h *LF) getOrInsertCtx(c *perf.Ctx, k core.Key, v core.Value) (core.Value, bool) {
 	spin := 0
 	for {
 		// Phase A: feasibility search (ASCY3) + free-slot hunt.
-		if _, in := h.SearchCtx(c, k); in {
-			return false
+		if v0, in := h.SearchCtx(c, k); in {
+			return v0, false
 		}
 		var freeB, lastB *bucket
 		freeI := -1
@@ -191,11 +207,11 @@ func (h *LF) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
 
 		// Phase C: uniqueness re-check. A same-key insert may have
 		// committed (or be in flight) since phase A.
-		dupValid, deferFirst := h.dupScan(c, k, myB, myI)
+		dupVal, dupValid, deferFirst := h.dupScan(c, k, myB, myI)
 		if dupValid || deferFirst {
 			h.rollback(c, myB, myI)
 			if dupValid {
-				return false
+				return dupVal, false
 			}
 			c.Inc(perf.EvRestart)
 			spin = locks.Pause(spin)
@@ -209,9 +225,39 @@ func (h *LF) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
 			w := myB.conc.Load()
 			if myB.conc.CompareAndSwap(w, snapWith(w, myI, slotValid)) {
 				c.Inc(perf.EvCAS)
-				return true
+				return v, true
 			}
 			c.Inc(perf.EvCASFail)
+		}
+	}
+}
+
+// ForEach implements core.Iterable: a read-only sweep over the VALID slots.
+// It observes each pair at some point during the call, not one atomic
+// snapshot, but each yielded pair is individually valid: as in SearchCtx,
+// the pair is re-validated against the snapshot_t version after the reads,
+// so a concurrent remove+reinsert cannot produce a torn (new-key, old-value)
+// pair. The done mask keeps a bucket rescan from yielding a slot twice.
+func (h *LF) ForEach(yield func(core.Key, core.Value) bool) {
+	for i := range h.t.buckets {
+		for b := &h.t.buckets[i]; b != nil; b = b.next.Load() {
+			var done [entriesPerBucket]bool
+		rescan:
+			s := b.conc.Load()
+			for j := 0; j < entriesPerBucket; j++ {
+				if done[j] || snapState(s, j) != slotValid {
+					continue
+				}
+				k := b.key[j].Load()
+				v := b.val[j].Load()
+				if b.conc.Load() != s {
+					goto rescan
+				}
+				done[j] = true
+				if !yield(core.Key(k), core.Value(v)) {
+					return
+				}
+			}
 		}
 	}
 }

@@ -118,6 +118,22 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports whether the configuration is constructible. New applies
+// it after the options, so nonsense like Capacity(0) is rejected before a
+// structure is built instead of failing obscurely later.
+func (c Config) Validate() error {
+	if c.Buckets < 1 {
+		return fmt.Errorf("core: Buckets must be >= 1, got %d (Capacity option)", c.Buckets)
+	}
+	if c.MaxLevel < 1 || c.MaxLevel > 64 {
+		return fmt.Errorf("core: MaxLevel must be in [1, 64], got %d", c.MaxLevel)
+	}
+	if c.AsyncStepLimit < 0 {
+		return fmt.Errorf("core: AsyncStepLimit must be >= 0, got %d", c.AsyncStepLimit)
+	}
+	return nil
+}
+
 // Option mutates a Config.
 type Option func(*Config)
 
@@ -146,8 +162,44 @@ type Algorithm struct {
 	// ASCY flags the implementations the paper identifies as
 	// ASCY-compliant (the re-engineered and from-scratch designs).
 	ASCY bool
+	// Ordered reports that the structure stores elements in key order and
+	// implements the Ordered interface natively (sorted linked lists,
+	// skip lists, BSTs). Unordered structures still serve Range through
+	// the OrderedOf fallback.
+	Ordered bool
 	// New constructs an instance.
 	New func(cfg Config) Set
+}
+
+// Capabilities reports which parts of the v2 surface an algorithm implements
+// natively; the rest are served by the generic fallbacks in Extend and
+// OrderedOf. Probed by constructing a small throwaway instance, so it always
+// reflects the implementation rather than hand-maintained flags.
+type Capabilities struct {
+	// NativeUpdate: Update is atomic against every operation (not just
+	// other Updates; see Extend's fallback contract).
+	NativeUpdate bool
+	// NativeGetOrInsert: get-or-insert in one structure pass.
+	NativeGetOrInsert bool
+	// NativeForEach: the structure enumerates its own elements.
+	NativeForEach bool
+	// NativeRange: ordered scans traverse the structure directly instead
+	// of snapshot-and-sort.
+	NativeRange bool
+}
+
+// Caps probes the algorithm's native capabilities.
+func (a Algorithm) Caps() Capabilities {
+	cfg := DefaultConfig()
+	cfg.Buckets = 8
+	cfg.MaxLevel = 4
+	s := a.New(cfg)
+	var c Capabilities
+	_, c.NativeUpdate = s.(Updater)
+	_, c.NativeGetOrInsert = s.(GetOrInserter)
+	_, c.NativeForEach = s.(Iterable)
+	_, c.NativeRange = s.(Ordered)
+	return c
 }
 
 var (
@@ -189,7 +241,21 @@ func New(name string, opts ...Option) (Set, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid configuration for %q: %w", name, err)
+	}
 	return a.New(cfg), nil
+}
+
+// NewExtended constructs the named algorithm and wraps it with the full v2
+// operation surface (Extend): native methods where the implementation has
+// them, generic fallbacks elsewhere.
+func NewExtended(name string, opts ...Option) (Extended, error) {
+	s, err := New(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return Extend(s), nil
 }
 
 // MustNew is New for contexts where the name is a compile-time constant.

@@ -26,6 +26,8 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig6", "fig7", "fig8", "fig9", "summary",
 		// §4 text experiments beyond the numbered figures.
 		"oversub", "nonuniform",
+		// v2 surface: the range-scan mix the paper does not have.
+		"rangemix",
 	}
 	got := map[string]bool{}
 	for _, e := range Experiments() {
@@ -80,6 +82,25 @@ func TestRunnersSmoke(t *testing.T) {
 				t.Fatalf("%s produced NaN/Inf:\n%s", id, out)
 			}
 		})
+	}
+}
+
+// rangemix runs only linearizable algorithms, so unlike the figure runners
+// it smokes under -race as well.
+func TestRangeMixSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("rangemix", tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "algorithm") {
+		t.Fatalf("rangemix produced no table:\n%s", out)
+	}
+	if !strings.Contains(out, "native") || !strings.Contains(out, "fallback") {
+		t.Fatalf("rangemix table missing the range-mode column:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("rangemix produced NaN/Inf:\n%s", out)
 	}
 }
 

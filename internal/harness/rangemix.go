@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// rangemix is a workload the paper does not have, opened by the v2 Ordered
+// surface: a serving mix of point reads, updates, and short ordered scans
+// (10% updates, 10% scans of 100 keys), the shape of an LSM memtable or a
+// secondary-index read path. It compares the ordered families' native
+// in-structure Range against the snapshot-and-sort fallback a hash table
+// must use, so the capability matrix (ascybench list) has a measured
+// counterpart.
+func init() {
+	registerExperiment(Experiment{
+		ID:    "rangemix",
+		Title: "v2 surface: mixed point/update/range-scan workload (beyond the paper)",
+		Run:   runRangeMix,
+	})
+}
+
+func runRangeMix(o Options) {
+	const (
+		initial   = 4096
+		updatePct = 10
+		rangePct  = 10
+		span      = 100
+	)
+	algos := []string{
+		"ll-lazy", "ll-harris-opt",
+		"sl-herlihy", "sl-fraser-opt",
+		"bst-tk", "bst-natarajan",
+		"ht-clht-lb", "ht-clht-lf", // fallback scans: snapshot and sort
+	}
+	fmt.Fprintf(o.Out, "-- %d elem, %d%% updates, %d%% scans of %d keys, %d threads --\n",
+		initial, updatePct, rangePct, span, o.Threads)
+	header(o.Out, "algorithm", "range", "Mops/s", "scans/s", "items/scan")
+	for _, algo := range algos {
+		a, ok := core.Get(algo)
+		if !ok {
+			continue
+		}
+		mode := "native"
+		if !a.Caps().NativeRange {
+			mode = "fallback"
+		}
+		r := o.run(algo, initial, updatePct, o.Threads, func(c *workload.Config) {
+			c.RangePct = rangePct
+			c.RangeSpan = span
+		})
+		scansPerSec := float64(r.RangeOps) / r.Elapsed.Seconds()
+		fmt.Fprintf(o.Out, "%-16s %12s %12.3f %12.0f %12.1f\n",
+			algo, mode, r.Mops(), scansPerSec, r.ItemsPerScan())
+	}
+	fmt.Fprintln(o.Out, "expected shape: native scans cost O(span) inside the structure; the")
+	fmt.Fprintln(o.Out, "fallback pays a full snapshot + sort per scan and falls off with size")
+}

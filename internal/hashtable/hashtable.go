@@ -86,6 +86,24 @@ func (t *Chained) Size() int {
 	return n
 }
 
+// ForEach implements core.Iterable by delegating to the per-bucket lists
+// (every list in internal/linkedlist is Iterable). Enumeration order is by
+// bucket, not by key.
+func (t *Chained) ForEach(yield func(core.Key, core.Value) bool) {
+	stop := false
+	for _, b := range t.buckets {
+		b.(core.Iterable).ForEach(func(k core.Key, v core.Value) bool {
+			if !yield(k, v) {
+				stop = true
+			}
+			return !stop
+		})
+		if stop {
+			return
+		}
+	}
+}
+
 func register(name string, class core.Class, desc string, safe, ascy bool, f func(cfg core.Config) core.Set) {
 	core.Register(core.Algorithm{
 		Name:      "ht-" + name,

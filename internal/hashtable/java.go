@@ -211,3 +211,16 @@ func (j *Java) Size() int {
 
 // Buckets reports the current bucket-array size (tests observe resizing).
 func (j *Java) Buckets() int { return len(j.table.Load().buckets) }
+
+// ForEach implements core.Iterable: a read-only sweep of one table
+// generation's immutable chains. Like Size, quiescent-snapshot semantics.
+func (j *Java) ForEach(yield func(core.Key, core.Value) bool) {
+	t := j.table.Load()
+	for i := range t.buckets {
+		for node := t.buckets[i].Load(); node != nil; node = node.next {
+			if !yield(node.key, node.val) {
+				return
+			}
+		}
+	}
+}

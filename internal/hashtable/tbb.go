@@ -162,3 +162,28 @@ func (t *TBB) Size() int {
 	}
 	return n
 }
+
+// ForEach implements core.Iterable. Bucket index and stripe index are both
+// power-of-two masks of the same hash, so bucket i is guarded by stripe
+// i&(nStripes-1): each bucket's chain is copied out under its stripe's read
+// lock and yielded unlocked (yield must not write the table's stripe being
+// scanned anyway — so, symmetrically with the other fully-lock-based scans,
+// yield must not call back into the table).
+func (t *TBB) ForEach(yield func(core.Key, core.Value) bool) {
+	tab := t.table.Load()
+	var batch []tbbNode
+	for i := range tab.buckets {
+		mu := &t.mu[uint64(i)&(nStripes-1)].l
+		mu.RLock()
+		batch = batch[:0]
+		for node := tab.buckets[i]; node != nil; node = node.next {
+			batch = append(batch, *node)
+		}
+		mu.RUnlock()
+		for j := range batch {
+			if !yield(batch[j].key, batch[j].val) {
+				return
+			}
+		}
+	}
+}

@@ -186,3 +186,35 @@ func (u *URCU) Size() int {
 	}
 	return n
 }
+
+// ForEach implements core.Iterable. Like every read in this table, the sweep
+// runs inside a read-side critical section — an RCU one in the original, an
+// SSMEM epoch in the re-engineered variant — because removed nodes are
+// recycled and are only safe to read from inside one. Each bucket is its own
+// section so yield never executes with the epoch pinned.
+func (u *URCU) ForEach(yield func(core.Key, core.Value) bool) {
+	var batch []uNode
+	for i := range u.buckets {
+		batch = batch[:0]
+		if u.waitGP {
+			rd := u.dom.ReadLock()
+			for node := u.buckets[i].head.Load(); node != nil; node = node.next.Load() {
+				batch = append(batch, uNode{key: node.key, val: node.val})
+			}
+			rd.Unlock()
+		} else {
+			a := u.allocs.Get().(*ssmem.Allocator[uNode])
+			a.OpStart()
+			for node := u.buckets[i].head.Load(); node != nil; node = node.next.Load() {
+				batch = append(batch, uNode{key: node.key, val: node.val})
+			}
+			a.OpEnd()
+			u.allocs.Put(a)
+		}
+		for j := range batch {
+			if !yield(batch[j].key, batch[j].val) {
+				return
+			}
+		}
+	}
+}

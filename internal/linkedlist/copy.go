@@ -28,6 +28,7 @@ func (s *cowSnapshot) find(k core.Key) (int, bool) {
 // §5/ASCY1 discussion) and its two limitations: per-update copying cost and
 // the global lock bottleneck.
 type Copy struct {
+	core.OrderedVia
 	snap         atomic.Pointer[cowSnapshot]
 	lock         locks.TAS
 	readOnlyFail bool
@@ -37,6 +38,7 @@ type Copy struct {
 func NewCopy(cfg core.Config) *Copy {
 	l := &Copy{readOnlyFail: cfg.ReadOnlyFail}
 	l.snap.Store(&cowSnapshot{})
+	l.OrderedVia = core.OrderedVia{Ascend: l.ascend}
 	return l
 }
 

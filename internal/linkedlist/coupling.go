@@ -20,6 +20,7 @@ type cplNode struct {
 // canonical non-scalable baseline of Figure 2a — every traversal writes
 // every node's lock word, maximizing coherence traffic.
 type Coupling struct {
+	core.OrderedVia
 	head *cplNode
 }
 
@@ -27,7 +28,9 @@ type Coupling struct {
 func NewCoupling(cfg core.Config) *Coupling {
 	tail := &cplNode{key: tailKey}
 	head := &cplNode{key: headKey, next: tail}
-	return &Coupling{head: head}
+	s := &Coupling{head: head}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // traverse walks to the update point with lock coupling and returns pred and

@@ -38,6 +38,7 @@ func newLFNode(k core.Key, v core.Value, succ *lfNode) *lfNode {
 // restarts — it simply ignores marked nodes — and the update parse does not
 // restart when a cleanup CAS fails. Figure 4 measures the difference.
 type Harris struct {
+	core.OrderedVia
 	head, tail *lfNode
 	optimized  bool
 }
@@ -46,7 +47,9 @@ type Harris struct {
 func NewHarris(cfg core.Config, optimized bool) *Harris {
 	tail := newLFNode(tailKey, 0, nil)
 	head := newLFNode(headKey, 0, tail)
-	return &Harris{head: head, tail: tail, optimized: optimized}
+	s := &Harris{head: head, tail: tail, optimized: optimized}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // search is Harris's search: it returns adjacent (left, right) with

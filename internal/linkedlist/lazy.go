@@ -24,6 +24,7 @@ type lazyNode struct {
 // check the mark. The search already satisfies ASCY1; with ReadOnlyFail
 // (ASCY3, the library default) unsuccessful updates are read-only too.
 type Lazy struct {
+	core.OrderedVia
 	head         *lazyNode
 	readOnlyFail bool
 }
@@ -33,7 +34,9 @@ func NewLazy(cfg core.Config) *Lazy {
 	tail := &lazyNode{key: tailKey}
 	head := &lazyNode{key: headKey}
 	head.next.Store(tail)
-	return &Lazy{head: head, readOnlyFail: cfg.ReadOnlyFail}
+	s := &Lazy{head: head, readOnlyFail: cfg.ReadOnlyFail}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // parse optimistically walks to the first node with key >= k.

@@ -29,6 +29,7 @@ func register(name string, class core.Class, desc string, safe, ascy bool, f fun
 		Desc:      desc,
 		Safe:      safe,
 		ASCY:      ascy,
+		Ordered:   true, // every list is a sorted set with native Range
 		New:       f,
 	})
 }

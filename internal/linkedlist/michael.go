@@ -11,6 +11,7 @@ import (
 // restarts from the head whenever a CAS fails or an inconsistency is
 // observed. It shares the lfNode/lfRef encoding with Harris.
 type Michael struct {
+	core.OrderedVia
 	head, tail *lfNode
 }
 
@@ -18,7 +19,9 @@ type Michael struct {
 func NewMichael(cfg core.Config) *Michael {
 	tail := newLFNode(tailKey, 0, nil)
 	head := newLFNode(headKey, 0, tail)
-	return &Michael{head: head, tail: tail}
+	s := &Michael{head: head, tail: tail}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // find positions (prev, prevRef, curr) with prev.key < k <= curr.key, curr

@@ -26,6 +26,7 @@ type pughNode struct {
 // correct path without restarting. Search is identical to the sequential
 // algorithm (ASCY1); with ReadOnlyFail, failed updates are read-only (ASCY3).
 type Pugh struct {
+	core.OrderedVia
 	head         *pughNode
 	readOnlyFail bool
 }
@@ -35,7 +36,9 @@ func NewPugh(cfg core.Config) *Pugh {
 	tail := &pughNode{key: tailKey}
 	head := &pughNode{key: headKey}
 	head.next.Store(tail)
-	return &Pugh{head: head, readOnlyFail: cfg.ReadOnlyFail}
+	s := &Pugh{head: head, readOnlyFail: cfg.ReadOnlyFail}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // parse walks to the first node with key >= k. If it lands on a deleted

@@ -23,6 +23,7 @@ type seqNode struct {
 // cycle cannot hang the harness; a bailed-out traversal reports "not found",
 // which only ever makes the async bound look slightly worse.
 type Seq struct {
+	core.OrderedVia
 	head  *seqNode
 	limit int
 }
@@ -31,7 +32,9 @@ type Seq struct {
 func NewSeq(cfg core.Config) *Seq {
 	tail := &seqNode{key: tailKey}
 	head := &seqNode{key: headKey, next: tail}
-	return &Seq{head: head, limit: cfg.AsyncStepLimit}
+	s := &Seq{head: head, limit: cfg.AsyncStepLimit}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 func (l *Seq) parse(c *perf.Ctx, k core.Key) (pred, curr *seqNode) {

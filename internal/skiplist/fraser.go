@@ -35,6 +35,7 @@ func newFNode(k core.Key, v core.Value, h int) *fNode {
 // nodes with plain reads, never CAS, and never restart; physical cleanup is
 // deferred to the update CASes, which naturally swallow marked spans.
 type Fraser struct {
+	core.OrderedVia
 	head, tail *fNode
 	maxLevel   int
 	optimized  bool
@@ -49,7 +50,9 @@ func NewFraser(cfg core.Config, optimized bool) *Fraser {
 		tail.next[i].Store(&fRef{})
 		head.next[i].Store(&fRef{n: tail})
 	}
-	return &Fraser{head: head, tail: tail, maxLevel: ml, optimized: optimized}
+	s := &Fraser{head: head, tail: tail, maxLevel: ml, optimized: optimized}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // search is Fraser's original search: positions preds/succs at every level,

@@ -28,6 +28,7 @@ type hNode struct {
 // (ASCY3, applied by the paper to this algorithm), failed updates return
 // without locking.
 type Herlihy struct {
+	core.OrderedVia
 	head         *hNode
 	maxLevel     int
 	readOnlyFail bool
@@ -43,7 +44,9 @@ func NewHerlihy(cfg core.Config) *Herlihy {
 		head.next[i].Store(tail)
 	}
 	head.fullyLinked.Store(true)
-	return &Herlihy{head: head, maxLevel: ml, readOnlyFail: cfg.ReadOnlyFail}
+	s := &Herlihy{head: head, maxLevel: ml, readOnlyFail: cfg.ReadOnlyFail}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 func newHNode(k core.Key, v core.Value, h int) *hNode {

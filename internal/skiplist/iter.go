@@ -1,0 +1,86 @@
+// Ordered iteration (v2 surface) for the skip lists. ascend seeks the first
+// candidate with a read-only tower descent (the same O(log n) path a search
+// takes, never storing or locking — ASCY1 applies to scans too), then walks
+// level 0 yielding live elements. Each type embeds core.OrderedVia, which
+// derives ForEach/Range/Min/Max from ascend (constructors wire it up). Like
+// Size, a scan observes each element at some point during the call, not one
+// atomic snapshot.
+package skiplist
+
+import "repro/internal/core"
+
+// ascend implements core.AscendFunc over the async list, bounded like every
+// Seq traversal.
+func (l *Seq) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
+	pred := l.head
+	steps := 0
+	for lvl := l.maxLevel - 1; lvl >= 0; lvl-- {
+		for curr := pred.next[lvl]; curr != nil && curr.key < lo; curr = pred.next[lvl] {
+			pred = curr
+			if steps++; l.limit > 0 && steps > l.limit {
+				return
+			}
+		}
+	}
+	for curr := pred.next[0]; curr != nil && curr.key != tailKey; curr = curr.next[0] {
+		if steps++; l.limit > 0 && steps > l.limit {
+			return
+		}
+		if curr.key >= lo && !yield(curr.key, curr.val) {
+			return
+		}
+	}
+}
+
+// ascend implements core.AscendFunc, skipping logically deleted nodes.
+func (l *Pugh) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
+	pred := l.head
+	for lvl := l.maxLevel - 1; lvl >= 0; lvl-- {
+		for curr := pred.next[lvl].Load(); curr != nil && curr.key < lo; curr = pred.next[lvl].Load() {
+			pred = curr
+		}
+	}
+	for curr := pred.next[0].Load(); curr.key != tailKey; curr = curr.next[0].Load() {
+		if curr.key >= lo && !curr.deleted.Load() && !yield(curr.key, curr.val) {
+			return
+		}
+	}
+}
+
+// ascend implements core.AscendFunc, yielding fully linked, unmarked nodes.
+func (l *Herlihy) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
+	pred := l.head
+	for lvl := l.maxLevel - 1; lvl >= 0; lvl-- {
+		for curr := pred.next[lvl].Load(); curr != nil && curr.key < lo; curr = pred.next[lvl].Load() {
+			pred = curr
+		}
+	}
+	for curr := pred.next[0].Load(); curr.key != tailKey; curr = curr.next[0].Load() {
+		if curr.key >= lo && curr.fullyLinked.Load() && !curr.marked.Load() &&
+			!yield(curr.key, curr.val) {
+			return
+		}
+	}
+}
+
+// ascend implements core.AscendFunc over the marked (successor, marked)
+// records, as in the searches.
+func (l *Fraser) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
+	pred := l.head
+	for lvl := l.maxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			curr := pred.next[lvl].Load().n
+			if curr == nil || curr == l.tail || curr.key >= lo {
+				break
+			}
+			pred = curr
+		}
+	}
+	for curr := pred.next[0].Load().n; curr != l.tail; {
+		ref := curr.next[0].Load()
+		if curr.key >= lo && !ref.marked && !yield(curr.key, curr.val) {
+			return
+		}
+		curr = ref.n
+	}
+}

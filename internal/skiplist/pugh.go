@@ -25,6 +25,7 @@ type pNode struct {
 // no stores and never restarts (ASCY2); failed updates are read-only
 // (ASCY3, with ReadOnlyFail).
 type Pugh struct {
+	core.OrderedVia
 	head         *pNode
 	maxLevel     int
 	readOnlyFail bool
@@ -38,7 +39,9 @@ func NewPugh(cfg core.Config) *Pugh {
 	for i := range head.next {
 		head.next[i].Store(tail)
 	}
-	return &Pugh{head: head, maxLevel: ml, readOnlyFail: cfg.ReadOnlyFail}
+	s := &Pugh{head: head, maxLevel: ml, readOnlyFail: cfg.ReadOnlyFail}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 func newPNode(k core.Key, v core.Value, h int) *pNode {

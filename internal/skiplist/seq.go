@@ -16,6 +16,7 @@ type seqNode struct {
 // can leave tower pointers inconsistent ("longer average path lengths"), so
 // traversals carry the AsyncStepLimit bail-out.
 type Seq struct {
+	core.OrderedVia
 	head     *seqNode
 	maxLevel int
 	limit    int
@@ -29,7 +30,9 @@ func NewSeq(cfg core.Config) *Seq {
 	for i := range head.next {
 		head.next[i] = tail
 	}
-	return &Seq{head: head, maxLevel: ml, limit: cfg.AsyncStepLimit}
+	s := &Seq{head: head, maxLevel: ml, limit: cfg.AsyncStepLimit}
+	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
+	return s
 }
 
 // parse fills preds/succs and returns the level-0 candidate.

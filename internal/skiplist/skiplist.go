@@ -57,6 +57,7 @@ func register(name string, class core.Class, desc string, safe, ascy bool, f fun
 		Desc:      desc,
 		Safe:      safe,
 		ASCY:      ascy,
+		Ordered:   true, // skip lists enumerate level 0 in key order
 		New:       f,
 	})
 }

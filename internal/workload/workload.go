@@ -30,6 +30,14 @@ type Config struct {
 	KeyRange uint64
 	// UpdatePct is the percentage of operations that are updates.
 	UpdatePct int
+	// RangePct is the percentage of operations that are range scans —
+	// a workload the paper does not have, enabled by the v2 Ordered
+	// surface. Scans use the native Range of the ordered families and
+	// the snapshot-and-sort fallback elsewhere.
+	RangePct int
+	// RangeSpan is the key-span of each range scan (default 100): a scan
+	// covers [k, k+RangeSpan-1] for a uniformly drawn k.
+	RangeSpan uint64
 	// InsertBias is the percentage of updates that are insertions
 	// (default 50, the paper's half-insert/half-remove split; the
 	// non-uniform growing-structure experiment raises it).
@@ -57,7 +65,8 @@ func (c Config) keyRange() uint64 {
 // OpClass identifies an operation kind and outcome for latency accounting.
 type OpClass int
 
-// Operation classes, as broken out in Figures 6d and 7d.
+// Operation classes, as broken out in Figures 6d and 7d, plus the range
+// scans of the v2 surface.
 const (
 	OpSearchHit OpClass = iota
 	OpSearchMiss
@@ -65,12 +74,13 @@ const (
 	OpInsertFalse
 	OpRemoveTrue
 	OpRemoveFalse
+	OpRange
 	numOpClasses
 )
 
 var opClassNames = [numOpClasses]string{
 	"search-hit", "search-miss", "insert-true", "insert-false",
-	"remove-true", "remove-false",
+	"remove-true", "remove-false", "range",
 }
 
 // String names the class as in the figure legends.
@@ -86,6 +96,18 @@ type Result struct {
 	ParseLat    stats.Summary
 	FinalSize   int
 	SuccUpdates uint64
+	// RangeOps and RangeItems account the scan mix: scans executed and
+	// elements they yielded in total.
+	RangeOps   uint64
+	RangeItems uint64
+}
+
+// ItemsPerScan returns the mean number of elements a range scan yielded.
+func (r Result) ItemsPerScan() float64 {
+	if r.RangeOps == 0 {
+		return 0
+	}
+	return float64(r.RangeItems) / float64(r.RangeOps)
 }
 
 // Throughput returns operations per second.
@@ -146,11 +168,20 @@ func RunOn(set core.Set, cfg Config) Result {
 	Populate(set, cfg)
 
 	inst, instrumented := set.(core.Instrumented)
+	var ord core.Ordered
+	if cfg.RangePct > 0 {
+		ord, _ = core.OrderedOf(set)
+		if cfg.RangeSpan == 0 {
+			cfg.RangeSpan = 100
+		}
+	}
 	type workerState struct {
-		ctx  perf.Ctx
-		lat  [numOpClasses]stats.Recorder
-		ops  uint64
-		succ uint64
+		ctx        perf.Ctx
+		lat        [numOpClasses]stats.Recorder
+		ops        uint64
+		succ       uint64
+		rangeOps   uint64
+		rangeItems uint64
 	}
 	workers := make([]*workerState, cfg.Threads)
 	var start, stop atomic.Bool
@@ -180,8 +211,14 @@ func RunOn(set core.Set, cfg Config) Result {
 					return
 				}
 			}
-			execute := func(k core.Key, isUpdate, isInsert bool) (class OpClass) {
+			execute := func(k core.Key, isUpdate, isInsert, isRange bool) (class OpClass) {
 				switch {
+				case isRange:
+					n := ord.Range(k, k+core.Key(cfg.RangeSpan-1),
+						func(core.Key, core.Value) bool { return true })
+					ws.rangeOps++
+					ws.rangeItems += uint64(n)
+					class = OpRange
 				case !isUpdate:
 					var ok bool
 					if instrumented {
@@ -222,15 +259,17 @@ func RunOn(set core.Set, cfg Config) Result {
 				}
 				return class
 			}
-			guarded := func(k core.Key, isUpdate, isInsert bool) (class OpClass) {
+			guarded := func(k core.Key, isUpdate, isInsert, isRange bool) (class OpClass) {
 				class = OpSearchMiss // result if the op panics mid-flight
 				defer func() { _ = recover() }()
-				return execute(k, isUpdate, isInsert)
+				return execute(k, isUpdate, isInsert, isRange)
 			}
 			var sampleCountdown int
 			for !stop.Load() {
 				k := core.Key(rng.Uint64n(kr) + 1)
-				isUpdate := int(rng.Uint64n(100)) < cfg.UpdatePct
+				opDraw := int(rng.Uint64n(100))
+				isUpdate := opDraw < cfg.UpdatePct
+				isRange := !isUpdate && opDraw < cfg.UpdatePct+cfg.RangePct
 				isInsert := isUpdate && int(rng.Uint64n(100)) < bias
 				sample := false
 				if cfg.SampleEvery > 0 {
@@ -246,9 +285,9 @@ func RunOn(set core.Set, cfg Config) Result {
 				}
 				var class OpClass
 				if crashTolerant {
-					class = guarded(k, isUpdate, isInsert)
+					class = guarded(k, isUpdate, isInsert, isRange)
 				} else {
-					class = execute(k, isUpdate, isInsert)
+					class = execute(k, isUpdate, isInsert, isRange)
 				}
 				if sample {
 					ws.lat[class].Add(time.Since(t0).Nanoseconds())
@@ -273,6 +312,8 @@ func RunOn(set core.Set, cfg Config) Result {
 	for _, ws := range workers {
 		res.Ops += ws.ops
 		res.SuccUpdates += ws.succ
+		res.RangeOps += ws.rangeOps
+		res.RangeItems += ws.rangeItems
 		ws.ctx.Ops = ws.ops
 		ws.ctx.SuccUpdates = ws.succ
 		res.Perf.Merge(&ws.ctx)
