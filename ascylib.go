@@ -32,6 +32,14 @@
 //	m.Put(-3, "hello")
 //	m.Range(-10, 10, func(k int64, v string) bool { return true })
 //
+// StringMap[V] is the string-keyed companion (hashing + collision chains
+// over the same structures), for callers — such as the memcached-protocol
+// server in internal/server, runnable via cmd/ascyserve — whose keys are
+// not integers:
+//
+//	sm := ascylib.MustNewStringMap[[]byte]("ht-clht-lf")
+//	sm.Put("user:42", []byte("profile"))
+//
 // Use Algorithms to enumerate the catalogue, and see DESIGN.md /
 // EXPERIMENTS.md for the reproduction of the paper's evaluation.
 //

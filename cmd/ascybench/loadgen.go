@@ -1,0 +1,129 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// runLoadgen implements the `ascybench loadgen` subcommand: a closed-loop
+// pipelined load generator for memcached-protocol servers. Two modes:
+//
+//   - -addr host:port drives an already-running server (ascyserve or real
+//     memcached); the served algorithm is read from its stats.
+//   - -algo <name>|all boots ascyserve in-process on a loopback ephemeral
+//     port and drives that; "all" sweeps every servable registry entry,
+//     producing one BENCH run per algorithm.
+//
+// Results go to stdout and, machine-readably, to -out (BENCH_server.json).
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "", "target server address; empty boots an in-process server")
+		algo      = fs.String("algo", "ht-clht-lb", "self-serve algorithm, or \"all\" for the sweep (ignored with -addr)")
+		conns     = fs.Int("conns", 4, "client connections")
+		pipeline  = fs.Int("pipeline", 8, "pipelined requests in flight per connection")
+		duration  = fs.Duration("duration", 2*time.Second, "measured window per run")
+		keys      = fs.Int("keys", 4096, "hot keyspace size (preloaded; draws span twice this)")
+		valueSize = fs.Int("valuesize", 64, "value size in bytes")
+		update    = fs.Int("update", 10, "update percentage (sets + deletes)")
+		rangePct  = fs.Int("rangepct", 0, "multi-get percentage (the wire analog of range scans)")
+		multiGet  = fs.Int("multiget", 10, "keys per multi-get batch")
+		sample    = fs.Int("sample", 4, "sample the latency of every n-th request")
+		seed      = fs.Uint64("seed", 1, "workload seed")
+		out       = fs.String("out", "BENCH_server.json", "machine-readable output file (empty disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := server.LoadgenConfig{
+		Conns:       *conns,
+		Pipeline:    *pipeline,
+		Duration:    *duration,
+		Keys:        *keys,
+		ValueSize:   *valueSize,
+		Mix:         workload.Mix{UpdatePct: *update, RangePct: *rangePct},
+		MultiGet:    *multiGet,
+		SampleEvery: *sample,
+		Seed:        *seed,
+	}
+
+	var runs []server.LoadgenResult
+	if *addr != "" {
+		cfg.Addr = *addr
+		res, err := server.RunLoadgen(cfg)
+		if err != nil {
+			return err
+		}
+		printLoadgen(res)
+		runs = append(runs, res)
+	} else {
+		algos := []string{*algo}
+		if *algo == "all" {
+			algos = algos[:0]
+			for _, a := range core.All() {
+				if a.Safe {
+					algos = append(algos, a.Name)
+				}
+			}
+		}
+		for _, name := range algos {
+			res, err := selfServe(name, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			printLoadgen(res)
+			runs = append(runs, res)
+		}
+	}
+	if *out != "" {
+		if err := server.WriteBench(*out, cfg, runs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d run(s))\n", *out, len(runs))
+	}
+	return nil
+}
+
+// selfServe boots an in-process server for one algorithm, drives it, and
+// tears it down.
+func selfServe(algo string, cfg server.LoadgenConfig) (server.LoadgenResult, error) {
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo})
+	if err != nil {
+		return server.LoadgenResult{}, err
+	}
+	if err := s.Listen(); err != nil {
+		return server.LoadgenResult{}, err
+	}
+	done := make(chan struct{})
+	go func() { s.Serve(); close(done) }()
+	cfg.Addr = s.Addr().String()
+	res, rerr := server.RunLoadgen(cfg)
+	s.Close()
+	<-done
+	return res, rerr
+}
+
+// printLoadgen renders one run for the terminal.
+func printLoadgen(r server.LoadgenResult) {
+	algo := r.Algo
+	if algo == "" {
+		algo = "(unknown algo)"
+	}
+	fmt.Printf("%s: %d conns x %d deep, %v\n", algo, r.Cfg.Conns, r.Cfg.Pipeline, r.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput: %.0f req/s (%d requests)\n", r.Throughput(), r.Ops)
+	fmt.Printf("  gets: %d (%.1f%% miss), sets: %d, deletes: %d", r.Gets, 100*r.MissRate(), r.Sets, r.Deletes)
+	if r.MGets > 0 {
+		fmt.Printf(", multi-gets: %d (%.1f keys/batch)", r.MGets, float64(r.MGetKeys)/float64(r.MGets))
+	}
+	fmt.Println()
+	if all, ok := r.Latency["all"]; ok && all.N > 0 {
+		j := all.JSON()
+		fmt.Printf("  latency: mean %.0fus, p50 %.0fus, p99 %.0fus (n=%d sampled)\n",
+			j.MeanUS, j.P50US, j.P99US, j.N)
+	}
+}

@@ -6,6 +6,8 @@
 //
 //	ascybench list                  # capability matrix of the v2 surface
 //	ascybench describe bst-tk       # one algorithm in detail
+//	ascybench loadgen -addr 127.0.0.1:11211 -out BENCH_server.json
+//	ascybench loadgen -algo all -duration 2s    # self-served per-algo sweep
 //	ascybench -list                 # Table 1: the algorithm catalogue
 //	ascybench -fig fig2a            # one experiment (fig2a..fig2d, fig3..fig9, rangemix, summary)
 //	ascybench -all                  # everything
@@ -49,6 +51,12 @@ func main() {
 			}
 			if err := describeAlgorithm(os.Args[2]); err != nil {
 				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		case "loadgen":
+			if err := runLoadgen(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "ascybench loadgen:", err)
 				os.Exit(1)
 			}
 			return

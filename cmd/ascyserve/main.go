@@ -1,0 +1,102 @@
+// Command ascyserve serves an ASCY-backed store over the memcached text
+// protocol. Any registered algorithm can front the wire, so the whole
+// capability matrix is servable:
+//
+//	ascyserve                                  # CLHT-LB on :11211
+//	ascyserve -algo ht-clht-lf -addr :11300
+//	ascyserve -algo sl-fraser-opt              # a skip list speaking memcached
+//	ascyserve -addr 127.0.0.1:0 -addrfile /tmp/a.addr   # ephemeral port for scripts
+//
+// The server speaks get/gets (multi-key), set/add/replace/cas, delete,
+// incr/decr, stats, version, flush_all, and quit, with per-connection
+// buffering and request pipelining. Drive it with any memcached client, or
+// with the repo's own load generator:
+//
+//	ascybench loadgen -addr 127.0.0.1:11211 -duration 5s -out BENCH_server.json
+//
+// On SIGINT/SIGTERM the server drains connections and prints its stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":11211", "listen address (port 0 picks an ephemeral port)")
+		algo     = flag.String("algo", "ht-clht-lb", "backing algorithm (see `ascybench list`)")
+		capacity = flag.Int("capacity", 1<<16, "structure capacity (hash-table buckets)")
+		accept   = flag.Int("accept", 0, "sharded-accept workers (0 = GOMAXPROCS, capped at 8)")
+		maxItem  = flag.Int("maxitem", server.DefaultMaxItemSize, "maximum value size in bytes")
+		addrFile = flag.String("addrfile", "", "write the bound address to this file (for scripts)")
+		quiet    = flag.Bool("quiet", false, "suppress the startup banner and shutdown stats")
+	)
+	flag.Parse()
+
+	if _, ok := core.Get(*algo); !ok {
+		fmt.Fprintf(os.Stderr, "ascyserve: unknown algorithm %q; pick one of:\n", *algo)
+		for _, a := range core.All() {
+			if a.Safe {
+				fmt.Fprintf(os.Stderr, "  %s\n", a.Name)
+			}
+		}
+		os.Exit(2)
+	}
+
+	s, err := server.New(server.Config{
+		Addr:          *addr,
+		Algo:          *algo,
+		Capacity:      *capacity,
+		AcceptWorkers: *accept,
+		MaxItemSize:   *maxItem,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ascyserve:", err)
+		os.Exit(1)
+	}
+	if err := s.Listen(); err != nil {
+		fmt.Fprintln(os.Stderr, "ascyserve:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("ascyserve: %s serving %s on %s\n", server.Version, *algo, s.Addr())
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(s.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ascyserve:", err)
+			s.Close()
+			os.Exit(1)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ascyserve:", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		s.Close()
+		<-done
+	}
+	if !*quiet {
+		fmt.Println("ascyserve: shutdown stats:")
+		for _, kv := range s.Stats() {
+			fmt.Printf("  %-18s %s\n", kv[0], kv[1])
+		}
+	}
+}

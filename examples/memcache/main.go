@@ -1,14 +1,18 @@
-// memcache: a sharded look-aside cache in the style of Memcached, whose hash
-// table the paper names as a canonical CSDS deployment (§1, §7: "concurrent
-// hash tables are crucial ... in Memcached"; Fan et al. tripled Memcached
-// throughput by fixing exactly this table).
+// memcache: a look-aside cache in the style of Memcached — the deployment
+// the paper names as a canonical CSDS use (§1, §7: "concurrent hash tables
+// are crucial ... in Memcached"; Fan et al. tripled Memcached throughput by
+// fixing exactly this table) — served over the real wire protocol.
 //
-// Built on the typed facade ascylib.Map[uint64, string] over CLHT-LF, the
-// paper's lock-free cache-line hash table. The version-stamped entry array
-// this example used to hand-roll is gone: string payloads live in the
-// facade's generation-tagged value arena, and racing fills resolve through
-// the v2 GetOrInsert — native on CLHT, one bucket pass — instead of an
-// insert-and-drop dance.
+// Before/after: this example used to simulate the cache in-process — a
+// *ascylib.Map in the same address space, no socket anywhere, with the
+// look-aside pattern faked by direct method calls. It now does what its
+// name says: it boots the repo's actual memcached-protocol server
+// (internal/server, CLHT-LF behind it), and the clients dial it over
+// loopback TCP and speak the protocol — Get on the hot path, Add to
+// resolve racing fills (the first writer wins, exactly the look-aside
+// idiom a real Memcached deployment uses), delete to invalidate. The
+// numbers it prints are therefore end-to-end: framing, kernel round
+// trips, and the concurrent hash table underneath.
 //
 // Run with: go run ./examples/memcache
 package main
@@ -19,47 +23,67 @@ import (
 	"sync/atomic"
 	"time"
 
-	ascylib "repro"
-
+	"repro/internal/server"
 	"repro/internal/xrand"
 )
 
-// Cache is a look-aside cache over CLHT-LF.
+// Cache is a look-aside cache over one memcached-protocol connection.
+// Each client goroutine owns one (connections are not goroutine-safe,
+// as with any memcached client).
 type Cache struct {
-	m *ascylib.Map[uint64, string]
+	c *server.Client
 
-	hits, misses, fills atomic.Uint64
+	hits, misses, fills *atomic.Uint64 // shared across clients
 }
 
-// NewCache builds a cache with the given power-of-two capacity.
-func NewCache(capacity int) *Cache {
-	return &Cache{m: ascylib.MustNewMap[uint64, string]("ht-clht-lf", ascylib.Capacity(capacity))}
-}
-
-// Get returns the cached payload for id, filling from loader on a miss.
-// Concurrent fills of the same id race through GetOrInsert: the first
-// writer wins, as in a real look-aside cache.
-func (c *Cache) Get(id uint64, loader func(uint64) string) string {
-	if v, ok := c.m.Get(id); ok {
+// Get returns the payload for id, filling from loader on a miss.
+// Concurrent fills of the same id race through add: the first writer wins,
+// as in a real look-aside cache.
+func (c *Cache) Get(id uint64, loader func(uint64) string) (string, error) {
+	key := fmt.Sprintf("obj:%d", id)
+	if e, ok, err := c.c.Get(key); err != nil {
+		return "", err
+	} else if ok {
 		c.hits.Add(1)
-		return v
+		return string(e.Data), nil
 	}
 	c.misses.Add(1)
-	payload, inserted := c.m.GetOrInsert(id, loader(id))
-	if inserted {
-		c.fills.Add(1)
+	payload := loader(id)
+	stored, err := c.c.Add(key, 0, 0, []byte(payload))
+	if err != nil {
+		return "", err
 	}
-	return payload
+	if stored {
+		c.fills.Add(1)
+		return payload, nil
+	}
+	// Lost the fill race; the winner's payload is authoritative.
+	if e, ok, err := c.c.Get(key); err == nil && ok {
+		return string(e.Data), nil
+	}
+	return payload, nil
 }
 
 // Invalidate drops id from the cache (e.g. on a write-through update).
-func (c *Cache) Invalidate(id uint64) bool {
-	_, ok := c.m.Delete(id)
-	return ok
+func (c *Cache) Invalidate(id uint64) error {
+	_, err := c.c.Delete(fmt.Sprintf("obj:%d", id))
+	return err
 }
 
 func main() {
-	cache := NewCache(1 << 15)
+	// The real server: CLHT-LF (the paper's lock-free cache-line hash
+	// table) behind the memcached text protocol on a loopback port.
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: "ht-clht-lf", Capacity: 1 << 15})
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.Listen(); err != nil {
+		panic(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+	fmt.Printf("serving ht-clht-lf behind the memcached protocol on %s\n", addr)
 
 	// The "database": slow to consult.
 	var dbReads atomic.Uint64
@@ -70,16 +94,23 @@ func main() {
 	}
 
 	const clients = 8
-	const requests = 50000
+	const requests = 25000
 	const hotSet = 4096 // ids 1..hotSet take 90% of traffic
 	const coldSet = 1 << 20
 
+	var hits, misses, fills atomic.Uint64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for cl := 0; cl < clients; cl++ {
 		wg.Add(1)
 		go func(cl int) {
 			defer wg.Done()
+			conn, err := server.Dial(addr)
+			if err != nil {
+				panic(err)
+			}
+			defer conn.Close()
+			cache := &Cache{c: conn, hits: &hits, misses: &misses, fills: &fills}
 			rng := xrand.New(uint64(cl) + 1)
 			for i := 0; i < requests; i++ {
 				var id uint64
@@ -88,13 +119,18 @@ func main() {
 				} else {
 					id = rng.Uint64n(coldSet) + 1
 				}
-				got := cache.Get(id, loader)
+				got, err := cache.Get(id, loader)
+				if err != nil {
+					panic(err)
+				}
 				if i%1000 == 0 && got == "" {
 					panic("empty payload")
 				}
 				// Occasional invalidation, as after a write.
 				if rng.Intn(200) == 0 {
-					cache.Invalidate(id)
+					if err := cache.Invalidate(id); err != nil {
+						panic(err)
+					}
 				}
 			}
 		}(cl)
@@ -103,9 +139,11 @@ func main() {
 	elapsed := time.Since(start)
 
 	total := float64(clients * requests)
-	fmt.Printf("requests: %.0f in %v (%.2f Mreq/s)\n", total, elapsed, total/elapsed.Seconds()/1e6)
+	fmt.Printf("requests: %.0f in %v (%.2f Mreq/s, over the wire)\n", total, elapsed, total/elapsed.Seconds()/1e6)
 	fmt.Printf("cache hits: %d (%.1f%%), misses: %d, fills: %d, backend reads: %d\n",
-		cache.hits.Load(), 100*float64(cache.hits.Load())/total,
-		cache.misses.Load(), cache.fills.Load(), dbReads.Load())
-	fmt.Printf("cached objects at quiescence: %d\n", cache.m.Len())
+		hits.Load(), 100*float64(hits.Load())/total,
+		misses.Load(), fills.Load(), dbReads.Load())
+	st := srv.StatsMap()
+	fmt.Printf("server: cmd_get=%s get_hits=%s get_misses=%s curr_items=%s bytes_read=%s\n",
+		st["cmd_get"], st["get_hits"], st["get_misses"], st["curr_items"], st["bytes_read"])
 }

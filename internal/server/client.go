@@ -1,0 +1,411 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Client speaks the memcached text protocol over one connection. The
+// synchronous methods (Get, Set, …) send, flush, and read the response.
+// The Send*/Recv* halves expose the wire's natural pipelining: queue any
+// number of requests, Flush once, then receive the responses in order.
+// A Client is not safe for concurrent use; open one per goroutine.
+type Client struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a memcached-protocol server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{
+		c:  c,
+		br: newReader(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}, nil
+}
+
+// Close sends quit and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.bw, "quit\r\n")
+	c.bw.Flush()
+	return c.c.Close()
+}
+
+// Abort closes the transport without touching the buffers. Unlike every
+// other method it is safe to call from another goroutine, to unblock a
+// Client whose owner is mid-send or mid-receive.
+func (c *Client) Abort() error { return c.c.Close() }
+
+// Flush pushes queued requests to the server.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Entry is one retrieved value.
+type Entry struct {
+	Key   string
+	Flags uint32
+	CAS   uint64
+	Data  []byte
+}
+
+// --- pipelined send half ---
+
+// SendGet queues a get (or gets, when withCAS) for the given keys.
+func (c *Client) SendGet(withCAS bool, keys ...string) error {
+	verb := "get"
+	if withCAS {
+		verb = "gets"
+	}
+	c.bw.WriteString(verb)
+	for _, k := range keys {
+		c.bw.WriteByte(' ')
+		c.bw.WriteString(k)
+	}
+	_, err := c.bw.Write(crlf)
+	return err
+}
+
+// SendStore queues a storage command: verb is "set", "add", "replace", or
+// "cas" (casid is only written for cas).
+func (c *Client) SendStore(verb, key string, flags uint32, exptime int64, data []byte, casid uint64) error {
+	fmt.Fprintf(c.bw, "%s %s %d %d %d", verb, key, flags, exptime, len(data))
+	if verb == "cas" {
+		fmt.Fprintf(c.bw, " %d", casid)
+	}
+	c.bw.Write(crlf)
+	c.bw.Write(data)
+	_, err := c.bw.Write(crlf)
+	return err
+}
+
+// SendDelete queues a delete.
+func (c *Client) SendDelete(key string) error {
+	_, err := fmt.Fprintf(c.bw, "delete %s\r\n", key)
+	return err
+}
+
+// SendIncrDecr queues an incr or decr.
+func (c *Client) SendIncrDecr(key string, delta uint64, incr bool) error {
+	verb := "incr"
+	if !incr {
+		verb = "decr"
+	}
+	_, err := fmt.Fprintf(c.bw, "%s %s %d\r\n", verb, key, delta)
+	return err
+}
+
+// --- pipelined receive half ---
+
+// readLine reads one response line (without CRLF).
+func (c *Client) readLine() (string, error) {
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// serverError converts an error-class response line into an error.
+func serverError(line string) error {
+	if line == "ERROR" || strings.HasPrefix(line, "CLIENT_ERROR") ||
+		strings.HasPrefix(line, "SERVER_ERROR") {
+		return fmt.Errorf("server: %s", line)
+	}
+	return nil
+}
+
+// RecvGet receives the response of one SendGet: the entries found, in
+// server order.
+func (c *Client) RecvGet() ([]Entry, error) {
+	var out []Entry
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		if err := serverError(line); err != nil {
+			return nil, err
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || f[0] != "VALUE" {
+			return nil, fmt.Errorf("client: malformed VALUE line %q", line)
+		}
+		flags, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad flags in %q", line)
+		}
+		size, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("client: bad size in %q", line)
+		}
+		e := Entry{Key: f[1], Flags: uint32(flags)}
+		if len(f) >= 5 {
+			if e.CAS, err = strconv.ParseUint(f[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("client: bad cas in %q", line)
+			}
+		}
+		e.Data = make([]byte, size)
+		if _, err := io.ReadFull(c.br, e.Data); err != nil {
+			return nil, err
+		}
+		var term [2]byte
+		if _, err := io.ReadFull(c.br, term[:]); err != nil {
+			return nil, err
+		}
+		if term[0] != '\r' || term[1] != '\n' {
+			return nil, fmt.Errorf("client: value block not CRLF-terminated")
+		}
+		out = append(out, e)
+	}
+}
+
+// RecvLine receives a single-line response (STORED, DELETED, NOT_FOUND, a
+// decimal, …) for any queued single-line-response command.
+func (c *Client) RecvLine() (string, error) { return c.readLine() }
+
+// RecvStored receives a storage response and reports whether it was
+// STORED. EXISTS/NOT_STORED/NOT_FOUND report false with no error; error
+// responses become errors.
+func (c *Client) RecvStored() (bool, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch line {
+	case "STORED":
+		return true, nil
+	case "NOT_STORED", "EXISTS", "NOT_FOUND":
+		return false, nil
+	}
+	if err := serverError(line); err != nil {
+		return false, err
+	}
+	return false, fmt.Errorf("client: unexpected storage response %q", line)
+}
+
+// RecvDeleted receives a delete response.
+func (c *Client) RecvDeleted() (bool, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch line {
+	case "DELETED":
+		return true, nil
+	case "NOT_FOUND":
+		return false, nil
+	}
+	if err := serverError(line); err != nil {
+		return false, err
+	}
+	return false, fmt.Errorf("client: unexpected delete response %q", line)
+}
+
+// --- synchronous convenience methods ---
+
+// Get retrieves one key.
+func (c *Client) Get(key string) (Entry, bool, error) {
+	if err := c.SendGet(false, key); err != nil {
+		return Entry{}, false, err
+	}
+	if err := c.Flush(); err != nil {
+		return Entry{}, false, err
+	}
+	es, err := c.RecvGet()
+	if err != nil || len(es) == 0 {
+		return Entry{}, false, err
+	}
+	return es[0], true, nil
+}
+
+// Gets retrieves one key with its CAS token.
+func (c *Client) Gets(key string) (Entry, bool, error) {
+	if err := c.SendGet(true, key); err != nil {
+		return Entry{}, false, err
+	}
+	if err := c.Flush(); err != nil {
+		return Entry{}, false, err
+	}
+	es, err := c.RecvGet()
+	if err != nil || len(es) == 0 {
+		return Entry{}, false, err
+	}
+	return es[0], true, nil
+}
+
+// GetMulti retrieves several keys in one round trip.
+func (c *Client) GetMulti(keys ...string) (map[string]Entry, error) {
+	if err := c.SendGet(false, keys...); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	es, err := c.RecvGet()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Entry, len(es))
+	for _, e := range es {
+		out[e.Key] = e
+	}
+	return out, nil
+}
+
+func (c *Client) store(verb, key string, flags uint32, exptime int64, data []byte, casid uint64) (bool, error) {
+	if err := c.SendStore(verb, key, flags, exptime, data, casid); err != nil {
+		return false, err
+	}
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	return c.RecvStored()
+}
+
+// Set stores unconditionally.
+func (c *Client) Set(key string, flags uint32, exptime int64, data []byte) error {
+	ok, err := c.store("set", key, flags, exptime, data, 0)
+	if err == nil && !ok {
+		return fmt.Errorf("client: set of %q not stored", key)
+	}
+	return err
+}
+
+// Add stores only if absent; reports whether it stored.
+func (c *Client) Add(key string, flags uint32, exptime int64, data []byte) (bool, error) {
+	return c.store("add", key, flags, exptime, data, 0)
+}
+
+// Replace stores only if present; reports whether it stored.
+func (c *Client) Replace(key string, flags uint32, exptime int64, data []byte) (bool, error) {
+	return c.store("replace", key, flags, exptime, data, 0)
+}
+
+// Cas stores only if the item's token still matches; reports whether it
+// stored (false covers both EXISTS and NOT_FOUND).
+func (c *Client) Cas(key string, flags uint32, exptime int64, data []byte, casid uint64) (bool, error) {
+	return c.store("cas", key, flags, exptime, data, casid)
+}
+
+// Delete removes a key; reports whether an item was deleted.
+func (c *Client) Delete(key string) (bool, error) {
+	if err := c.SendDelete(key); err != nil {
+		return false, err
+	}
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	return c.RecvDeleted()
+}
+
+// Incr adjusts the decimal value under key upward, returning the new
+// value; ok is false when the key was absent.
+func (c *Client) Incr(key string, delta uint64) (uint64, bool, error) {
+	return c.incrDecr(key, delta, true)
+}
+
+// Decr adjusts the decimal value under key downward (floored at 0).
+func (c *Client) Decr(key string, delta uint64) (uint64, bool, error) {
+	return c.incrDecr(key, delta, false)
+}
+
+func (c *Client) incrDecr(key string, delta uint64, incr bool) (uint64, bool, error) {
+	if err := c.SendIncrDecr(key, delta, incr); err != nil {
+		return 0, false, err
+	}
+	if err := c.Flush(); err != nil {
+		return 0, false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, false, err
+	}
+	if line == "NOT_FOUND" {
+		return 0, false, nil
+	}
+	if err := serverError(line); err != nil {
+		return 0, false, err
+	}
+	v, perr := strconv.ParseUint(line, 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("client: unexpected incr/decr response %q", line)
+	}
+	return v, true, nil
+}
+
+// Stats retrieves the server's statistics.
+func (c *Client) Stats() (map[string]string, error) {
+	if _, err := fmt.Fprintf(c.bw, "stats\r\n"); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		if err := serverError(line); err != nil {
+			return nil, err
+		}
+		f := strings.SplitN(line, " ", 3)
+		if len(f) == 3 && f[0] == "STAT" {
+			out[f[1]] = f[2]
+		}
+	}
+}
+
+// Version retrieves the server's version banner.
+func (c *Client) Version() (string, error) {
+	if _, err := fmt.Fprintf(c.bw, "version\r\n"); err != nil {
+		return "", err
+	}
+	if err := c.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return "", err
+	}
+	if err := serverError(line); err != nil {
+		return "", err
+	}
+	return strings.TrimPrefix(line, "VERSION "), nil
+}
+
+// FlushAll empties the server's store.
+func (c *Client) FlushAll() error {
+	if _, err := fmt.Fprintf(c.bw, "flush_all\r\n"); err != nil {
+		return err
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "OK" {
+		return fmt.Errorf("client: unexpected flush_all response %q", line)
+	}
+	return nil
+}

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// LoadgenConfig configures one load-generation run against a
+// memcached-protocol endpoint.
+type LoadgenConfig struct {
+	// Addr is the target server.
+	Addr string
+	// Conns is the number of client connections (each driven by its own
+	// sender/receiver goroutine pair).
+	Conns int
+	// Pipeline is the closed-loop window: each connection keeps up to
+	// this many requests outstanding. 1 degenerates to strict
+	// request/response.
+	Pipeline int
+	// Duration of the measured window.
+	Duration time.Duration
+	// Keys is the hot keyspace size N. Preload fills N random keys drawn
+	// from [1..2N] — the paper's protocol carried onto the wire — so gets
+	// start near a 50% hit rate and the update mix holds it there.
+	Keys int
+	// ValueSize is the stored value size in bytes.
+	ValueSize int
+	// Mix is the operation mix, shared with the in-process harness:
+	// searches become gets, inserts sets, removes deletes, and range
+	// scans multi-gets of MultiGet consecutive keys.
+	Mix workload.Mix
+	// MultiGet is the batch size a range-scan draw turns into (default 10).
+	MultiGet int
+	// SampleEvery samples the latency of every n-th request per class
+	// (default 4; 1 records everything).
+	SampleEvery int
+	// Seed makes runs reproducible; connection i uses Seed+i.
+	Seed uint64
+}
+
+func (c *LoadgenConfig) fill() {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Keys <= 0 {
+		c.Keys = 4096
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 64
+	}
+	if c.MultiGet <= 0 {
+		c.MultiGet = 10
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 4
+	}
+}
+
+// Latency classes of the load generator.
+const (
+	lgGet = iota
+	lgSet
+	lgDelete
+	lgMGet
+	numLgClasses
+)
+
+var lgClassNames = [numLgClasses]string{"get", "set", "delete", "mget"}
+
+// pending is one in-flight request: what the receiver must parse, and when
+// it left (t0 zero when the request is not latency-sampled).
+type pending struct {
+	class int8
+	t0    time.Time
+}
+
+// LoadgenResult aggregates one run.
+type LoadgenResult struct {
+	Cfg     LoadgenConfig
+	Algo    string // from the server's stats ("algo"), if it reports one
+	Elapsed time.Duration
+
+	Ops        uint64 // requests completed (a multi-get counts once)
+	Gets       uint64
+	GetHits    uint64
+	GetMisses  uint64
+	Sets       uint64
+	Deletes    uint64
+	DeleteHits uint64
+	MGets      uint64
+	MGetKeys   uint64
+
+	// Latency is the send-to-response distribution per class plus "all".
+	Latency map[string]stats.Summary
+}
+
+// Throughput returns completed requests per second.
+func (r LoadgenResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// MissRate returns the get miss fraction.
+func (r LoadgenResult) MissRate() float64 {
+	if r.Gets == 0 {
+		return 0
+	}
+	return float64(r.GetMisses) / float64(r.Gets)
+}
+
+// lgConn is the per-connection accounting. The sender goroutine owns the
+// send side, the receiver everything else; the aggregation reads both after
+// the connection's goroutines are joined.
+type lgConn struct {
+	ops, gets, hits, misses, sets, dels, delHits, mgets, mgetKeys uint64
+	lat                                                           [numLgClasses]stats.Recorder
+	all                                                           stats.Recorder
+	dead                                                          atomic.Bool // receiver failed; sender must stop
+	sendErr, recvErr                                              error
+}
+
+// RunLoadgen preloads the keyspace, then drives the server closed-loop for
+// the configured duration: each connection pairs a sender that draws
+// operations from the mix with a receiver that consumes responses, coupled
+// by a channel whose capacity is the pipeline depth — the window refills
+// exactly as fast as responses drain it. The sender flushes its write
+// buffer before any enqueue that could block, so the server always holds
+// every request the receiver is waiting on.
+func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
+	cfg.fill()
+	res := LoadgenResult{Cfg: cfg}
+
+	// Key table: draws index [1..2N] like the paper's key range.
+	keys := make([]string, 2*cfg.Keys+1)
+	for i := range keys {
+		keys[i] = "k" + strconv.Itoa(i)
+	}
+	value := make([]byte, cfg.ValueSize)
+	for i := range value {
+		value[i] = 'a' + byte(i%26)
+	}
+
+	// Preload N distinct random keys.
+	pre, err := Dial(cfg.Addr)
+	if err != nil {
+		return res, fmt.Errorf("loadgen: dial %s: %w", cfg.Addr, err)
+	}
+	// Walk the whole key domain in a seeded random order, stopping at N
+	// stored. A bounded sweep rather than rejection sampling: against a
+	// server that already holds data (a second run, a shared instance)
+	// fewer than N keys may be absent, and the sweep terminates anyway.
+	prng := xrand.New(cfg.Seed + 0x5eed)
+	perm := make([]uint64, 2*cfg.Keys)
+	for i := range perm {
+		perm[i] = uint64(i) + 1
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := prng.Uint64n(uint64(i + 1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for n, ki := 0, 0; n < cfg.Keys && ki < len(perm); ki++ {
+		stored, err := pre.Add(keys[perm[ki]], 0, 0, value)
+		if err != nil {
+			pre.Close()
+			return res, fmt.Errorf("loadgen: preload: %w", err)
+		}
+		if stored {
+			n++
+		}
+	}
+	if st, err := pre.Stats(); err == nil {
+		res.Algo = st["algo"]
+	}
+	pre.Close()
+
+	states := make([]*lgConn, cfg.Conns)
+	clients := make([]*Client, 0, cfg.Conns)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(cfg.Duration)
+	begin := time.Now()
+	for i := 0; i < cfg.Conns; i++ {
+		cs := &lgConn{}
+		states[i] = cs
+		cl, err := Dial(cfg.Addr)
+		if err != nil {
+			// Stop and join the connections already running before
+			// reporting: leaving them loading the server after the call
+			// returned an error would corrupt any follow-up run.
+			for _, st := range states[:i] {
+				st.dead.Store(true)
+			}
+			for _, c := range clients {
+				c.Abort()
+			}
+			wg.Wait()
+			return res, fmt.Errorf("loadgen: dial %s: %w", cfg.Addr, err)
+		}
+		clients = append(clients, cl)
+		wg.Add(1)
+		go func(i int, cl *Client, cs *lgConn) {
+			defer wg.Done()
+			defer cl.Close()
+			window := make(chan pending, cfg.Pipeline)
+			var rwg sync.WaitGroup
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				lgReceive(cl, cs, window)
+			}()
+			cs.sendErr = lgSend(cl, cs, cfg, i, keys, value, deadline, window)
+			cl.Flush()
+			close(window)
+			rwg.Wait()
+		}(i, cl, cs)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(begin)
+
+	var all stats.Recorder
+	var lat [numLgClasses]stats.Recorder
+	var firstErr error
+	for _, cs := range states {
+		if firstErr == nil {
+			if cs.recvErr != nil {
+				firstErr = cs.recvErr
+			} else if cs.sendErr != nil {
+				firstErr = cs.sendErr
+			}
+		}
+		res.Ops += cs.ops
+		res.Gets += cs.gets
+		res.GetHits += cs.hits
+		res.GetMisses += cs.misses
+		res.Sets += cs.sets
+		res.Deletes += cs.dels
+		res.DeleteHits += cs.delHits
+		res.MGets += cs.mgets
+		res.MGetKeys += cs.mgetKeys
+		all.Merge(&cs.all)
+		for cl := range lat {
+			lat[cl].Merge(&cs.lat[cl])
+		}
+	}
+	if firstErr != nil {
+		return res, fmt.Errorf("loadgen: connection error: %w", firstErr)
+	}
+	res.Latency = map[string]stats.Summary{"all": all.Summarize()}
+	for cl := range lat {
+		if lat[cl].Count() > 0 {
+			res.Latency[lgClassNames[cl]] = lat[cl].Summarize()
+		}
+	}
+	return res, nil
+}
+
+// lgSend is the sender half of one connection: draw, encode, enqueue. It
+// returns when the deadline passes, the receiver dies, or a send fails.
+func lgSend(cl *Client, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, value []byte, deadline time.Time, window chan pending) error {
+	rng := xrand.New(cfg.Seed + uint64(conn) + 1)
+	kr := uint64(2 * cfg.Keys)
+	var countdown [numLgClasses]int
+	for time.Now().Before(deadline) && !cs.dead.Load() {
+		k := keys[rng.Uint64n(kr)+1]
+		kind := cfg.Mix.Next(rng)
+		var p pending
+		var err error
+		switch kind {
+		case workload.KindSearch:
+			p.class = lgGet
+			err = cl.SendGet(false, k)
+		case workload.KindInsert:
+			p.class = lgSet
+			err = cl.SendStore("set", k, 0, 0, value, 0)
+		case workload.KindRemove:
+			p.class = lgDelete
+			err = cl.SendDelete(k)
+		case workload.KindRange:
+			p.class = lgMGet
+			start := rng.Uint64n(kr) + 1
+			batch := make([]string, 0, cfg.MultiGet)
+			for j := 0; j < cfg.MultiGet && int(start)+j < len(keys); j++ {
+				batch = append(batch, keys[start+uint64(j)])
+			}
+			err = cl.SendGet(false, batch...)
+		}
+		if err != nil {
+			return err
+		}
+		if countdown[p.class] == 0 {
+			countdown[p.class] = cfg.SampleEvery
+			p.t0 = time.Now()
+		}
+		countdown[p.class]--
+		// Never block on a full window with unflushed requests: the
+		// receiver could be waiting on bytes still in our buffer.
+		if len(window) == cap(window) {
+			if err := cl.Flush(); err != nil {
+				return err
+			}
+		}
+		window <- p
+	}
+	return nil
+}
+
+// lgReceive is the receiver half: parse responses in request order. On an
+// error it marks the connection dead and drains the window so the sender
+// never blocks against a gone receiver.
+func lgReceive(cl *Client, cs *lgConn, window chan pending) {
+	fail := func(err error) {
+		cs.recvErr = err
+		cs.dead.Store(true)
+		for range window {
+		}
+	}
+	for p := range window {
+		switch p.class {
+		case lgGet, lgMGet:
+			es, err := cl.RecvGet()
+			if err != nil {
+				fail(err)
+				return
+			}
+			if p.class == lgGet {
+				cs.gets++
+				if len(es) > 0 {
+					cs.hits++
+				} else {
+					cs.misses++
+				}
+			} else {
+				cs.mgets++
+				cs.mgetKeys += uint64(len(es))
+			}
+		case lgSet:
+			if _, err := cl.RecvStored(); err != nil {
+				fail(err)
+				return
+			}
+			cs.sets++
+		case lgDelete:
+			ok, err := cl.RecvDeleted()
+			if err != nil {
+				fail(err)
+				return
+			}
+			cs.dels++
+			if ok {
+				cs.delHits++
+			}
+		}
+		cs.ops++
+		if !p.t0.IsZero() {
+			cs.lat[p.class].AddSince(p.t0)
+			cs.all.AddSince(p.t0)
+		}
+	}
+}
+
+// --- BENCH_server.json ---
+
+// BenchSchema identifies the BENCH_server.json layout.
+const BenchSchema = "ascylib/bench-server/v1"
+
+// BenchRun is one load-generation run in machine-readable form.
+type BenchRun struct {
+	Algo           string                       `json:"algo"`
+	Ops            uint64                       `json:"ops"`
+	DurationS      float64                      `json:"duration_s"`
+	ThroughputOpsS float64                      `json:"throughput_ops_s"`
+	MissRate       float64                      `json:"miss_rate"`
+	Gets           uint64                       `json:"gets"`
+	GetHits        uint64                       `json:"get_hits"`
+	GetMisses      uint64                       `json:"get_misses"`
+	Sets           uint64                       `json:"sets"`
+	Deletes        uint64                       `json:"deletes"`
+	MultiGets      uint64                       `json:"multi_gets"`
+	MultiGetKeys   uint64                       `json:"multi_get_keys"`
+	LatencyUS      map[string]stats.SummaryJSON `json:"latency_us"`
+}
+
+// BenchFile is the BENCH_server.json document: the loadgen configuration
+// and one run per algorithm driven.
+type BenchFile struct {
+	Schema string `json:"schema"`
+	Config struct {
+		Conns       int     `json:"conns"`
+		Pipeline    int     `json:"pipeline"`
+		DurationS   float64 `json:"duration_s"`
+		Keys        int     `json:"keys"`
+		ValueSize   int     `json:"value_size"`
+		UpdatePct   int     `json:"update_pct"`
+		RangePct    int     `json:"range_pct"`
+		MultiGet    int     `json:"multi_get"`
+		SampleEvery int     `json:"sample_every"`
+		Seed        uint64  `json:"seed"`
+	} `json:"config"`
+	Runs []BenchRun `json:"runs"`
+}
+
+// BenchRunOf digests a result for the bench file.
+func BenchRunOf(r LoadgenResult) BenchRun {
+	b := BenchRun{
+		Algo:           r.Algo,
+		Ops:            r.Ops,
+		DurationS:      r.Elapsed.Seconds(),
+		ThroughputOpsS: r.Throughput(),
+		MissRate:       r.MissRate(),
+		Gets:           r.Gets,
+		GetHits:        r.GetHits,
+		GetMisses:      r.GetMisses,
+		Sets:           r.Sets,
+		Deletes:        r.Deletes,
+		MultiGets:      r.MGets,
+		MultiGetKeys:   r.MGetKeys,
+		LatencyUS:      map[string]stats.SummaryJSON{},
+	}
+	for name, s := range r.Latency {
+		b.LatencyUS[name] = s.JSON()
+	}
+	return b
+}
+
+// WriteBench writes the BENCH_server.json document for a set of runs that
+// shared one configuration.
+func WriteBench(path string, cfg LoadgenConfig, runs []LoadgenResult) error {
+	cfg.fill()
+	var f BenchFile
+	f.Schema = BenchSchema
+	f.Config.Conns = cfg.Conns
+	f.Config.Pipeline = cfg.Pipeline
+	f.Config.DurationS = cfg.Duration.Seconds()
+	f.Config.Keys = cfg.Keys
+	f.Config.ValueSize = cfg.ValueSize
+	f.Config.UpdatePct = cfg.Mix.UpdatePct
+	f.Config.RangePct = cfg.Mix.RangePct
+	f.Config.MultiGet = cfg.MultiGet
+	f.Config.SampleEvery = cfg.SampleEvery
+	f.Config.Seed = cfg.Seed
+	f.Runs = []BenchRun{}
+	for _, r := range runs {
+		f.Runs = append(f.Runs, BenchRunOf(r))
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

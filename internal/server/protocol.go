@@ -1,0 +1,399 @@
+// Package server puts the library on the wire: a memcached-text-protocol
+// server over the typed facades, so any registered algorithm — CLHT, the
+// Fraser skip list, the Harris list, BST-TK, … — can front real network
+// traffic. The paper names memcached's hash table as a canonical CSDS
+// deployment (§1, §7); this package is that deployment, end to end.
+//
+// The layers, bottom up:
+//
+//   - protocol.go — framing: ReadCommand parses one request (command line
+//     plus optional data block) from a buffered stream, tolerating frames
+//     split across arbitrary read boundaries and resynchronizing after
+//     malformed lines.
+//   - store.go — memcached item semantics (flags, CAS tokens, lazy
+//     expiry, incr/decr) over ascylib.StringMap, i.e. over any registered
+//     structure.
+//   - server.go — the TCP front: a sharded-accept worker pool, one
+//     goroutine per connection, per-connection read/write buffering, and
+//     pipelining (responses are flushed only when the input buffer runs
+//     dry, so a burst of n requests costs O(1) flushes, not n).
+//   - client.go — a minimal client for the same protocol, with explicit
+//     send/receive halves so callers can pipeline.
+//   - loadgen.go — a closed-loop pipelined load generator driving any
+//     memcached-protocol endpoint with the workload package's mixes,
+//     recording per-op latency percentiles.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Protocol limits. MaxKeyLen is the memcached limit; the line limit bounds
+// multi-get command lines (a few hundred max-length keys).
+const (
+	MaxKeyLen          = 250
+	MaxCommandLine     = 1 << 14 // 16 KiB
+	DefaultMaxItemSize = 1 << 20 // 1 MiB values
+)
+
+// Op enumerates the protocol commands the server speaks.
+type Op uint8
+
+// The commands of the memcached text protocol served here.
+const (
+	OpGet Op = iota
+	OpGets
+	OpSet
+	OpAdd
+	OpReplace
+	OpCas
+	OpDelete
+	OpIncr
+	OpDecr
+	OpStats
+	OpVersion
+	OpFlushAll
+	OpQuit
+)
+
+var opNames = [...]string{
+	OpGet: "get", OpGets: "gets", OpSet: "set", OpAdd: "add",
+	OpReplace: "replace", OpCas: "cas", OpDelete: "delete", OpIncr: "incr",
+	OpDecr: "decr", OpStats: "stats", OpVersion: "version",
+	OpFlushAll: "flush_all", OpQuit: "quit",
+}
+
+// String returns the wire verb.
+func (o Op) String() string { return opNames[o] }
+
+// Command is one parsed request.
+type Command struct {
+	Op Op
+	// Keys holds the keys of a retrieval command (get/gets).
+	Keys []string
+	// Key is the single key of a storage/arithmetic/delete command.
+	Key string
+	// Flags, Exptime, and Data belong to storage commands; Data is the
+	// value block, already stripped of its trailing CRLF.
+	Flags   uint32
+	Exptime int64
+	Data    []byte
+	// CasID is the compare token of a cas command.
+	CasID uint64
+	// Delta is the incr/decr operand.
+	Delta uint64
+	// NoReply suppresses the response line.
+	NoReply bool
+}
+
+// ProtoError is a protocol-level failure. Resp is the full response line to
+// send the client (without CRLF); Fatal means the stream cannot be
+// resynchronized and the connection must close. Non-fatal errors leave the
+// reader positioned at the next command line — for storage commands that
+// means the data block announced by the (parseable) size field has been
+// consumed, so one malformed request can never smuggle its payload into
+// the command stream. NoReply is set when the failing command line asked
+// for noreply: the server then suppresses the error response too, keeping
+// noreply pipelines aligned (as memcached does).
+type ProtoError struct {
+	Resp    string
+	Fatal   bool
+	NoReply bool
+}
+
+// Error implements error.
+func (e *ProtoError) Error() string { return e.Resp }
+
+func clientErr(format string, args ...any) *ProtoError {
+	return &ProtoError{Resp: "CLIENT_ERROR " + fmt.Sprintf(format, args...)}
+}
+
+// ErrUnknownCommand is the bare-"ERROR" response of the protocol.
+var ErrUnknownCommand = &ProtoError{Resp: "ERROR"}
+
+// readLine reads one CRLF-terminated line, rejecting lines longer than
+// MaxCommandLine. On an overlong line it discards through the newline so
+// the stream stays framed, and returns a non-fatal ProtoError.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		// Discard the rest of the oversized line, then report.
+		for err == bufio.ErrBufferFull {
+			_, err = r.ReadSlice('\n')
+		}
+		if err != nil {
+			return nil, fatalIO(err)
+		}
+		return nil, clientErr("command line too long")
+	}
+	if err != nil {
+		if err == io.EOF && len(line) == 0 {
+			return nil, io.EOF
+		}
+		return nil, fatalIO(err)
+	}
+	if len(line) > MaxCommandLine {
+		// The buffer may be larger than the protocol limit; enforce the
+		// limit itself. The newline was already consumed, so the stream
+		// stays framed.
+		return nil, clientErr("command line too long")
+	}
+	// Strip the LF and an optional preceding CR.
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// fatalIO wraps a transport error; the connection is beyond recovery.
+func fatalIO(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// validKey reports whether k is a legal memcached key: 1..MaxKeyLen bytes,
+// no whitespace or control characters.
+func validKey(k string) bool {
+	if len(k) == 0 || len(k) > MaxKeyLen {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		if k[i] <= ' ' || k[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadCommand parses the next request from r: the command line and, for
+// storage commands, the data block. maxItem bounds the data block size
+// (<= 0 means DefaultMaxItemSize). Oversized values are consumed from the
+// stream and reported as a non-fatal ProtoError, so one abusive request
+// does not desynchronize the connection. io.EOF is returned only at a
+// clean boundary between requests.
+//
+// The reader's buffer must hold at least MaxCommandLine bytes (the server
+// and client constructors guarantee this).
+func ReadCommand(r *bufio.Reader, maxItem int) (*Command, error) {
+	if maxItem <= 0 {
+		maxItem = DefaultMaxItemSize
+	}
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(string(line))
+	cmd, err := parseFields(r, fields, maxItem)
+	if err != nil {
+		var pe *ProtoError
+		if errors.As(err, &pe) && !pe.NoReply &&
+			len(fields) > 0 && fields[len(fields)-1] == "noreply" {
+			// The failing command asked for noreply; suppress the error
+			// response as well (a copy — some ProtoErrors are shared).
+			cp := *pe
+			cp.NoReply = true
+			return nil, &cp
+		}
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// parseFields parses one split command line (and, for storage commands,
+// the trailing data block).
+func parseFields(r *bufio.Reader, fields []string, maxItem int) (*Command, error) {
+	if len(fields) == 0 {
+		return nil, ErrUnknownCommand
+	}
+	cmd := &Command{}
+	switch fields[0] {
+	case "get", "gets":
+		cmd.Op = OpGet
+		if fields[0] == "gets" {
+			cmd.Op = OpGets
+		}
+		if len(fields) < 2 {
+			return nil, clientErr("get requires at least one key")
+		}
+		for _, k := range fields[1:] {
+			if !validKey(k) {
+				return nil, clientErr("bad key")
+			}
+		}
+		cmd.Keys = fields[1:]
+		return cmd, nil
+
+	case "set", "add", "replace", "cas":
+		switch fields[0] {
+		case "set":
+			cmd.Op = OpSet
+		case "add":
+			cmd.Op = OpAdd
+		case "replace":
+			cmd.Op = OpReplace
+		case "cas":
+			cmd.Op = OpCas
+		}
+		want := 5 // verb key flags exptime bytes
+		if cmd.Op == OpCas {
+			want = 6 // ... casid
+		}
+		// The size field decides recoverability: when it parses, the data
+		// block it announces is consumed even if the rest of the line is
+		// malformed, so the stream stays aligned on command boundaries.
+		// When the size cannot be located or parsed, the block length is
+		// unknowable and the connection must close (the alternative —
+		// interpreting the client's data bytes as commands — is exactly
+		// the request-smuggling shape).
+		if len(fields) < 5 {
+			return nil, &ProtoError{Resp: "CLIENT_ERROR bad command line format", Fatal: true}
+		}
+		size, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil || size < 0 {
+			return nil, &ProtoError{Resp: "CLIENT_ERROR bad command line format", Fatal: true}
+		}
+		badLine := func(format string, args ...any) (*Command, error) {
+			if err := discard(r, size+2); err != nil {
+				return nil, fatalIO(err)
+			}
+			return nil, clientErr(format, args...)
+		}
+		n := len(fields)
+		if n == want+1 && fields[n-1] == "noreply" {
+			cmd.NoReply = true
+			n--
+		}
+		if n != want {
+			return badLine("bad command line format")
+		}
+		cmd.Key = fields[1]
+		if !validKey(cmd.Key) {
+			return badLine("bad key")
+		}
+		flags, err1 := strconv.ParseUint(fields[2], 10, 32)
+		exptime, err2 := strconv.ParseInt(fields[3], 10, 64)
+		if err1 != nil || err2 != nil {
+			return badLine("bad command line format")
+		}
+		if cmd.Op == OpCas {
+			casid, err := strconv.ParseUint(fields[5], 10, 64)
+			if err != nil {
+				return badLine("bad command line format")
+			}
+			cmd.CasID = casid
+		}
+		cmd.Flags = uint32(flags)
+		cmd.Exptime = exptime
+		if size > int64(maxItem) {
+			// Swallow the block so the next command parses cleanly.
+			if err := discard(r, size+2); err != nil {
+				return nil, fatalIO(err)
+			}
+			return nil, &ProtoError{Resp: "SERVER_ERROR object too large for cache", NoReply: cmd.NoReply}
+		}
+		cmd.Data = make([]byte, size)
+		if _, err := io.ReadFull(r, cmd.Data); err != nil {
+			return nil, fatalIO(err)
+		}
+		var crlf [2]byte
+		if _, err := io.ReadFull(r, crlf[:]); err != nil {
+			return nil, fatalIO(err)
+		}
+		if crlf[0] != '\r' || crlf[1] != '\n' {
+			// The block did not end where the length said: the stream
+			// cannot be trusted to be aligned on a command boundary.
+			return nil, &ProtoError{Resp: "CLIENT_ERROR bad data chunk", Fatal: true}
+		}
+		return cmd, nil
+
+	case "delete":
+		cmd.Op = OpDelete
+		n := len(fields)
+		if n == 3 && fields[2] == "noreply" {
+			cmd.NoReply = true
+			n--
+		}
+		if n != 2 {
+			return nil, clientErr("bad command line format")
+		}
+		cmd.Key = fields[1]
+		if !validKey(cmd.Key) {
+			return nil, clientErr("bad key")
+		}
+		return cmd, nil
+
+	case "incr", "decr":
+		cmd.Op = OpIncr
+		if fields[0] == "decr" {
+			cmd.Op = OpDecr
+		}
+		n := len(fields)
+		if n == 4 && fields[3] == "noreply" {
+			cmd.NoReply = true
+			n--
+		}
+		if n != 3 {
+			return nil, clientErr("bad command line format")
+		}
+		cmd.Key = fields[1]
+		if !validKey(cmd.Key) {
+			return nil, clientErr("bad key")
+		}
+		delta, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return nil, clientErr("invalid numeric delta argument")
+		}
+		cmd.Delta = delta
+		return cmd, nil
+
+	case "stats":
+		// Stats sub-arguments (slabs, items, …) are accepted and answered
+		// with the general statistics.
+		cmd.Op = OpStats
+		return cmd, nil
+
+	case "version":
+		cmd.Op = OpVersion
+		return cmd, nil
+
+	case "flush_all":
+		cmd.Op = OpFlushAll
+		n := len(fields)
+		if n > 1 && fields[n-1] == "noreply" {
+			cmd.NoReply = true
+			n--
+		}
+		if n > 2 {
+			return nil, clientErr("bad command line format")
+		}
+		if n == 2 {
+			// Optional delay: invalidate everything stored up to now at
+			// now+delay seconds (carried in Exptime).
+			delay, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || delay < 0 {
+				return nil, clientErr("invalid flush_all delay")
+			}
+			cmd.Exptime = delay
+		}
+		return cmd, nil
+
+	case "quit":
+		cmd.Op = OpQuit
+		return cmd, nil
+	}
+	return nil, ErrUnknownCommand
+}
+
+// discard drops n bytes from r.
+func discard(r *bufio.Reader, n int64) error {
+	_, err := io.CopyN(io.Discard, r, n)
+	return err
+}

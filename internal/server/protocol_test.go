@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// chunkReader yields at most n bytes per Read, to prove the parser handles
+// frames split across arbitrary read boundaries.
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func parseOne(t *testing.T, input string) (*Command, error) {
+	t.Helper()
+	return ReadCommand(newReader(strings.NewReader(input), 0), 0)
+}
+
+func TestReadCommandWellFormed(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  Command
+	}{
+		{"get", "get foo\r\n", Command{Op: OpGet, Keys: []string{"foo"}}},
+		{"get multi", "get a b c\r\n", Command{Op: OpGet, Keys: []string{"a", "b", "c"}}},
+		{"gets", "gets a b\r\n", Command{Op: OpGets, Keys: []string{"a", "b"}}},
+		{"set", "set k 7 0 5\r\nhello\r\n",
+			Command{Op: OpSet, Key: "k", Flags: 7, Data: []byte("hello")}},
+		{"set noreply", "set k 0 0 2 noreply\r\nhi\r\n",
+			Command{Op: OpSet, Key: "k", NoReply: true, Data: []byte("hi")}},
+		{"set empty value", "set k 0 0 0\r\n\r\n",
+			Command{Op: OpSet, Key: "k", Data: []byte{}}},
+		{"add", "add k 1 30 3\r\nabc\r\n",
+			Command{Op: OpAdd, Key: "k", Flags: 1, Exptime: 30, Data: []byte("abc")}},
+		{"replace", "replace k 0 0 1\r\nx\r\n",
+			Command{Op: OpReplace, Key: "k", Data: []byte("x")}},
+		{"cas", "cas k 0 0 2 99\r\nhi\r\n",
+			Command{Op: OpCas, Key: "k", CasID: 99, Data: []byte("hi")}},
+		{"delete", "delete k\r\n", Command{Op: OpDelete, Key: "k"}},
+		{"delete noreply", "delete k noreply\r\n",
+			Command{Op: OpDelete, Key: "k", NoReply: true}},
+		{"incr", "incr k 5\r\n", Command{Op: OpIncr, Key: "k", Delta: 5}},
+		{"decr", "decr k 2 noreply\r\n",
+			Command{Op: OpDecr, Key: "k", Delta: 2, NoReply: true}},
+		{"stats", "stats\r\n", Command{Op: OpStats}},
+		{"version", "version\r\n", Command{Op: OpVersion}},
+		{"flush_all", "flush_all\r\n", Command{Op: OpFlushAll}},
+		{"quit", "quit\r\n", Command{Op: OpQuit}},
+		{"value with binary", "set k 0 0 4\r\n\x00\x01\r\x02\r\n",
+			Command{Op: OpSet, Key: "k", Data: []byte{0, 1, '\r', 2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseOne(t, tc.input)
+			if err != nil {
+				t.Fatalf("ReadCommand(%q) error: %v", tc.input, err)
+			}
+			if !reflect.DeepEqual(*got, tc.want) {
+				t.Fatalf("ReadCommand(%q)\n got %+v\nwant %+v", tc.input, *got, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadCommandSplitAcrossReads(t *testing.T) {
+	input := "set key1 42 0 10\r\nabcdefghij\r\nget key1 key2\r\nincr key1 7\r\n"
+	for _, chunk := range []int{1, 2, 3, 7} {
+		r := newReader(&chunkReader{data: []byte(input), n: chunk}, 0)
+		c1, err := ReadCommand(r, 0)
+		if err != nil || c1.Op != OpSet || string(c1.Data) != "abcdefghij" || c1.Flags != 42 {
+			t.Fatalf("chunk=%d: set parse = %+v, %v", chunk, c1, err)
+		}
+		c2, err := ReadCommand(r, 0)
+		if err != nil || c2.Op != OpGet || len(c2.Keys) != 2 {
+			t.Fatalf("chunk=%d: get parse = %+v, %v", chunk, c2, err)
+		}
+		c3, err := ReadCommand(r, 0)
+		if err != nil || c3.Op != OpIncr || c3.Delta != 7 {
+			t.Fatalf("chunk=%d: incr parse = %+v, %v", chunk, c3, err)
+		}
+		if _, err := ReadCommand(r, 0); err != io.EOF {
+			t.Fatalf("chunk=%d: want clean EOF, got %v", chunk, err)
+		}
+	}
+}
+
+func TestReadCommandMalformed(t *testing.T) {
+	longKey := strings.Repeat("x", MaxKeyLen+1)
+	cases := []struct {
+		name    string
+		input   string
+		fatal   bool
+		next    string // a following command that must still parse (non-fatal errors resync)
+		respHas string
+	}{
+		{"unknown verb", "frobnicate\r\n", false, "version\r\n", "ERROR"},
+		{"empty line", "\r\n", false, "version\r\n", "ERROR"},
+		{"get no keys", "get\r\n", false, "version\r\n", "CLIENT_ERROR"},
+		{"overlong key", "get " + longKey + "\r\n", false, "version\r\n", "CLIENT_ERROR"},
+		// Storage lines whose size field parses are recoverable: the data
+		// block they announce is swallowed, so the command after it must
+		// still parse (no request smuggling through the block).
+		{"set bad flags", "set k nope 0 2\r\nhi\r\n", false, "version\r\n", "CLIENT_ERROR"},
+		{"set bad key", "set " + longKey + " 0 0 2\r\nhi\r\n", false, "version\r\n", "CLIENT_ERROR"},
+		{"set trailing junk", "set k 0 0 2 0 0\r\nhi\r\n", false, "version\r\n", "CLIENT_ERROR"},
+		{"cas missing token", "cas k 0 0 2\r\nhi\r\n", false, "version\r\n", "CLIENT_ERROR"},
+		// Without a parseable size the block length is unknowable: fatal,
+		// because resyncing would interpret client data as commands.
+		{"set missing fields", "set k 0 5\r\n", true, "", "CLIENT_ERROR"},
+		{"set negative size", "set k 0 0 -4\r\n", true, "", "CLIENT_ERROR"},
+		{"set unparseable size", "set k 0 0 huge\r\n", true, "", "CLIENT_ERROR"},
+		{"incr bad delta", "incr k banana\r\n", false, "version\r\n", "CLIENT_ERROR"},
+		{"delete extra arg", "delete k 0 0\r\n", false, "version\r\n", "CLIENT_ERROR"},
+		{"flush_all bad delay", "flush_all soon\r\n", false, "version\r\n", "CLIENT_ERROR"},
+		{"bad data chunk", "set k 0 0 2\r\nhello\r\n", true, "", "bad data chunk"},
+		{"line too long", "get " + strings.Repeat("k ", MaxCommandLine) + "\r\n",
+			false, "version\r\n", "too long"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newReader(strings.NewReader(tc.input+tc.next), 0)
+			_, err := ReadCommand(r, 0)
+			var pe *ProtoError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ReadCommand(%q) = %v, want ProtoError", tc.input, err)
+			}
+			if pe.Fatal != tc.fatal {
+				t.Fatalf("Fatal = %v, want %v (%q)", pe.Fatal, tc.fatal, tc.input)
+			}
+			if !strings.Contains(pe.Resp, tc.respHas) {
+				t.Fatalf("Resp = %q, want substring %q", pe.Resp, tc.respHas)
+			}
+			if tc.next != "" {
+				cmd, err := ReadCommand(r, 0)
+				if err != nil || cmd.Op != OpVersion {
+					t.Fatalf("resync failed after %q: %+v, %v", tc.input, cmd, err)
+				}
+			}
+		})
+	}
+}
+
+func TestReadCommandNoReplyErrors(t *testing.T) {
+	// A malformed command that asked for noreply must carry the flag on
+	// its error, so the server suppresses the response and the client's
+	// pipeline stays aligned.
+	for _, input := range []string{
+		"set k nope 0 2 noreply\r\nhi\r\n",
+		"incr k banana noreply\r\n",
+	} {
+		r := newReader(strings.NewReader(input+"version\r\n"), 0)
+		_, err := ReadCommand(r, 0)
+		var pe *ProtoError
+		if !errors.As(err, &pe) || !pe.NoReply {
+			t.Fatalf("ReadCommand(%q) = %v; want ProtoError with NoReply", input, err)
+		}
+		if cmd, err := ReadCommand(r, 0); err != nil || cmd.Op != OpVersion {
+			t.Fatalf("resync after %q: %+v, %v", input, cmd, err)
+		}
+	}
+	// The shared ErrUnknownCommand must never be mutated by the noreply
+	// wrapping.
+	r := newReader(strings.NewReader("bogus noreply\r\n"), 0)
+	if _, err := ReadCommand(r, 0); err == nil {
+		t.Fatal("bogus command parsed")
+	}
+	if ErrUnknownCommand.NoReply {
+		t.Fatal("ErrUnknownCommand was mutated")
+	}
+}
+
+func TestReadCommandFlushAllDelay(t *testing.T) {
+	cmd, err := parseOne(t, "flush_all 900\r\n")
+	if err != nil || cmd.Op != OpFlushAll || cmd.Exptime != 900 {
+		t.Fatalf("flush_all 900 = %+v, %v", cmd, err)
+	}
+	cmd, err = parseOne(t, "flush_all 30 noreply\r\n")
+	if err != nil || cmd.Exptime != 30 || !cmd.NoReply {
+		t.Fatalf("flush_all 30 noreply = %+v, %v", cmd, err)
+	}
+}
+
+func TestReadCommandOversized(t *testing.T) {
+	const maxItem = 128
+	big := strings.Repeat("v", maxItem+1)
+	input := "set k 0 0 129\r\n" + big + "\r\nversion\r\n"
+	r := newReader(strings.NewReader(input), 0)
+	_, err := ReadCommand(r, maxItem)
+	var pe *ProtoError
+	if !errors.As(err, &pe) || pe.Fatal || !strings.Contains(pe.Resp, "too large") {
+		t.Fatalf("oversized set: %v", err)
+	}
+	// The oversized block must have been swallowed: next command parses.
+	cmd, err := ReadCommand(r, maxItem)
+	if err != nil || cmd.Op != OpVersion {
+		t.Fatalf("resync after oversized value: %+v, %v", cmd, err)
+	}
+}
+
+func TestReadCommandTruncated(t *testing.T) {
+	for _, input := range []string{
+		"set k 0 0 10\r\nabc", // data block cut short
+		"set k 0 0 3\r\nabc",  // missing terminator
+		"get foo",             // command line without newline
+	} {
+		r := newReader(strings.NewReader(input), 0)
+		_, err := ReadCommand(r, 0)
+		if err == nil || err == io.EOF {
+			t.Fatalf("ReadCommand(%q) = %v, want mid-frame error", input, err)
+		}
+	}
+}
+
+// FuzzReadCommand feeds arbitrary bytes through the parser: it must never
+// panic, and everything it accepts must satisfy the command invariants.
+func FuzzReadCommand(f *testing.F) {
+	f.Add([]byte("get foo bar\r\n"))
+	f.Add([]byte("set k 7 0 5\r\nhello\r\nget k\r\n"))
+	f.Add([]byte("cas k 0 0 2 99\r\nhi\r\n"))
+	f.Add([]byte("incr k 123\r\ndecr k 1 noreply\r\n"))
+	f.Add([]byte("stats\r\nversion\r\nquit\r\n"))
+	f.Add([]byte("set k 0 0 1000000\r\n"))
+	f.Add([]byte("\x00\xff\r\n\r\nget\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := newReader(bytes.NewReader(data), 0)
+		const maxItem = 1 << 16
+		for i := 0; i < 100; i++ {
+			cmd, err := ReadCommand(r, maxItem)
+			if err != nil {
+				var pe *ProtoError
+				if errors.As(err, &pe) {
+					if pe.Fatal {
+						return
+					}
+					continue // resynchronized; keep parsing
+				}
+				return // transport-level: stream finished or broken
+			}
+			switch cmd.Op {
+			case OpGet, OpGets:
+				if len(cmd.Keys) == 0 {
+					t.Fatalf("retrieval command with no keys: %+v", cmd)
+				}
+				for _, k := range cmd.Keys {
+					if !validKey(k) {
+						t.Fatalf("invalid key accepted: %q", k)
+					}
+				}
+			case OpSet, OpAdd, OpReplace, OpCas:
+				if !validKey(cmd.Key) {
+					t.Fatalf("invalid key accepted: %q", cmd.Key)
+				}
+				if len(cmd.Data) > maxItem {
+					t.Fatalf("oversized data accepted: %d bytes", len(cmd.Data))
+				}
+			case OpDelete, OpIncr, OpDecr:
+				if !validKey(cmd.Key) {
+					t.Fatalf("invalid key accepted: %q", cmd.Key)
+				}
+			}
+		}
+	})
+}

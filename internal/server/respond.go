@@ -1,0 +1,76 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// newReader builds the protocol-side buffered reader, never smaller than
+// MaxCommandLine so ReadCommand's line framing works.
+func newReader(r io.Reader, size int) *bufio.Reader {
+	if size < MaxCommandLine {
+		size = MaxCommandLine
+	}
+	return bufio.NewReaderSize(r, size)
+}
+
+// newWriter builds the response writer.
+func newWriter(w io.Writer, size int) *respWriter {
+	if size <= 0 {
+		size = 64 << 10
+	}
+	return &respWriter{w: bufio.NewWriterSize(w, size)}
+}
+
+// respWriter renders protocol responses. All methods buffer; call Flush to
+// push to the transport. Write errors stick in the underlying bufio.Writer
+// and surface at Flush — the connection loop checks there.
+type respWriter struct {
+	w       *bufio.Writer
+	scratch [24]byte
+}
+
+var crlf = []byte{'\r', '\n'}
+
+// line writes s followed by CRLF.
+func (w *respWriter) line(s string) {
+	w.w.WriteString(s)
+	w.w.Write(crlf)
+}
+
+// reply writes the response line unless the command asked for noreply.
+func (w *respWriter) reply(cmd *Command, s string) {
+	if !cmd.NoReply {
+		w.line(s)
+	}
+}
+
+// replyUint writes a bare decimal response (the incr/decr result).
+func (w *respWriter) replyUint(cmd *Command, v uint64) {
+	if cmd.NoReply {
+		return
+	}
+	w.w.Write(strconv.AppendUint(w.scratch[:0], v, 10))
+	w.w.Write(crlf)
+}
+
+// value writes one VALUE stanza of a get/gets response.
+func (w *respWriter) value(key string, it Item, withCAS bool) {
+	w.w.WriteString("VALUE ")
+	w.w.WriteString(key)
+	w.w.WriteByte(' ')
+	w.w.Write(strconv.AppendUint(w.scratch[:0], uint64(it.Flags), 10))
+	w.w.WriteByte(' ')
+	w.w.Write(strconv.AppendInt(w.scratch[:0], int64(len(it.Data)), 10))
+	if withCAS {
+		w.w.WriteByte(' ')
+		w.w.Write(strconv.AppendUint(w.scratch[:0], it.CAS, 10))
+	}
+	w.w.Write(crlf)
+	w.w.Write(it.Data)
+	w.w.Write(crlf)
+}
+
+// Flush pushes buffered responses to the transport.
+func (w *respWriter) Flush() error { return w.w.Flush() }

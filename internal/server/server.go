@@ -1,0 +1,445 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Version is the server's protocol banner.
+const Version = "ascylib-go/2.1"
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the listen address, e.g. ":11211" or "127.0.0.1:0".
+	Addr string
+	// Algo is the registry name of the backing structure.
+	Algo string
+	// Capacity sizes the backing structure (hash-table buckets); <= 0
+	// picks the store default.
+	Capacity int
+	// AcceptWorkers is the size of the sharded-accept pool: that many
+	// goroutines block in Accept concurrently, so connection setup under
+	// a connect storm spreads across cores instead of serializing on one
+	// accept loop. <= 0 means GOMAXPROCS, capped at 8.
+	AcceptWorkers int
+	// MaxItemSize bounds value blocks; <= 0 means DefaultMaxItemSize.
+	MaxItemSize int
+	// ReadBufferSize / WriteBufferSize size the per-connection bufio
+	// buffers; <= 0 picks 64 KiB reads (never below MaxCommandLine) and
+	// 64 KiB writes.
+	ReadBufferSize  int
+	WriteBufferSize int
+	// Logf, when set, receives connection-level error logs.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Algo == "" {
+		c.Algo = "ht-clht-lb"
+	}
+	if c.AcceptWorkers <= 0 {
+		c.AcceptWorkers = runtime.GOMAXPROCS(0)
+		if c.AcceptWorkers > 8 {
+			c.AcceptWorkers = 8
+		}
+	}
+	if c.MaxItemSize <= 0 {
+		c.MaxItemSize = DefaultMaxItemSize
+	}
+	if c.ReadBufferSize < MaxCommandLine {
+		c.ReadBufferSize = 64 << 10
+	}
+	if c.WriteBufferSize <= 0 {
+		c.WriteBufferSize = 64 << 10
+	}
+}
+
+// Server is a memcached-protocol TCP server over one Store.
+type Server struct {
+	cfg   Config
+	store *Store
+	ln    net.Listener
+	start time.Time
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Wire statistics, exposed by the stats command.
+	totalConns   atomic.Uint64
+	currConns    atomic.Int64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	cmdGet       atomic.Uint64
+	cmdSet       atomic.Uint64
+	cmdFlush     atomic.Uint64
+	getHits      atomic.Uint64
+	getMisses    atomic.Uint64
+	deleteHits   atomic.Uint64
+	deleteMisses atomic.Uint64
+	incrHits     atomic.Uint64
+	incrMisses   atomic.Uint64
+	decrHits     atomic.Uint64
+	decrMisses   atomic.Uint64
+	casHits      atomic.Uint64
+	casMisses    atomic.Uint64
+	casBadval    atomic.Uint64
+	protoErrors  atomic.Uint64
+}
+
+// New builds a server (not yet listening) for cfg.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	if a, ok := core.Get(cfg.Algo); !ok {
+		return nil, fmt.Errorf("server: unknown algorithm %q", cfg.Algo)
+	} else if !a.Safe {
+		return nil, fmt.Errorf("server: algorithm %q is an unsynchronized async baseline; refusing to serve it", cfg.Algo)
+	}
+	st, err := NewStore(cfg.Algo, cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, store: st, conns: map[net.Conn]struct{}{}}, nil
+}
+
+// Store returns the backing store (for in-process inspection and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Listen binds the configured address. After Listen returns, Addr reports
+// the actual address (useful with port 0).
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.start = time.Now()
+	return nil
+}
+
+// Addr returns the bound listen address; nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve runs the accept pool and blocks until Close. It returns nil on a
+// clean shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	var awg sync.WaitGroup
+	for i := 0; i < s.cfg.AcceptWorkers; i++ {
+		awg.Add(1)
+		go func() {
+			defer awg.Done()
+			s.acceptLoop()
+		}()
+	}
+	awg.Wait()
+	s.wg.Wait()
+	return nil
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops accepting, closes every open connection, and waits for the
+// connection handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// acceptLoop is one worker of the sharded-accept pool.
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("server: accept: %v", err)
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		s.currConns.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				s.currConns.Add(-1)
+				c.Close()
+			}()
+			s.handleConn(c)
+		}()
+	}
+}
+
+// handleConn runs the request loop of one connection. Pipelining: the
+// response writer is flushed only when the read buffer has no complete
+// further input, so a client that streams n requests back-to-back gets its
+// n responses in O(1) TCP writes.
+func (s *Server) handleConn(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	r := newConnReader(c, s)
+	br := newReader(r, s.cfg.ReadBufferSize)
+	bw := newWriter(&connWriter{c: c, s: s}, s.cfg.WriteBufferSize)
+	for {
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		cmd, err := ReadCommand(br, s.cfg.MaxItemSize)
+		if err != nil {
+			var pe *ProtoError
+			if errors.As(err, &pe) {
+				s.protoErrors.Add(1)
+				if !pe.NoReply {
+					bw.line(pe.Resp)
+				}
+				if pe.Fatal {
+					bw.Flush()
+					return
+				}
+				continue
+			}
+			// Transport error or EOF: flush whatever is pending and stop.
+			bw.Flush()
+			return
+		}
+		if cmd.Op == OpQuit {
+			bw.Flush()
+			return
+		}
+		s.execute(cmd, bw)
+	}
+}
+
+// execute applies one command to the store and writes its response.
+func (s *Server) execute(cmd *Command, w *respWriter) {
+	switch cmd.Op {
+	case OpGet, OpGets:
+		s.cmdGet.Add(1)
+		withCAS := cmd.Op == OpGets
+		for _, k := range cmd.Keys {
+			it, ok := s.store.Get(k)
+			if !ok {
+				s.getMisses.Add(1)
+				continue
+			}
+			s.getHits.Add(1)
+			w.value(k, it, withCAS)
+		}
+		w.line("END")
+
+	case OpSet:
+		s.cmdSet.Add(1)
+		s.store.Set(cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data)
+		w.reply(cmd, "STORED")
+
+	case OpAdd:
+		s.cmdSet.Add(1)
+		if s.store.Add(cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data) {
+			w.reply(cmd, "STORED")
+		} else {
+			w.reply(cmd, "NOT_STORED")
+		}
+
+	case OpReplace:
+		s.cmdSet.Add(1)
+		if s.store.Replace(cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data) {
+			w.reply(cmd, "STORED")
+		} else {
+			w.reply(cmd, "NOT_STORED")
+		}
+
+	case OpCas:
+		s.cmdSet.Add(1)
+		switch s.store.CompareAndSwap(cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data, cmd.CasID) {
+		case CasStored:
+			s.casHits.Add(1)
+			w.reply(cmd, "STORED")
+		case CasExists:
+			s.casBadval.Add(1)
+			w.reply(cmd, "EXISTS")
+		default:
+			s.casMisses.Add(1)
+			w.reply(cmd, "NOT_FOUND")
+		}
+
+	case OpDelete:
+		if s.store.Delete(cmd.Key) {
+			s.deleteHits.Add(1)
+			w.reply(cmd, "DELETED")
+		} else {
+			s.deleteMisses.Add(1)
+			w.reply(cmd, "NOT_FOUND")
+		}
+
+	case OpIncr, OpDecr:
+		incr := cmd.Op == OpIncr
+		nv, status := s.store.IncrDecr(cmd.Key, cmd.Delta, incr)
+		hits, misses := &s.incrHits, &s.incrMisses
+		if !incr {
+			hits, misses = &s.decrHits, &s.decrMisses
+		}
+		switch status {
+		case IncrOK:
+			hits.Add(1)
+			w.replyUint(cmd, nv)
+		case IncrNotFound:
+			misses.Add(1)
+			w.reply(cmd, "NOT_FOUND")
+		default:
+			w.reply(cmd, "CLIENT_ERROR cannot increment or decrement non-numeric value")
+		}
+
+	case OpStats:
+		for _, kv := range s.Stats() {
+			w.line("STAT " + kv[0] + " " + kv[1])
+		}
+		w.line("END")
+
+	case OpVersion:
+		w.line("VERSION " + Version)
+
+	case OpFlushAll:
+		s.cmdFlush.Add(1)
+		s.store.FlushAll(cmd.Exptime)
+		w.reply(cmd, "OK")
+	}
+}
+
+// Stats returns the server statistics as ordered (name, value) pairs — the
+// classic memcached counters plus "algo", so clients (and the load
+// generator's BENCH output) can see which structure is serving.
+func (s *Server) Stats() [][2]string {
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	pairs := [][2]string{
+		{"uptime", strconv.FormatInt(int64(time.Since(s.start)/time.Second), 10)},
+		{"time", strconv.FormatInt(time.Now().Unix(), 10)},
+		{"version", Version},
+		{"pointer_size", "64"},
+		{"algo", s.store.Algo()},
+		{"threads", strconv.Itoa(s.cfg.AcceptWorkers)},
+		{"curr_connections", strconv.FormatInt(s.currConns.Load(), 10)},
+		{"total_connections", u(s.totalConns.Load())},
+		{"bytes_read", u(s.bytesRead.Load())},
+		{"bytes_written", u(s.bytesWritten.Load())},
+		{"cmd_get", u(s.cmdGet.Load())},
+		{"cmd_set", u(s.cmdSet.Load())},
+		{"cmd_flush", u(s.cmdFlush.Load())},
+		{"get_hits", u(s.getHits.Load())},
+		{"get_misses", u(s.getMisses.Load())},
+		{"delete_hits", u(s.deleteHits.Load())},
+		{"delete_misses", u(s.deleteMisses.Load())},
+		{"incr_hits", u(s.incrHits.Load())},
+		{"incr_misses", u(s.incrMisses.Load())},
+		{"decr_hits", u(s.decrHits.Load())},
+		{"decr_misses", u(s.decrMisses.Load())},
+		{"cas_hits", u(s.casHits.Load())},
+		{"cas_misses", u(s.casMisses.Load())},
+		{"cas_badval", u(s.casBadval.Load())},
+		{"protocol_errors", u(s.protoErrors.Load())},
+		{"curr_items", strconv.Itoa(s.store.Items())},
+	}
+	return pairs
+}
+
+// StatsMap returns Stats as a map.
+func (s *Server) StatsMap() map[string]string {
+	m := map[string]string{}
+	for _, kv := range s.Stats() {
+		m[kv[0]] = kv[1]
+	}
+	return m
+}
+
+// connReader counts bytes into the server's stats.
+type connReader struct {
+	c net.Conn
+	s *Server
+}
+
+func newConnReader(c net.Conn, s *Server) *connReader { return &connReader{c: c, s: s} }
+
+func (r *connReader) Read(p []byte) (int, error) {
+	n, err := r.c.Read(p)
+	if n > 0 {
+		r.s.bytesRead.Add(uint64(n))
+	}
+	return n, err
+}
+
+// connWriter counts bytes out.
+type connWriter struct {
+	c net.Conn
+	s *Server
+}
+
+func (w *connWriter) Write(p []byte) (int, error) {
+	n, err := w.c.Write(p)
+	if n > 0 {
+		w.s.bytesWritten.Add(uint64(n))
+	}
+	return n, err
+}

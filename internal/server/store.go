@@ -1,0 +1,289 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	ascylib "repro"
+)
+
+// Item is one stored cache entry.
+type Item struct {
+	// Flags is the client-opaque word stored with the value.
+	Flags uint32
+	// Data is the value block.
+	Data []byte
+	// CAS is the item's unique compare-and-swap token, bumped on every
+	// successful store.
+	CAS uint64
+	// ExpireAt is the absolute expiry (unix seconds); 0 means never.
+	ExpireAt int64
+}
+
+// expired reports whether the item is past its expiry at time now.
+func (it Item) expired(now int64) bool {
+	return it.ExpireAt != 0 && it.ExpireAt <= now
+}
+
+// CasStatus is the outcome of a compare-and-swap store.
+type CasStatus int
+
+// Cas outcomes, mapping 1:1 onto the protocol's STORED/EXISTS/NOT_FOUND.
+const (
+	CasStored CasStatus = iota
+	CasExists
+	CasNotFound
+)
+
+// IncrStatus is the outcome of an incr/decr.
+type IncrStatus int
+
+// Incr/decr outcomes.
+const (
+	IncrOK IncrStatus = iota
+	IncrNotFound
+	IncrNonNumeric
+)
+
+// Store provides memcached item semantics — flags, unique CAS tokens, lazy
+// expiry, and atomic arithmetic — over any registered algorithm, through
+// ascylib.StringMap. Every mutation is a single StringMap.Update, so the
+// store's atomicity is exactly the facade's: in-place and atomic against
+// everything on structures with native Update (CLHT-LB), serialized
+// against other mutations elsewhere.
+//
+// Expiry is lazy, as in memcached: expired items are invisible to reads
+// and treated as absent by mutations, and are physically removed when a
+// mutation next touches their key (there is no background sweeper).
+type Store struct {
+	sm   *ascylib.StringMap[Item]
+	cas  atomic.Uint64
+	now  func() int64
+	algo string
+	// flush_all bookkeeping, the analog of memcached's oldest_live rule
+	// with CAS tokens as the store-order clock (tokens are unique and
+	// monotonic, so "existing at flush time" is exact even within one
+	// wall-clock second): at flushAt (unix seconds; 0 = no flush), every
+	// item whose CAS token is <= flushCAS dies.
+	flushAt  atomic.Int64
+	flushCAS atomic.Uint64
+}
+
+// NewStore builds a store on the named algorithm. capacity sizes the hash
+// tables (<= 0 picks a service-appropriate default of 2^16 buckets).
+func NewStore(algo string, capacity int) (*Store, error) {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	sm, err := ascylib.NewStringMap[Item](algo, ascylib.Capacity(capacity))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{sm: sm, now: func() int64 { return time.Now().Unix() }, algo: algo}, nil
+}
+
+// Algo returns the backing algorithm's registry name.
+func (s *Store) Algo() string { return s.algo }
+
+// absExpiry converts a protocol exptime to an absolute unix time: 0 never
+// expires, negative is already expired, values up to 30 days are relative
+// to now, larger values are absolute.
+func (s *Store) absExpiry(exptime int64) int64 {
+	const thirtyDays = 60 * 60 * 24 * 30
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return 1 // the epoch: expired since long ago
+	case exptime <= thirtyDays:
+		return s.now() + exptime
+	default:
+		return exptime
+	}
+}
+
+// nextCAS issues a fresh token. Tokens are unique per store and never 0.
+func (s *Store) nextCAS() uint64 { return s.cas.Add(1) }
+
+// newItem builds a fresh item.
+func (s *Store) newItem(flags uint32, exptime int64, data []byte) Item {
+	return Item{
+		Flags:    flags,
+		Data:     data,
+		CAS:      s.nextCAS(),
+		ExpireAt: s.absExpiry(exptime),
+	}
+}
+
+// live reports whether the item is visible at time now: not expired and
+// not invalidated by a reached flush_all epoch.
+func (s *Store) live(it Item, now int64) bool {
+	if it.expired(now) {
+		return false
+	}
+	if fa := s.flushAt.Load(); fa != 0 && now >= fa && it.CAS <= s.flushCAS.Load() {
+		return false
+	}
+	return true
+}
+
+// Get returns the live item under key.
+func (s *Store) Get(key string) (Item, bool) {
+	it, ok := s.sm.Get(key)
+	if !ok || !s.live(it, s.now()) {
+		return Item{}, false
+	}
+	return it, true
+}
+
+// Set unconditionally stores the value and returns its CAS token.
+func (s *Store) Set(key string, flags uint32, exptime int64, data []byte) uint64 {
+	it := s.newItem(flags, exptime, data)
+	s.sm.Put(key, it)
+	return it.CAS
+}
+
+// Add stores the value only if the key holds no live item.
+func (s *Store) Add(key string, flags uint32, exptime int64, data []byte) bool {
+	now := s.now()
+	it := s.newItem(flags, exptime, data)
+	stored := false
+	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+		if present && s.live(old, now) {
+			stored = false
+			return old, true
+		}
+		stored = true
+		return it, true
+	})
+	return stored
+}
+
+// Replace stores the value only if the key holds a live item.
+func (s *Store) Replace(key string, flags uint32, exptime int64, data []byte) bool {
+	now := s.now()
+	it := s.newItem(flags, exptime, data)
+	stored := false
+	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+		if !present {
+			stored = false
+			return old, false
+		}
+		if !s.live(old, now) {
+			stored = false
+			return old, false // purge the corpse
+		}
+		stored = true
+		return it, true
+	})
+	return stored
+}
+
+// CompareAndSwap stores the value only if the key's live item still carries
+// the token casid.
+func (s *Store) CompareAndSwap(key string, flags uint32, exptime int64, data []byte, casid uint64) CasStatus {
+	now := s.now()
+	it := s.newItem(flags, exptime, data)
+	status := CasNotFound
+	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+		if !present {
+			status = CasNotFound
+			return old, false
+		}
+		if !s.live(old, now) {
+			status = CasNotFound
+			return old, false
+		}
+		if old.CAS != casid {
+			status = CasExists
+			return old, true
+		}
+		status = CasStored
+		return it, true
+	})
+	return status
+}
+
+// Delete removes the key's live item and reports whether one was removed.
+func (s *Store) Delete(key string) bool {
+	now := s.now()
+	deleted := false
+	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+		deleted = present && s.live(old, now)
+		return old, false
+	})
+	return deleted
+}
+
+// IncrDecr atomically adjusts the decimal value under key by delta (incr
+// wraps at 2^64, decr floors at 0, as memcached specifies) and returns the
+// new value. The stored value must be an ASCII decimal uint64.
+func (s *Store) IncrDecr(key string, delta uint64, incr bool) (uint64, IncrStatus) {
+	now := s.now()
+	var newVal uint64
+	status := IncrNotFound
+	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+		if !present {
+			status = IncrNotFound
+			return old, false
+		}
+		if !s.live(old, now) {
+			status = IncrNotFound
+			return old, false
+		}
+		cur, err := strconv.ParseUint(string(old.Data), 10, 64)
+		if err != nil {
+			status = IncrNonNumeric
+			return old, true
+		}
+		if incr {
+			newVal = cur + delta
+		} else if cur < delta {
+			newVal = 0
+		} else {
+			newVal = cur - delta
+		}
+		status = IncrOK
+		next := old
+		next.Data = []byte(strconv.FormatUint(newVal, 10))
+		next.CAS = s.nextCAS()
+		return next, true
+	})
+	return newVal, status
+}
+
+// FlushAll invalidates every item stored up to now, after delay seconds
+// (0 = immediately). Like memcached's oldest_live rule, the epoch applies
+// lazily through liveness checks — items stored after the call stay live —
+// and an immediate flush additionally sweeps the structure so the memory
+// is released. A later FlushAll supersedes a pending one.
+func (s *Store) FlushAll(delay int64) {
+	now := s.now()
+	if delay < 0 {
+		delay = 0
+	}
+	s.flushCAS.Store(s.cas.Load())
+	s.flushAt.Store(now + delay)
+	if delay > 0 {
+		return
+	}
+	// Physically collect what the epoch just killed. Not atomic: items
+	// stored while the sweep runs are (correctly) kept.
+	var keys []string
+	s.sm.ForEach(func(k string, it Item) bool {
+		if !s.live(it, now) {
+			keys = append(keys, k)
+		}
+		return true
+	})
+	for _, k := range keys {
+		s.sm.Update(k, func(old Item, present bool) (Item, bool) {
+			return old, present && s.live(old, s.now())
+		})
+	}
+}
+
+// Items counts stored entries (including not-yet-collected expired ones);
+// linear time, quiescent use.
+func (s *Store) Items() int { return s.sm.Len() }

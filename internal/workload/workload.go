@@ -62,6 +62,64 @@ func (c Config) keyRange() uint64 {
 	return uint64(2 * c.Initial)
 }
 
+// Mix returns the operation mix of the configuration, for drivers (such as
+// the network load generator) that draw the same op sequence the in-process
+// harness would.
+func (c Config) Mix() Mix {
+	return Mix{UpdatePct: c.UpdatePct, RangePct: c.RangePct, InsertBias: c.InsertBias}
+}
+
+// Kind is the drawn operation kind of a workload mix. Unlike OpClass it
+// carries no outcome: the draw happens before the operation runs.
+type Kind uint8
+
+// Operation kinds a Mix can draw.
+const (
+	KindSearch Kind = iota
+	KindInsert
+	KindRemove
+	KindRange
+)
+
+// Mix is a workload operation mix: the paper's update-percentage protocol
+// (updates split into insertions and removals by InsertBias, default
+// half/half) plus the v2 range-scan fraction. It is the single source of
+// truth for op drawing — the in-process harness and the wire-level load
+// generator both call Next, so a 10%-update run means the same thing
+// against a structure and against a server.
+type Mix struct {
+	// UpdatePct is the percentage of operations that are updates.
+	UpdatePct int
+	// RangePct is the percentage of operations that are range scans.
+	RangePct int
+	// InsertBias is the percentage of updates that are insertions
+	// (0 means the default 50).
+	InsertBias int
+}
+
+// Next draws the kind of the next operation. The draw consumes one random
+// value, plus a second one for the insert/remove split when the operation
+// is an update — exactly the sequence the harness has always used, so
+// seeded runs stay reproducible across the refactor.
+func (m Mix) Next(rng *xrand.State) Kind {
+	draw := int(rng.Uint64n(100))
+	switch {
+	case draw < m.UpdatePct:
+		bias := m.InsertBias
+		if bias == 0 {
+			bias = 50
+		}
+		if int(rng.Uint64n(100)) < bias {
+			return KindInsert
+		}
+		return KindRemove
+	case draw < m.UpdatePct+m.RangePct:
+		return KindRange
+	default:
+		return KindSearch
+	}
+}
+
 // OpClass identifies an operation kind and outcome for latency accounting.
 type OpClass int
 
@@ -187,10 +245,7 @@ func RunOn(set core.Set, cfg Config) Result {
 	var start, stop atomic.Bool
 	var wg sync.WaitGroup
 	kr := cfg.keyRange()
-	bias := cfg.InsertBias
-	if bias == 0 {
-		bias = 50
-	}
+	mix := cfg.Mix()
 
 	for i := 0; i < cfg.Threads; i++ {
 		ws := &workerState{}
@@ -211,15 +266,15 @@ func RunOn(set core.Set, cfg Config) Result {
 					return
 				}
 			}
-			execute := func(k core.Key, isUpdate, isInsert, isRange bool) (class OpClass) {
-				switch {
-				case isRange:
+			execute := func(k core.Key, kind Kind) (class OpClass) {
+				switch kind {
+				case KindRange:
 					n := ord.Range(k, k+core.Key(cfg.RangeSpan-1),
 						func(core.Key, core.Value) bool { return true })
 					ws.rangeOps++
 					ws.rangeItems += uint64(n)
 					class = OpRange
-				case !isUpdate:
+				case KindSearch:
 					var ok bool
 					if instrumented {
 						_, ok = inst.SearchCtx(&ws.ctx, k)
@@ -230,7 +285,7 @@ func RunOn(set core.Set, cfg Config) Result {
 					if !ok {
 						class = OpSearchMiss
 					}
-				case isInsert:
+				case KindInsert:
 					var ok bool
 					if instrumented {
 						ok = inst.InsertCtx(&ws.ctx, k, core.Value(k))
@@ -259,18 +314,15 @@ func RunOn(set core.Set, cfg Config) Result {
 				}
 				return class
 			}
-			guarded := func(k core.Key, isUpdate, isInsert, isRange bool) (class OpClass) {
+			guarded := func(k core.Key, kind Kind) (class OpClass) {
 				class = OpSearchMiss // result if the op panics mid-flight
 				defer func() { _ = recover() }()
-				return execute(k, isUpdate, isInsert, isRange)
+				return execute(k, kind)
 			}
 			var sampleCountdown int
 			for !stop.Load() {
 				k := core.Key(rng.Uint64n(kr) + 1)
-				opDraw := int(rng.Uint64n(100))
-				isUpdate := opDraw < cfg.UpdatePct
-				isRange := !isUpdate && opDraw < cfg.UpdatePct+cfg.RangePct
-				isInsert := isUpdate && int(rng.Uint64n(100)) < bias
+				kind := mix.Next(rng)
 				sample := false
 				if cfg.SampleEvery > 0 {
 					if sampleCountdown == 0 {
@@ -285,15 +337,15 @@ func RunOn(set core.Set, cfg Config) Result {
 				}
 				var class OpClass
 				if crashTolerant {
-					class = guarded(k, isUpdate, isInsert, isRange)
+					class = guarded(k, kind)
 				} else {
-					class = execute(k, isUpdate, isInsert, isRange)
+					class = execute(k, kind)
 				}
 				if sample {
 					ws.lat[class].Add(time.Since(t0).Nanoseconds())
 				}
 				ws.ops++
-				if isUpdate {
+				if kind == KindInsert || kind == KindRemove {
 					ws.ctx.Updates++
 				}
 			}

@@ -1,0 +1,206 @@
+package ascylib
+
+import "math"
+
+// StringMap is the string-keyed companion of Map: a concurrent map from
+// string keys to an arbitrary value type V, backed by any registered
+// algorithm. It exists for the wire-facing layers (the memcached-protocol
+// server keys by client-supplied strings), and for any caller whose keys do
+// not fit an integer type.
+//
+// Keys are carried onto the 64-bit core by hashing (FNV-1a) and chaining:
+// each core entry holds the small slice of (key, value) pairs whose keys
+// collide on the hash, stored in Map's generation-tagged value arena. All
+// per-key operations are read-modify-writes of that chain through
+// Map.Update, so they inherit Map's atomicity contract: atomic against
+// everything on algorithms with native Update (see Capabilities), atomic
+// against each other elsewhere. With a 64-bit hash, chains are almost
+// always a single element.
+//
+// Because hashing destroys order, StringMap has no Range/Min/Max; ForEach
+// enumerates in no particular order. Use Map for ordered typed keys.
+type StringMap[V any] struct {
+	m *Map[uint64, []strEntry[V]]
+}
+
+type strEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewStringMap builds a string-keyed map on the named algorithm. The hash
+// tables ("ht-clht-lb", "ht-clht-lf") are the natural backends; any
+// registered algorithm works.
+func NewStringMap[V any](algo string, opts ...Option) (*StringMap[V], error) {
+	m, err := NewMap[uint64, []strEntry[V]](algo, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &StringMap[V]{m: m}, nil
+}
+
+// MustNewStringMap is NewStringMap, panicking on error.
+func MustNewStringMap[V any](algo string, opts ...Option) *StringMap[V] {
+	m, err := NewStringMap[V](algo, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// hash maps a key onto the core's usable key domain (FNV-1a 64, folded away
+// from the two reserved top values).
+func (m *StringMap[V]) hash(k string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return h % (math.MaxUint64 - 1)
+}
+
+// Get returns the value stored under k.
+func (m *StringMap[V]) Get(k string) (V, bool) {
+	chain, ok := m.m.Get(m.hash(k))
+	if ok {
+		for i := range chain {
+			if chain[i].key == k {
+				return chain[i].val, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Update atomically transforms the entry for k: f receives the current
+// value (present reports existence) and returns the new value and whether
+// the key should remain present. It returns the value after the update and
+// the resulting presence (the removed value with false when the update
+// removes the entry). Like Map.Update, f must be pure and must not call
+// back into the map: it may be invoked more than once, and only the last
+// invocation takes effect.
+func (m *StringMap[V]) Update(k string, f func(old V, present bool) (V, bool)) (V, bool) {
+	var outV V
+	var outPresent bool
+	m.m.Update(m.hash(k), func(chain []strEntry[V], _ bool) ([]strEntry[V], bool) {
+		idx := -1
+		for i := range chain {
+			if chain[i].key == k {
+				idx = i
+				break
+			}
+		}
+		var old V
+		if idx >= 0 {
+			old = chain[idx].val
+		}
+		nv, keep := f(old, idx >= 0)
+		switch {
+		case keep:
+			out := make([]strEntry[V], len(chain), len(chain)+1)
+			copy(out, chain)
+			if idx >= 0 {
+				out[idx].val = nv
+			} else {
+				out = append(out, strEntry[V]{key: k, val: nv})
+			}
+			outV, outPresent = nv, true
+			return out, true
+		case idx < 0:
+			// Removing an absent key: leave the chain as it stands.
+			outV, outPresent = old, false
+			return chain, len(chain) > 0
+		default:
+			out := make([]strEntry[V], 0, len(chain)-1)
+			out = append(out, chain[:idx]...)
+			out = append(out, chain[idx+1:]...)
+			outV, outPresent = old, false
+			return out, len(out) > 0
+		}
+	})
+	return outV, outPresent
+}
+
+// Put stores v under k, replacing any existing value, and reports whether
+// the key was fresh.
+func (m *StringMap[V]) Put(k string, v V) bool {
+	fresh := false
+	m.Update(k, func(_ V, present bool) (V, bool) {
+		fresh = !present
+		return v, true
+	})
+	return fresh
+}
+
+// Insert adds (k, v) if k is absent and reports whether it did.
+func (m *StringMap[V]) Insert(k string, v V) bool {
+	if _, ok := m.Get(k); ok {
+		return false
+	}
+	inserted := false
+	m.Update(k, func(old V, present bool) (V, bool) {
+		if present {
+			inserted = false
+			return old, true
+		}
+		inserted = true
+		return v, true
+	})
+	return inserted
+}
+
+// GetOrInsert returns the existing value for k, or stores and returns v.
+func (m *StringMap[V]) GetOrInsert(k string, v V) (V, bool) {
+	if got, ok := m.Get(k); ok {
+		return got, false
+	}
+	got, inserted := v, false
+	m.Update(k, func(old V, present bool) (V, bool) {
+		if present {
+			got, inserted = old, false
+			return old, true
+		}
+		got, inserted = v, true
+		return v, true
+	})
+	return got, inserted
+}
+
+// Delete removes k, returning the removed value.
+func (m *StringMap[V]) Delete(k string) (V, bool) {
+	var had bool
+	var got V
+	m.Update(k, func(old V, present bool) (V, bool) {
+		had, got = present, old
+		return old, false
+	})
+	return got, had
+}
+
+// Len counts the entries. Like Set.Size: linear time, quiescent use.
+func (m *StringMap[V]) Len() int {
+	n := 0
+	m.m.ForEach(func(_ uint64, chain []strEntry[V]) bool {
+		n += len(chain)
+		return true
+	})
+	return n
+}
+
+// ForEach enumerates entries, in no particular order, until yield returns
+// false. Entries deleted concurrently may be skipped.
+func (m *StringMap[V]) ForEach(yield func(k string, v V) bool) {
+	m.m.ForEach(func(_ uint64, chain []strEntry[V]) bool {
+		for i := range chain {
+			if !yield(chain[i].key, chain[i].val) {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,107 @@
+package ascylib
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStringMapBasic(t *testing.T) {
+	for _, algo := range []string{"ht-clht-lb", "ht-clht-lf", "sl-fraser-opt"} {
+		t.Run(algo, func(t *testing.T) {
+			m := MustNewStringMap[string](algo, Capacity(64))
+			if _, ok := m.Get("missing"); ok {
+				t.Fatal("Get on empty map reported a hit")
+			}
+			if !m.Insert("a", "1") {
+				t.Fatal("first Insert failed")
+			}
+			if m.Insert("a", "2") {
+				t.Fatal("duplicate Insert succeeded")
+			}
+			if v, ok := m.Get("a"); !ok || v != "1" {
+				t.Fatalf("Get(a) = %q, %v", v, ok)
+			}
+			if fresh := m.Put("a", "3"); fresh {
+				t.Fatal("Put on existing key reported fresh")
+			}
+			if v, _ := m.Get("a"); v != "3" {
+				t.Fatalf("Put did not replace: %q", v)
+			}
+			if got, inserted := m.GetOrInsert("a", "x"); inserted || got != "3" {
+				t.Fatalf("GetOrInsert(existing) = %q, %v", got, inserted)
+			}
+			if got, inserted := m.GetOrInsert("b", "y"); !inserted || got != "y" {
+				t.Fatalf("GetOrInsert(fresh) = %q, %v", got, inserted)
+			}
+			if v, ok := m.Delete("a"); !ok || v != "3" {
+				t.Fatalf("Delete(a) = %q, %v", v, ok)
+			}
+			if _, ok := m.Get("a"); ok {
+				t.Fatal("Get after Delete hit")
+			}
+			if _, ok := m.Delete("a"); ok {
+				t.Fatal("double Delete reported removal")
+			}
+			if n := m.Len(); n != 1 {
+				t.Fatalf("Len = %d, want 1", n)
+			}
+			seen := map[string]string{}
+			m.ForEach(func(k, v string) bool { seen[k] = v; return true })
+			if len(seen) != 1 || seen["b"] != "y" {
+				t.Fatalf("ForEach saw %v", seen)
+			}
+		})
+	}
+}
+
+func TestStringMapUpdateCounter(t *testing.T) {
+	m := MustNewStringMap[int]("ht-clht-lb", Capacity(64))
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m.Update("ctr", func(old int, _ bool) (int, bool) { return old + 1, true })
+			}
+		}()
+	}
+	wg.Wait()
+	if v, ok := m.Get("ctr"); !ok || v != workers*rounds {
+		t.Fatalf("counter = %d, %v; want %d", v, ok, workers*rounds)
+	}
+}
+
+func TestStringMapManyKeys(t *testing.T) {
+	// Enough keys on a tiny table to exercise hash-chain collisions.
+	m := MustNewStringMap[int]("ht-clht-lb", Capacity(4))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if !m.Insert(fmt.Sprintf("key-%d", i), i) {
+			t.Fatalf("Insert key-%d failed", i)
+		}
+	}
+	if got := m.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(fmt.Sprintf("key-%d", i)); !ok || v != i {
+			t.Fatalf("Get(key-%d) = %d, %v", i, v, ok)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if _, ok := m.Delete(fmt.Sprintf("key-%d", i)); !ok {
+			t.Fatalf("Delete key-%d failed", i)
+		}
+	}
+	if got := m.Len(); got != n/2 {
+		t.Fatalf("Len after deletes = %d, want %d", got, n/2)
+	}
+	for i := 1; i < n; i += 2 {
+		if v, ok := m.Get(fmt.Sprintf("key-%d", i)); !ok || v != i {
+			t.Fatalf("survivor Get(key-%d) = %d, %v", i, v, ok)
+		}
+	}
+}
