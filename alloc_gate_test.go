@@ -1,0 +1,122 @@
+// Allocation regression gates (ASCY4 carried to Go): the paper's fourth
+// pattern demands that memory management never put waiting on the hot path;
+// the Go equivalent is that the hot path must not allocate, because every
+// allocation is deferred waiting — GC work that throttles exactly the
+// multi-core scaling Figures 4–9 measure. These gates pin Search at zero
+// steady-state allocations per operation for every family — linked lists,
+// hash tables, skip lists, and BSTs, with and without SSMEM node recycling
+// — so a regression shows up as a test failure, not as a slow drift in the
+// figure benchmarks.
+package ascylib
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// searchGateAlgos: at least one representative per family plus every
+// structure that gained SSMEM recycling in this PR (recycling adds epoch
+// pins to the search path, so it must prove itself allocation-free too).
+var searchGateAlgos = []struct {
+	algo    string
+	recycle bool
+}{
+	// Linked lists (plain and recycling).
+	{"ll-lazy", false},
+	{"ll-lazy", true},
+	{"ll-harris", false},
+	{"ll-harris", true},
+	{"ll-harris-opt", true},
+	{"ll-michael", true},
+	{"ll-pugh", false},
+	// Hash tables.
+	{"ht-clht-lb", false},
+	{"ht-clht-lf", false},
+	{"ht-urcu", false},
+	{"ht-urcu-ssmem", false}, // recycles natively
+	{"ht-java", false},
+	// Skip lists (plain and recycling).
+	{"sl-fraser", false},
+	{"sl-fraser", true},
+	{"sl-fraser-opt", true},
+	{"sl-pugh", true},
+	{"sl-herlihy", false},
+	// BSTs.
+	{"bst-tk", false},
+	{"bst-natarajan", false},
+	{"bst-ellen", false},
+	{"bst-howley", false},
+}
+
+func TestSearchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gates are meaningless under race instrumentation")
+	}
+	for _, tc := range searchGateAlgos {
+		name := tc.algo
+		if tc.recycle {
+			name += "/recycle"
+		}
+		t.Run(name, func(t *testing.T) {
+			opts := []core.Option{core.Capacity(128)}
+			if tc.recycle {
+				opts = append(opts, core.RecycleNodes(true))
+			}
+			s, err := core.New(tc.algo, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := core.Key(1); k <= 128; k++ {
+				s.Insert(k, core.Value(k))
+			}
+			// Mix hits and misses; both must be allocation-free.
+			var sink core.Value
+			k := core.Key(1)
+			if avg := testing.AllocsPerRun(400, func() {
+				v, _ := s.Search(k)
+				sink += v
+				k = k%200 + 1
+			}); avg != 0 {
+				t.Fatalf("%s: Search allocates %.2f/op, want 0", name, avg)
+			}
+			_ = sink
+		})
+	}
+}
+
+// TestRemoveInsertSteadyStateRecycling: with SSMEM recycling on, a steady
+// remove/insert churn of one key must stop allocating nodes once the
+// allocator's free list warms up — the structural point of the PR. The
+// bound is loose (a few allocs per op are epoch bookkeeping: batch stamping
+// every threshold frees, snapshot slices), but without recycling this churn
+// costs a node plus record allocations on every single cycle, so the gate
+// distinguishes the regimes cleanly.
+func TestRemoveInsertSteadyStateRecycling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gates are meaningless under race instrumentation")
+	}
+	for _, algo := range []string{"ll-lazy", "ll-michael"} {
+		t.Run(algo, func(t *testing.T) {
+			s := core.MustNew(algo, core.RecycleNodes(true), core.RecycleThreshold(16))
+			for k := core.Key(1); k <= 64; k++ {
+				s.Insert(k, core.Value(k))
+			}
+			// Warm the free lists.
+			for i := 0; i < 200; i++ {
+				s.Remove(32)
+				s.Insert(32, 32)
+			}
+			avg := testing.AllocsPerRun(400, func() {
+				s.Remove(32)
+				s.Insert(32, 32)
+			})
+			// lazy recycles the node itself; the lock-free lists still
+			// allocate fresh (ABA-proof) next-records per CAS. Either
+			// way the per-cycle cost must stay a small constant.
+			if avg > 4 {
+				t.Fatalf("%s: remove+insert cycle allocates %.2f, want <= 4", algo, avg)
+			}
+		})
+	}
+}

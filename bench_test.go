@@ -22,6 +22,24 @@ import (
 	_ "repro"
 )
 
+// measureAllocs wraps a run with process-wide allocation accounting and
+// returns heap allocations per completed operation — the ASCY4 companion
+// metric every figure benchmark now reports (GC pressure is where Go
+// concurrent structures lose their scaling; see DESIGN.md "Allocation
+// discipline"). Process-wide means the workload's own bookkeeping is
+// included, so treat it as an upper bound; the AllocsPerRun gates in
+// alloc_gate_test.go pin the search paths at exactly zero.
+func measureAllocs(run func() workload.Result) (workload.Result, float64) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res := run()
+	runtime.ReadMemStats(&m1)
+	if res.Ops == 0 {
+		return res, 0
+	}
+	return res, float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops)
+}
+
 // benchThreads is the per-benchmark worker count: the paper's 20-thread
 // reference scaled to the host, floored at 4 (see harness.Options).
 func benchThreads() int {
@@ -60,13 +78,24 @@ func runFigure(b *testing.B, algo string, initial, updatePct int, mutate ...func
 		m(&cfg)
 	}
 	b.ResetTimer()
-	res, err := workload.Run(cfg)
+	var err error
+	res, allocsPerOp := measureAllocs(func() workload.Result {
+		var r workload.Result
+		r, err = workload.Run(cfg)
+		return r
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.StopTimer()
 	b.ReportMetric(res.Mops(), "Mops/s")
 	b.ReportMetric(res.CoherencePerOp(), "coh-events/op")
+	// "allocs/op" overrides -benchmem's builtin (which divides by b.N and
+	// is meaningless for duration-scaled runs) but testing truncates its
+	// display to an integer, so the full-resolution ledger rides on
+	// allocs/kop: heap allocations per thousand operations.
+	b.ReportMetric(allocsPerOp, "allocs/op")
+	b.ReportMetric(1000*allocsPerOp, "allocs/kop")
 	return res
 }
 

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// runAllocs implements the `ascybench allocs` subcommand: the allocation
+// ledger of the library. For each algorithm it drives the standard mixed
+// workload and reports process-wide heap allocations and bytes per
+// operation, plus — where the structure recycles nodes through SSMEM —
+// the allocator counters and reuse rate. Structures that support the
+// Recycle knob are measured in both regimes so the delta is visible.
+// Results go to stdout and, machine-readably, to -out (BENCH_allocs.json,
+// schema ascylib/bench-allocs/v1); the committed file is the repository's
+// allocation baseline, refreshed by this command.
+func runAllocs(args []string) error {
+	fs := flag.NewFlagSet("allocs", flag.ExitOnError)
+	var (
+		duration = fs.Duration("duration", 300*time.Millisecond, "measured window per run")
+		threads  = fs.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS, capped at 8)")
+		initial  = fs.Int("initial", 1024, "initial structure size")
+		update   = fs.Int("update", 10, "update percentage")
+		seed     = fs.Uint64("seed", 42, "workload seed")
+		algoList = fs.String("algos", "", "comma-separated algorithms (default: the alloc-ledger set)")
+		out      = fs.String("out", "BENCH_allocs.json", "machine-readable output file (empty disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *threads <= 0 {
+		*threads = runtime.GOMAXPROCS(0)
+		if *threads > 8 {
+			*threads = 8
+		}
+	}
+	algos := allocLedgerAlgos()
+	if *algoList != "" {
+		algos = strings.Split(*algoList, ",")
+	}
+
+	var f AllocsFile
+	f.Schema = AllocsSchema
+	f.Config.DurationS = duration.Seconds()
+	f.Config.Threads = *threads
+	f.Config.Initial = *initial
+	f.Config.UpdatePct = *update
+	f.Config.Seed = *seed
+
+	for _, name := range algos {
+		a, ok := core.Get(name)
+		if !ok {
+			return fmt.Errorf("unknown algorithm %q", name)
+		}
+		if !a.Safe {
+			continue
+		}
+		for _, recycle := range recycleModes(name) {
+			run, err := allocRun(name, recycle, *initial, *update, *threads, *duration, *seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			printAllocRun(run)
+			f.Runs = append(f.Runs, run)
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(&f, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d run(s))\n", *out, len(f.Runs))
+	}
+	return nil
+}
+
+// allocLedgerAlgos is the default measurement set: every structure that
+// gained SSMEM recycling, the urcu pair (the paper's ASCY4 case study),
+// the CLHT headliners, and one BST.
+func allocLedgerAlgos() []string {
+	return []string{
+		"ll-lazy", "ll-harris", "ll-harris-opt", "ll-michael",
+		"sl-fraser", "sl-fraser-opt", "sl-pugh",
+		"ht-urcu", "ht-urcu-ssmem", "ht-clht-lb", "ht-clht-lf",
+		"bst-tk",
+	}
+}
+
+// recycleModes reports which Recycle settings are worth measuring for an
+// algorithm: both regimes when the knob changes behaviour, just the
+// default otherwise (probed via the Recycler interface, so it stays true
+// as structures gain support).
+func recycleModes(name string) []bool {
+	// Natively recycling structures (ht-urcu-ssmem) show allocator
+	// activity with the knob off; the knob adds nothing for them.
+	if probeRecycles(name, false) {
+		return []bool{false}
+	}
+	if probeRecycles(name, true) {
+		return []bool{false, true}
+	}
+	return []bool{false}
+}
+
+func probeRecycles(name string, knob bool) bool {
+	opts := []core.Option{}
+	if knob {
+		opts = append(opts, core.RecycleNodes(true))
+	}
+	s, err := core.New(name, opts...)
+	if err != nil {
+		return false
+	}
+	r, ok := s.(core.Recycler)
+	if !ok {
+		return false
+	}
+	// Several keys, so structures that recycle only a height class (the
+	// skip lists recycle height-1 towers) still register activity.
+	for k := core.Key(1); k <= 32; k++ {
+		s.Insert(k, core.Value(k))
+		s.Remove(k)
+	}
+	return r.RecycleStats().Allocs > 0
+}
+
+// allocRun executes one measured workload with allocation accounting.
+func allocRun(algo string, recycle bool, initial, update, threads int, d time.Duration, seed uint64) (AllocsRun, error) {
+	opts := []core.Option{core.Capacity(initial)}
+	if recycle {
+		opts = append(opts, core.RecycleNodes(true))
+	}
+	set, err := core.New(algo, opts...)
+	if err != nil {
+		return AllocsRun{}, err
+	}
+	cfg := workload.Config{
+		Algorithm: algo,
+		Options:   opts,
+		Initial:   initial,
+		UpdatePct: update,
+		Threads:   threads,
+		Duration:  d,
+		Seed:      seed,
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res := workload.RunOn(set, cfg)
+	runtime.ReadMemStats(&m1)
+
+	run := AllocsRun{
+		Algo:      algo,
+		Recycle:   recycle,
+		Ops:       res.Ops,
+		Mops:      res.Mops(),
+		GCPauseUS: float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e3,
+		NumGC:     m1.NumGC - m0.NumGC,
+	}
+	if res.Ops > 0 {
+		run.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops)
+		run.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Ops)
+	}
+	if r, ok := set.(core.Recycler); ok {
+		st := r.RecycleStats()
+		if st.Allocs > 0 {
+			run.RecycleStats = &RecycleJSON{
+				Allocs:    st.Allocs,
+				Frees:     st.Frees,
+				Reused:    st.Reused,
+				Collected: st.Collected,
+				ReuseRate: st.ReuseRate(),
+			}
+		}
+	}
+	return run, nil
+}
+
+func printAllocRun(r AllocsRun) {
+	mode := ""
+	if r.Recycle {
+		mode = " +recycle"
+	}
+	fmt.Printf("%-16s%-9s %8.2f allocs/op %9.1f B/op  %6.2f Mops/s  gc %6.0fus/%d",
+		r.Algo, mode, r.AllocsPerOp, r.BytesPerOp, r.Mops, r.GCPauseUS, r.NumGC)
+	if r.RecycleStats != nil {
+		fmt.Printf("  reuse %.0f%%", 100*r.RecycleStats.ReuseRate)
+	}
+	fmt.Println()
+}
+
+// AllocsSchema identifies the BENCH_allocs.json layout.
+const AllocsSchema = "ascylib/bench-allocs/v1"
+
+// AllocsRun is one measured workload in machine-readable form.
+type AllocsRun struct {
+	Algo        string  `json:"algo"`
+	Recycle     bool    `json:"recycle"`
+	Ops         uint64  `json:"ops"`
+	Mops        float64 `json:"mops"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	GCPauseUS   float64 `json:"gc_pause_us"`
+	NumGC       uint32  `json:"num_gc"`
+	// RecycleStats carries the SSMEM counters when the structure recycles
+	// nodes (absent otherwise).
+	RecycleStats *RecycleJSON `json:"recycle_stats,omitempty"`
+}
+
+// RecycleJSON is ssmem.Stats for the bench file.
+type RecycleJSON struct {
+	Allocs    uint64  `json:"allocs"`
+	Frees     uint64  `json:"frees"`
+	Reused    uint64  `json:"reused"`
+	Collected uint64  `json:"collected"`
+	ReuseRate float64 `json:"reuse_rate"`
+}
+
+// AllocsFile is the BENCH_allocs.json document.
+type AllocsFile struct {
+	Schema string `json:"schema"`
+	Config struct {
+		DurationS float64 `json:"duration_s"`
+		Threads   int     `json:"threads"`
+		Initial   int     `json:"initial"`
+		UpdatePct int     `json:"update_pct"`
+		Seed      uint64  `json:"seed"`
+	} `json:"config"`
+	Runs []AllocsRun `json:"runs"`
+}

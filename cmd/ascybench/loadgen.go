@@ -126,4 +126,6 @@ func printLoadgen(r server.LoadgenResult) {
 		fmt.Printf("  latency: mean %.0fus, p50 %.0fus, p99 %.0fus (n=%d sampled)\n",
 			j.MeanUS, j.P50US, j.P99US, j.N)
 	}
+	fmt.Printf("  client: %.2f allocs/op, gc pause %v (%d cycles)\n",
+		r.ClientAllocsPerOp, r.ClientGCPause.Round(time.Microsecond), r.ClientNumGC)
 }

@@ -8,6 +8,7 @@
 //	ascybench describe bst-tk       # one algorithm in detail
 //	ascybench loadgen -addr 127.0.0.1:11211 -out BENCH_server.json
 //	ascybench loadgen -algo all -duration 2s    # self-served per-algo sweep
+//	ascybench allocs -out BENCH_allocs.json     # allocs/op + SSMEM reuse ledger
 //	ascybench -list                 # Table 1: the algorithm catalogue
 //	ascybench -fig fig2a            # one experiment (fig2a..fig2d, fig3..fig9, rangemix, summary)
 //	ascybench -all                  # everything
@@ -57,6 +58,12 @@ func main() {
 		case "loadgen":
 			if err := runLoadgen(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "ascybench loadgen:", err)
+				os.Exit(1)
+			}
+			return
+		case "allocs":
+			if err := runAllocs(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "ascybench allocs:", err)
 				os.Exit(1)
 			}
 			return

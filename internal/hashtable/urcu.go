@@ -1,7 +1,6 @@
 package hashtable
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -37,8 +36,10 @@ type URCU struct {
 	dom     *rcu.Domain
 	waitGP  bool
 
-	collector *ssmem.Collector
-	allocs    sync.Pool // *ssmem.Allocator[uNode]
+	// pool is the SSMEM side (urcu-ssmem only): per-goroutine epoch
+	// allocators over one collector — the pattern ssmem.Pool centralizes
+	// and the Recycle-enabled lists and skip lists reuse.
+	pool *ssmem.Pool[uNode]
 }
 
 type uBucket struct {
@@ -57,11 +58,18 @@ func NewURCU(cfg core.Config, waitGP bool) *URCU {
 		dom:     rcu.NewDomain(),
 		waitGP:  waitGP,
 	}
-	u.collector = ssmem.NewCollector()
-	u.allocs.New = func() any {
-		return ssmem.NewAllocator[uNode](u.collector, ssmem.DefaultThreshold)
+	if !waitGP {
+		u.pool = ssmem.NewPool[uNode](cfg.RecycleThreshold)
 	}
 	return u
+}
+
+// RecycleStats implements core.Recycler; zero for the grace-period variant.
+func (u *URCU) RecycleStats() ssmem.Stats {
+	if u.pool == nil {
+		return ssmem.Stats{}
+	}
+	return u.pool.Stats()
 }
 
 // SearchCtx implements core.Instrumented. The chain walk happens inside a
@@ -74,11 +82,11 @@ func (u *URCU) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 		defer rd.Unlock()
 		return u.find(c, k)
 	}
-	a := u.allocs.Get().(*ssmem.Allocator[uNode])
+	a := u.pool.Get()
 	a.OpStart()
 	v, ok := u.find(c, k)
 	a.OpEnd()
-	u.allocs.Put(a)
+	u.pool.Put(a)
 	return v, ok
 }
 
@@ -110,11 +118,11 @@ func (u *URCU) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
 		node = &uNode{key: k, val: v}
 	} else {
 		// urcu-ssmem recycles nodes through the epoch allocator.
-		a := u.allocs.Get().(*ssmem.Allocator[uNode])
+		a := u.pool.Get()
 		a.OpStart()
 		node = a.Alloc()
 		a.OpEnd()
-		u.allocs.Put(a)
+		u.pool.Put(a)
 		node.key, node.val = k, v
 	}
 	node.next.Store(b.head.Load())
@@ -153,11 +161,11 @@ func (u *URCU) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 				// ASCY4 variant: stamp the node with SSMEM
 				// epochs; reuse happens once provably safe,
 				// with no waiting on this path.
-				a := u.allocs.Get().(*ssmem.Allocator[uNode])
+				a := u.pool.Get()
 				a.OpStart()
 				a.Free(n)
 				a.OpEnd()
-				u.allocs.Put(a)
+				u.pool.Put(a)
 			}
 			return v, true
 		}
@@ -203,13 +211,13 @@ func (u *URCU) ForEach(yield func(core.Key, core.Value) bool) {
 			}
 			rd.Unlock()
 		} else {
-			a := u.allocs.Get().(*ssmem.Allocator[uNode])
+			a := u.pool.Get()
 			a.OpStart()
 			for node := u.buckets[i].head.Load(); node != nil; node = node.next.Load() {
 				batch = append(batch, uNode{key: node.key, val: node.val})
 			}
 			a.OpEnd()
-			u.allocs.Put(a)
+			u.pool.Put(a)
 		}
 		for j := range batch {
 			if !yield(batch[j].key, batch[j].val) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/perf"
+	"repro/internal/ssmem"
 )
 
 // lfRef is an immutable (successor, marked) record. A node's next field
@@ -37,26 +38,34 @@ func newLFNode(k core.Key, v core.Value, succ *lfNode) *lfNode {
 // re-engineering (§5): the search performs no stores, no helping, and never
 // restarts — it simply ignores marked nodes — and the update parse does not
 // restart when a cleanup CAS fails. Figure 4 measures the difference.
+//
+// With cfg.Recycle, physically detached nodes are recycled through SSMEM
+// epochs (see recycle.go for the ownership discipline) instead of becoming
+// GC garbage — ASCY4's memory-management half.
 type Harris struct {
 	core.OrderedVia
 	head, tail *lfNode
 	optimized  bool
+	rec        *ssmem.Pool[lfNode]
 }
 
 // NewHarris returns an empty Harris list; optimized selects harris-opt.
 func NewHarris(cfg core.Config, optimized bool) *Harris {
 	tail := newLFNode(tailKey, 0, nil)
 	head := newLFNode(headKey, 0, tail)
-	s := &Harris{head: head, tail: tail, optimized: optimized}
+	s := &Harris{head: head, tail: tail, optimized: optimized, rec: newNodePool[lfNode](cfg)}
 	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
 	return s
 }
+
+// RecycleStats implements core.Recycler.
+func (l *Harris) RecycleStats() ssmem.Stats { return ssmem.PoolStats(l.rec) }
 
 // search is Harris's search: it returns adjacent (left, right) with
 // left.key < k <= right.key and right unmarked, unlinking any marked span in
 // between. leftRef is the record in left.next that points at right, needed
 // by the callers' CASes.
-func (l *Harris) search(c *perf.Ctx, k core.Key) (left *lfNode, leftRef *lfRef, right *lfNode) {
+func (l *Harris) search(a *ssmem.Allocator[lfNode], c *perf.Ctx, k core.Key) (left *lfNode, leftRef *lfRef, right *lfNode) {
 searchAgain:
 	for {
 		t := l.head
@@ -92,6 +101,7 @@ searchAgain:
 		if left.next.CompareAndSwap(leftRef, newRef) {
 			c.Inc(perf.EvCAS)
 			c.Inc(perf.EvCleanup)
+			freeLFSpan(a, leftRef.n, right)
 			if right != l.tail && right.next.Load().marked {
 				c.Inc(perf.EvRestart)
 				continue searchAgain
@@ -126,6 +136,8 @@ func (l *Harris) parseOpt(c *perf.Ctx, k core.Key) (left *lfNode, leftRef *lfRef
 
 // SearchCtx implements core.Instrumented.
 func (l *Harris) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	if l.optimized {
 		// ASCY1: traverse ignoring marks; no stores, no retries.
 		curr := l.head.next.Load().n
@@ -138,32 +150,44 @@ func (l *Harris) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 		}
 		return 0, false
 	}
-	_, _, right := l.search(c, k)
+	_, _, right := l.search(a, c, k)
 	if right != l.tail && right.key == k {
 		return right.val, true
 	}
 	return 0, false
 }
 
-func (l *Harris) parse(c *perf.Ctx, k core.Key) (left *lfNode, leftRef *lfRef, right *lfNode) {
+func (l *Harris) parse(a *ssmem.Allocator[lfNode], c *perf.Ctx, k core.Key) (left *lfNode, leftRef *lfRef, right *lfNode) {
 	if l.optimized {
 		return l.parseOpt(c, k)
 	}
-	return l.search(c, k)
+	return l.search(a, c, k)
 }
 
 // InsertCtx implements core.Instrumented.
 func (l *Harris) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
+	var n *lfNode // allocated once, reused across CAS retries
 	for {
 		c.ParseBegin()
-		left, leftRef, right := l.parse(c, k)
+		left, leftRef, right := l.parse(a, c, k)
 		c.ParseEnd()
 		if right != l.tail && right.key == k {
-			return false // lock-free lists fail read-only by nature (ASCY3)
+			// Lock-free lists fail read-only by nature (ASCY3). A node
+			// allocated on an earlier iteration was never published.
+			ssmem.FreeTo(a, n)
+			return false
 		}
-		n := newLFNode(k, v, right)
+		if n == nil {
+			n = allocLF(a, k, v)
+		}
+		n.next.Store(&lfRef{n: right})
 		if left.next.CompareAndSwap(leftRef, &lfRef{n: n}) {
 			c.Inc(perf.EvCAS)
+			// The CAS also swallowed any marked span the optimized
+			// parse stepped over.
+			freeLFSpan(a, leftRef.n, right)
 			return true
 		}
 		c.Inc(perf.EvCASFail)
@@ -173,9 +197,11 @@ func (l *Harris) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
 
 // RemoveCtx implements core.Instrumented.
 func (l *Harris) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	for {
 		c.ParseBegin()
-		left, leftRef, right := l.parse(c, k)
+		left, leftRef, right := l.parse(a, c, k)
 		c.ParseEnd()
 		if right == l.tail || right.key != k {
 			return 0, false
@@ -195,17 +221,21 @@ func (l *Harris) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 			continue
 		}
 		c.Inc(perf.EvCAS)
+		val := right.val // we own the logical delete; read before any free
 		// Step 2: physical deletion — best effort; on failure the next
 		// search (or update parse) cleans up.
 		if left.next.CompareAndSwap(leftRef, &lfRef{n: rRef.n}) {
 			c.Inc(perf.EvCAS)
+			// Detached [leftRef.n .. rRef.n): right plus any marked
+			// span the parse stepped over.
+			freeLFSpan(a, leftRef.n, rRef.n)
 		} else {
 			c.Inc(perf.EvCASFail)
 			if !l.optimized {
-				l.search(c, k) // harris: eagerly clean up
+				l.search(a, c, k) // harris: eagerly clean up
 			}
 		}
-		return right.val, true
+		return val, true
 	}
 }
 
@@ -220,6 +250,8 @@ func (l *Harris) Remove(k core.Key) (core.Value, bool) { return l.RemoveCtx(nil,
 
 // Size counts unmarked elements. Quiescent use only.
 func (l *Harris) Size() int {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	n := 0
 	for curr := l.head.next.Load().n; curr != l.tail; {
 		ref := curr.next.Load()

@@ -3,6 +3,7 @@ package linkedlist
 import (
 	"repro/internal/core"
 	"repro/internal/perf"
+	"repro/internal/ssmem"
 )
 
 // Michael is Michael's (SPAA '02) refactoring of the Harris list (Table 1),
@@ -10,24 +11,33 @@ import (
 // spans, the traversal unlinks logically deleted nodes one at a time, and
 // restarts from the head whenever a CAS fails or an inconsistency is
 // observed. It shares the lfNode/lfRef encoding with Harris.
+//
+// The one-node-at-a-time unlink is exactly what makes Michael's list the
+// natural fit for SSMEM recycling (its original purpose): with cfg.Recycle,
+// the thread whose CAS detaches a node frees it through the epoch
+// allocator, and no span walking is ever needed.
 type Michael struct {
 	core.OrderedVia
 	head, tail *lfNode
+	rec        *ssmem.Pool[lfNode]
 }
 
 // NewMichael returns an empty Michael list.
 func NewMichael(cfg core.Config) *Michael {
 	tail := newLFNode(tailKey, 0, nil)
 	head := newLFNode(headKey, 0, tail)
-	s := &Michael{head: head, tail: tail}
+	s := &Michael{head: head, tail: tail, rec: newNodePool[lfNode](cfg)}
 	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
 	return s
 }
 
+// RecycleStats implements core.Recycler.
+func (l *Michael) RecycleStats() ssmem.Stats { return ssmem.PoolStats(l.rec) }
+
 // find positions (prev, prevRef, curr) with prev.key < k <= curr.key, curr
 // unmarked, unlinking each marked node it encounters. Restarts from the head
 // when an unlink CAS fails.
-func (l *Michael) find(c *perf.Ctx, k core.Key) (prev *lfNode, prevRef *lfRef, curr *lfNode) {
+func (l *Michael) find(a *ssmem.Allocator[lfNode], c *perf.Ctx, k core.Key) (prev *lfNode, prevRef *lfRef, curr *lfNode) {
 tryAgain:
 	for {
 		prev = l.head
@@ -46,6 +56,7 @@ tryAgain:
 				}
 				c.Inc(perf.EvCAS)
 				c.Inc(perf.EvCleanup)
+				ssmem.FreeTo(a, curr) // our CAS detached it
 				prevRef = newRef
 				curr = currRef.n
 				continue
@@ -66,7 +77,9 @@ tryAgain:
 // the search path helps unlink and may restart — the ASCY1 violation that
 // harris-opt removes.
 func (l *Michael) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
-	_, _, curr := l.find(c, k)
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
+	_, _, curr := l.find(a, c, k)
 	if curr != l.tail && curr.key == k {
 		return curr.val, true
 	}
@@ -75,14 +88,21 @@ func (l *Michael) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 
 // InsertCtx implements core.Instrumented.
 func (l *Michael) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
+	var n *lfNode // allocated once, reused across CAS retries
 	for {
 		c.ParseBegin()
-		prev, prevRef, curr := l.find(c, k)
+		prev, prevRef, curr := l.find(a, c, k)
 		c.ParseEnd()
 		if curr != l.tail && curr.key == k {
+			ssmem.FreeTo(a, n) // never published
 			return false
 		}
-		n := newLFNode(k, v, curr)
+		if n == nil {
+			n = allocLF(a, k, v)
+		}
+		n.next.Store(&lfRef{n: curr})
 		if prev.next.CompareAndSwap(prevRef, &lfRef{n: n}) {
 			c.Inc(perf.EvCAS)
 			return true
@@ -94,9 +114,11 @@ func (l *Michael) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
 
 // RemoveCtx implements core.Instrumented.
 func (l *Michael) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	for {
 		c.ParseBegin()
-		prev, prevRef, curr := l.find(c, k)
+		prev, prevRef, curr := l.find(a, c, k)
 		c.ParseEnd()
 		if curr == l.tail || curr.key != k {
 			return 0, false
@@ -112,13 +134,15 @@ func (l *Michael) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 			continue
 		}
 		c.Inc(perf.EvCAS)
+		val := curr.val // we own the logical delete; read before any free
 		if prev.next.CompareAndSwap(prevRef, &lfRef{n: currRef.n}) {
 			c.Inc(perf.EvCAS)
+			ssmem.FreeTo(a, curr) // our CAS detached it
 		} else {
 			c.Inc(perf.EvCASFail)
-			l.find(c, k) // delegate cleanup to a fresh traversal
+			l.find(a, c, k) // delegate cleanup (and the free) to a fresh traversal
 		}
-		return curr.val, true
+		return val, true
 	}
 }
 
@@ -133,6 +157,8 @@ func (l *Michael) Remove(k core.Key) (core.Value, bool) { return l.RemoveCtx(nil
 
 // Size counts unmarked elements. Quiescent use only.
 func (l *Michael) Size() int {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	n := 0
 	for curr := l.head.next.Load().n; curr != l.tail; {
 		ref := curr.next.Load()

@@ -1,0 +1,63 @@
+// SSMEM node recycling for the dynamic-node lists (ASCY4 carried to Go):
+// behind core.Config.Recycle, removed nodes are routed through per-goroutine
+// epoch allocators (ssmem.Pool) and reused once no concurrent operation can
+// still hold them, instead of becoming Go GC garbage. Every operation —
+// including read-only searches and scans — brackets itself with
+// ssmem.Pin/Unpin so the epoch protocol knows which traversals are in
+// flight.
+//
+// Ownership discipline for the lock-free lists (who may Free a node):
+// exactly the thread whose CAS physically detaches it. A successful CAS on
+// an unmarked next-record detaches the chain segment between the record's
+// old successor and the CAS's new target; every node in that segment is
+// logically deleted with a frozen (marked, immutable) next record, so the
+// winner can walk the detached segment and free each node exactly once.
+// Competing detachments of overlapping segments are impossible: they would
+// have to CAS the same predecessor record (only one wins) or a marked
+// record (never done). The lazy list is simpler: the remover holds both
+// node locks and is the unique physical unlinker.
+//
+// ABA safety: CASes compare *lfRef record pointers, which are always fresh
+// heap allocations — only the nodes are recycled — so a recycled node can
+// never make a stale CAS succeed.
+package linkedlist
+
+import (
+	"repro/internal/core"
+	"repro/internal/ssmem"
+)
+
+// newNodePool builds the shared allocator pool for a list when cfg asks for
+// recycling; nil means recycling is off and the nil-safe ssmem helpers
+// (Pin/Unpin/FreeTo/PoolStats) all no-op.
+func newNodePool[T any](cfg core.Config) *ssmem.Pool[T] {
+	if !cfg.Recycle {
+		return nil
+	}
+	return ssmem.NewPool[T](cfg.RecycleThreshold)
+}
+
+// allocLF returns an lfNode with key and val set; the caller installs the
+// next record. Falls back to the Go heap when recycling is off.
+func allocLF(a *ssmem.Allocator[lfNode], k core.Key, v core.Value) *lfNode {
+	if a == nil {
+		return &lfNode{key: k, val: v}
+	}
+	n := a.Alloc()
+	n.key, n.val = k, v
+	return n
+}
+
+// freeLFSpan frees every node of the physically detached chain segment
+// [from, to). The segment's nodes are all marked, and a marked node's next
+// record is immutable, so the walk is safe and terminates at to.
+func freeLFSpan(a *ssmem.Allocator[lfNode], from, to *lfNode) {
+	if a == nil {
+		return
+	}
+	for n := from; n != to; {
+		next := n.next.Load().n
+		a.Free(n)
+		n = next
+	}
+}

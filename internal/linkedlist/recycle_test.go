@@ -1,0 +1,97 @@
+package linkedlist_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linkedlist"
+	"repro/internal/settest"
+)
+
+func recycleCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Recycle = true
+	cfg.RecycleThreshold = 8 // tiny batches so reuse happens fast in tests
+	return cfg
+}
+
+// TestRecycleConformance runs the full conformance suite (including the
+// concurrent portion; run with -race) over the recycling variants: the
+// semantics must be indistinguishable from the GC-backed defaults.
+func TestRecycleConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Set
+	}{
+		{"harris", func() core.Set { return linkedlist.NewHarris(recycleCfg(), false) }},
+		{"harris-opt", func() core.Set { return linkedlist.NewHarris(recycleCfg(), true) }},
+		{"michael", func() core.Set { return linkedlist.NewMichael(recycleCfg()) }},
+		{"lazy", func() core.Set { return linkedlist.NewLazy(recycleCfg()) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) { settest.Run(t, true, tc.mk) })
+	}
+}
+
+// TestRecycleReuseHappens churns one small list hard enough that the epoch
+// allocator must serve allocations from recycled nodes, and checks the
+// counters balance: everything freed was freed exactly once (frees never
+// exceed allocations), and reuse actually occurred.
+func TestRecycleReuseHappens(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Set
+	}{
+		{"harris", func() core.Set { return linkedlist.NewHarris(recycleCfg(), false) }},
+		{"harris-opt", func() core.Set { return linkedlist.NewHarris(recycleCfg(), true) }},
+		{"michael", func() core.Set { return linkedlist.NewMichael(recycleCfg()) }},
+		{"lazy", func() core.Set { return linkedlist.NewLazy(recycleCfg()) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.mk()
+			const workers, rounds, span = 4, 400, 16
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := core.Key(1 + w*span)
+					for r := 0; r < rounds; r++ {
+						for k := base; k < base+span; k++ {
+							s.Insert(k, core.Value(k))
+						}
+						for k := base; k < base+span; k++ {
+							s.Search(k)
+							s.Remove(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if got := s.Size(); got != 0 {
+				t.Fatalf("size after drain = %d, want 0", got)
+			}
+			st := s.(core.Recycler).RecycleStats()
+			if st.Frees > st.Allocs {
+				t.Fatalf("more frees than allocations (double free): %+v", st)
+			}
+			if st.Reused == 0 && !raceEnabled {
+				t.Fatalf("no node reuse under churn: %+v", st)
+			}
+			if st.Garbage < 0 {
+				t.Fatalf("negative garbage (double hand-out): %+v", st)
+			}
+		})
+	}
+}
+
+// TestRecycleOffIsInert: without the knob the structures never register an
+// allocator and report zero stats.
+func TestRecycleOffIsInert(t *testing.T) {
+	s := linkedlist.NewHarris(core.DefaultConfig(), true)
+	s.Insert(1, 1)
+	s.Remove(1)
+	if st := s.RecycleStats(); st != (s.RecycleStats()) || st.Allocs != 0 {
+		t.Fatalf("stats with recycling off = %+v, want zero", st)
+	}
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// repeatReader endlessly replays one frame, so a parse loop can run in
+// steady state without touching the allocator for input.
+type repeatReader struct {
+	frame []byte
+	off   int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	n := copy(p, r.frame[r.off:])
+	r.off = (r.off + n) % len(r.frame)
+	return n, nil
+}
+
+// TestServerGetPathZeroAlloc is the PR's end-to-end allocation gate: a
+// pipelined get hit — ReadCommandInto → Store.Get → VALUE staging — must
+// perform zero heap allocations per request in steady state, for both the
+// hash-table headliner and an SSMEM-recycling ordered backend.
+func TestServerGetPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts at random, so Pin() itself allocates")
+	}
+	for _, algo := range []string{"ht-clht-lb", "ht-clht-lf"} {
+		t.Run(algo, func(t *testing.T) {
+			s, err := New(Config{Algo: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := s.store.Pin()
+			s.store.Set(p, []byte("hotkey"), 7, 0, bytes.Repeat([]byte("v"), 100))
+			p.Unpin()
+
+			br := bufio.NewReaderSize(&repeatReader{frame: []byte("get hotkey\r\n")}, 1<<16)
+			bw := newWriter(io.Discard, 0)
+			var cmd Command
+			var sc Scratch
+			step := func() {
+				if err := ReadCommandInto(br, DefaultMaxItemSize, &cmd, &sc); err != nil {
+					t.Fatal(err)
+				}
+				s.execute(&cmd, bw)
+			}
+			for i := 0; i < 64; i++ {
+				step() // reach steady state (scratch sized, pools primed)
+			}
+			if avg := testing.AllocsPerRun(512, step); avg != 0 {
+				t.Fatalf("pipelined get hit allocates %.2f/op, want 0", avg)
+			}
+			if s.getHits.Load() == 0 || s.getMisses.Load() != 0 {
+				t.Fatalf("gate did not exercise hits: hits=%d misses=%d",
+					s.getHits.Load(), s.getMisses.Load())
+			}
+		})
+	}
+}
+
+// TestStoreDataPoolingNoAliasing hammers one key with concurrent sets and
+// pinned gets: a reader must never observe a value block that a recycled
+// write has begun overwriting (every byte of the returned Data must agree).
+// Run under -race: the SSMEM epoch edges are what make this pass.
+func TestStoreDataPoolingNoAliasing(t *testing.T) {
+	st, err := NewStore("ht-clht-lb", 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("aliased")
+	const valLen = 256
+	mkVal := func(b byte) []byte { return bytes.Repeat([]byte{b}, valLen) }
+	p0 := st.Pin()
+	st.Set(p0, key, 0, 0, mkVal('a'))
+	p0.Unpin()
+
+	const writers, rounds = 3, 3000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := st.Pin()
+			it, ok := st.Get(p, key)
+			if ok {
+				if len(it.Data) != valLen {
+					readerErr = errOf("len = %d", len(it.Data))
+					p.Unpin()
+					return
+				}
+				first := it.Data[0]
+				for i, b := range it.Data {
+					if b != first {
+						readerErr = errOf("torn value at %d: %q vs %q", i, b, first)
+						p.Unpin()
+						return
+					}
+				}
+			}
+			p.Unpin()
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := mkVal(byte('b' + w))
+			for i := 0; i < rounds; i++ {
+				p := st.Pin() // per op, as the server pins per request
+				st.Set(p, key, 0, 0, val)
+				p.Unpin()
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	if st.BufStats().Frees == 0 {
+		t.Fatal("no value blocks were retired through the pool")
+	}
+}
+
+// TestStoreDataPoolReuseBalance: blocks are freed at most once and reuse
+// actually happens (without -race; see race_on_test.go for why sync.Pool
+// churn strands garbage under the detector).
+func TestStoreDataPoolReuseBalance(t *testing.T) {
+	st, err := NewStore("ht-clht-lb", 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{'x'}, 100)
+	key := []byte("k")
+	for i := 0; i < 4000; i++ {
+		// Pin per operation: an open pin is an open epoch, and garbage
+		// freed inside it can never be reclaimed until it closes.
+		p := st.Pin()
+		st.Set(p, key, 0, 0, val)
+		p.Unpin()
+	}
+	bs := st.BufStats()
+	if bs.Frees > bs.Allocs {
+		t.Fatalf("more frees than allocs (double free): %+v", bs)
+	}
+	if bs.Garbage < 0 {
+		t.Fatalf("negative garbage (double hand-out): %+v", bs)
+	}
+	if bs.Reused == 0 && !raceEnabled {
+		t.Fatalf("no block reuse after 4000 overwrites: %+v", bs)
+	}
+}
+
+// TestStoreReapsExpiredOnGet: a dead item observed by a read is physically
+// removed (bounded, non-blocking) instead of lingering until a mutation
+// touches the key.
+func TestStoreReapsExpiredOnGet(t *testing.T) {
+	st, err := NewStore("ht-clht-lb", 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(1000)
+	st.now = func() int64 { return now }
+	p := st.Pin()
+	defer p.Unpin()
+	st.Set(p, []byte("ttl"), 0, 100, []byte("soon-dead"))
+	st.Set(p, []byte("keep"), 0, 0, []byte("alive"))
+	if st.Items() != 2 {
+		t.Fatalf("items = %d, want 2", st.Items())
+	}
+	now += 200 // expire "ttl"
+	if _, ok := st.Get(p, []byte("ttl")); ok {
+		t.Fatal("expired item visible")
+	}
+	if st.Items() != 1 {
+		t.Fatalf("corpse not reaped on read: items = %d, want 1", st.Items())
+	}
+	if _, ok := st.Get(p, []byte("keep")); !ok {
+		t.Fatal("live item lost")
+	}
+	// The reaped block went back to the pool.
+	if st.BufStats().Frees == 0 {
+		t.Fatal("reaped value block was not freed to the pool")
+	}
+}
+
+func errOf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// TestWriteTimeoutUnblocksStalledClient: a client that stops reading must
+// not hold its connection (and with it the request's epoch pin, which
+// gates value-block reclamation for the whole store) forever — the write
+// deadline closes the connection.
+func TestWriteTimeoutUnblocksStalledClient(t *testing.T) {
+	s, err := New(Config{
+		Addr:            "127.0.0.1:0",
+		Algo:            "ht-clht-lb",
+		WriteBufferSize: 1 << 10, // tiny, so responses flush inline
+		WriteTimeout:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { s.Serve(); close(done) }()
+	defer func() { s.Close(); <-done }()
+
+	// Store a value much larger than the write buffer.
+	big := bytes.Repeat([]byte("v"), 1<<16)
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Set("big", 0, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	// Raw connection that requests the value repeatedly and never reads:
+	// the server's flushes must hit the deadline, not block forever.
+	raw, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	for i := 0; i < 64; i++ {
+		if _, err := raw.Write([]byte("get big\r\n")); err != nil {
+			break // server already gave up on us: fine
+		}
+	}
+	// The stalled connection must die, after which the healthy client
+	// still gets served (reclamation was not wedged).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.currConns.Load() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled connection not closed: %d conns", s.currConns.Load())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, ok, err := cl.Get("big"); err != nil || !ok {
+		t.Fatalf("healthy client after stall: %v %v", ok, err)
+	}
+	cl.Close()
+}

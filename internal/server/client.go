@@ -15,9 +15,11 @@ import (
 // number of requests, Flush once, then receive the responses in order.
 // A Client is not safe for concurrent use; open one per goroutine.
 type Client struct {
-	c  net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	scratch [24]byte // number formatting without fmt
+	fields  [][]byte // reused by the zero-alloc receive paths
 }
 
 // Dial connects to a memcached-protocol server.
@@ -76,12 +78,42 @@ func (c *Client) SendGet(withCAS bool, keys ...string) error {
 	return err
 }
 
+// SendGet1 queues a single-key get without the variadic call's slice — the
+// load generator's guaranteed-no-alloc form.
+func (c *Client) SendGet1(withCAS bool, key string) error {
+	if withCAS {
+		c.bw.WriteString("gets ")
+	} else {
+		c.bw.WriteString("get ")
+	}
+	c.bw.WriteString(key)
+	_, err := c.bw.Write(crlf)
+	return err
+}
+
+// writeUint appends one space-prefixed decimal to the send buffer without
+// allocating (the load generator drives millions of these per second).
+func (c *Client) writeUint(v uint64) {
+	c.bw.WriteByte(' ')
+	c.bw.Write(strconv.AppendUint(c.scratch[:0], v, 10))
+}
+
+func (c *Client) writeInt(v int64) {
+	c.bw.WriteByte(' ')
+	c.bw.Write(strconv.AppendInt(c.scratch[:0], v, 10))
+}
+
 // SendStore queues a storage command: verb is "set", "add", "replace", or
-// "cas" (casid is only written for cas).
+// "cas" (casid is only written for cas). Allocation-free.
 func (c *Client) SendStore(verb, key string, flags uint32, exptime int64, data []byte, casid uint64) error {
-	fmt.Fprintf(c.bw, "%s %s %d %d %d", verb, key, flags, exptime, len(data))
+	c.bw.WriteString(verb)
+	c.bw.WriteByte(' ')
+	c.bw.WriteString(key)
+	c.writeUint(uint64(flags))
+	c.writeInt(exptime)
+	c.writeUint(uint64(len(data)))
 	if verb == "cas" {
-		fmt.Fprintf(c.bw, " %d", casid)
+		c.writeUint(casid)
 	}
 	c.bw.Write(crlf)
 	c.bw.Write(data)
@@ -89,19 +121,24 @@ func (c *Client) SendStore(verb, key string, flags uint32, exptime int64, data [
 	return err
 }
 
-// SendDelete queues a delete.
+// SendDelete queues a delete. Allocation-free.
 func (c *Client) SendDelete(key string) error {
-	_, err := fmt.Fprintf(c.bw, "delete %s\r\n", key)
+	c.bw.WriteString("delete ")
+	c.bw.WriteString(key)
+	_, err := c.bw.Write(crlf)
 	return err
 }
 
-// SendIncrDecr queues an incr or decr.
+// SendIncrDecr queues an incr or decr. Allocation-free.
 func (c *Client) SendIncrDecr(key string, delta uint64, incr bool) error {
-	verb := "incr"
-	if !incr {
-		verb = "decr"
+	if incr {
+		c.bw.WriteString("incr ")
+	} else {
+		c.bw.WriteString("decr ")
 	}
-	_, err := fmt.Fprintf(c.bw, "%s %s %d\r\n", verb, key, delta)
+	c.bw.WriteString(key)
+	c.writeUint(delta)
+	_, err := c.bw.Write(crlf)
 	return err
 }
 
@@ -177,39 +214,101 @@ func (c *Client) RecvGet() ([]Entry, error) {
 // decimal, …) for any queued single-line-response command.
 func (c *Client) RecvLine() (string, error) { return c.readLine() }
 
+// readLineSlice reads one response line without allocating; the slice is
+// valid until the next read. Response lines always fit the read buffer.
+func (c *Client) readLineSlice() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// RecvGetN consumes the response of one SendGet, discarding the payloads,
+// and returns the number of entries and their total data bytes. It is the
+// allocation-free receive half the load generator uses: hit accounting
+// without materializing keys or values, so client-side GC activity cannot
+// leak into the latency samples.
+func (c *Client) RecvGetN() (entries int, dataBytes int64, err error) {
+	for {
+		line, err := c.readLineSlice()
+		if err != nil {
+			return entries, dataBytes, err
+		}
+		if len(line) == 3 && line[0] == 'E' && string(line) == "END" {
+			return entries, dataBytes, nil
+		}
+		c.fields = splitFields(line, c.fields)
+		if len(c.fields) < 4 || string(c.fields[0]) != "VALUE" {
+			return entries, dataBytes, fmt.Errorf("client: malformed VALUE line %q", line)
+		}
+		size, ok := parseU64(c.fields[3])
+		if !ok {
+			return entries, dataBytes, fmt.Errorf("client: bad size in %q", line)
+		}
+		// Discard the data block and its CRLF terminator.
+		toSkip := int(size)
+		for toSkip > 0 {
+			n, err := c.br.Discard(toSkip)
+			toSkip -= n
+			if err != nil {
+				return entries, dataBytes, err
+			}
+		}
+		b0, err := c.br.ReadByte()
+		if err != nil {
+			return entries, dataBytes, err
+		}
+		b1, err := c.br.ReadByte()
+		if err != nil {
+			return entries, dataBytes, err
+		}
+		if b0 != '\r' || b1 != '\n' {
+			return entries, dataBytes, fmt.Errorf("client: value block not CRLF-terminated")
+		}
+		entries++
+		dataBytes += int64(size)
+	}
+}
+
 // RecvStored receives a storage response and reports whether it was
 // STORED. EXISTS/NOT_STORED/NOT_FOUND report false with no error; error
-// responses become errors.
+// responses become errors. Allocation-free on the expected responses.
 func (c *Client) RecvStored() (bool, error) {
-	line, err := c.readLine()
+	line, err := c.readLineSlice()
 	if err != nil {
 		return false, err
 	}
-	switch line {
+	switch string(line) {
 	case "STORED":
 		return true, nil
 	case "NOT_STORED", "EXISTS", "NOT_FOUND":
 		return false, nil
 	}
-	if err := serverError(line); err != nil {
+	if err := serverError(string(line)); err != nil {
 		return false, err
 	}
 	return false, fmt.Errorf("client: unexpected storage response %q", line)
 }
 
-// RecvDeleted receives a delete response.
+// RecvDeleted receives a delete response. Allocation-free on the expected
+// responses.
 func (c *Client) RecvDeleted() (bool, error) {
-	line, err := c.readLine()
+	line, err := c.readLineSlice()
 	if err != nil {
 		return false, err
 	}
-	switch line {
+	switch string(line) {
 	case "DELETED":
 		return true, nil
 	case "NOT_FOUND":
 		return false, nil
 	}
-	if err := serverError(line); err != nil {
+	if err := serverError(string(line)); err != nil {
 		return false, err
 	}
 	return false, fmt.Errorf("client: unexpected delete response %q", line)

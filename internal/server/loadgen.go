@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -107,6 +108,17 @@ type LoadgenResult struct {
 
 	// Latency is the send-to-response distribution per class plus "all".
 	Latency map[string]stats.Summary
+
+	// Client-side generator hygiene, measured across the driving window:
+	// heap allocations per completed request and total GC pause time.
+	// They separate server regressions from generator noise — a latency
+	// shift with flat ClientAllocsPerOp and GCPause is the server's. In
+	// self-served runs (in-process server) the process-wide counters
+	// include the server's own allocations; over-the-wire runs isolate
+	// the client.
+	ClientAllocsPerOp float64
+	ClientGCPause     time.Duration
+	ClientNumGC       uint32
 }
 
 // Throughput returns completed requests per second.
@@ -194,6 +206,8 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	clients := make([]*Client, 0, cfg.Conns)
 	var wg sync.WaitGroup
 	deadline := time.Now().Add(cfg.Duration)
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
 	begin := time.Now()
 	for i := 0; i < cfg.Conns; i++ {
 		cs := &lgConn{}
@@ -232,6 +246,10 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(begin)
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
+	res.ClientGCPause = time.Duration(mem1.PauseTotalNs - mem0.PauseTotalNs)
+	res.ClientNumGC = mem1.NumGC - mem0.NumGC
 
 	var all stats.Recorder
 	var lat [numLgClasses]stats.Recorder
@@ -261,6 +279,9 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	if firstErr != nil {
 		return res, fmt.Errorf("loadgen: connection error: %w", firstErr)
 	}
+	if res.Ops > 0 {
+		res.ClientAllocsPerOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(res.Ops)
+	}
 	res.Latency = map[string]stats.Summary{"all": all.Summarize()}
 	for cl := range lat {
 		if lat[cl].Count() > 0 {
@@ -272,10 +293,14 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 
 // lgSend is the sender half of one connection: draw, encode, enqueue. It
 // returns when the deadline passes, the receiver dies, or a send fails.
+// The loop body allocates nothing: keys come from the prebuilt table, the
+// multi-get batch is a reused scratch slice, and the send paths format
+// numbers into retained buffers.
 func lgSend(cl *Client, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, value []byte, deadline time.Time, window chan pending) error {
 	rng := xrand.New(cfg.Seed + uint64(conn) + 1)
 	kr := uint64(2 * cfg.Keys)
 	var countdown [numLgClasses]int
+	batch := make([]string, 0, cfg.MultiGet)
 	for time.Now().Before(deadline) && !cs.dead.Load() {
 		k := keys[rng.Uint64n(kr)+1]
 		kind := cfg.Mix.Next(rng)
@@ -284,7 +309,7 @@ func lgSend(cl *Client, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, 
 		switch kind {
 		case workload.KindSearch:
 			p.class = lgGet
-			err = cl.SendGet(false, k)
+			err = cl.SendGet1(false, k)
 		case workload.KindInsert:
 			p.class = lgSet
 			err = cl.SendStore("set", k, 0, 0, value, 0)
@@ -294,7 +319,7 @@ func lgSend(cl *Client, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, 
 		case workload.KindRange:
 			p.class = lgMGet
 			start := rng.Uint64n(kr) + 1
-			batch := make([]string, 0, cfg.MultiGet)
+			batch = batch[:0]
 			for j := 0; j < cfg.MultiGet && int(start)+j < len(keys); j++ {
 				batch = append(batch, keys[start+uint64(j)])
 			}
@@ -322,7 +347,9 @@ func lgSend(cl *Client, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, 
 
 // lgReceive is the receiver half: parse responses in request order. On an
 // error it marks the connection dead and drains the window so the sender
-// never blocks against a gone receiver.
+// never blocks against a gone receiver. Responses are consumed through the
+// discarding receive paths, so the steady-state loop allocates nothing and
+// the latency samples never include client GC work.
 func lgReceive(cl *Client, cs *lgConn, window chan pending) {
 	fail := func(err error) {
 		cs.recvErr = err
@@ -330,24 +357,30 @@ func lgReceive(cl *Client, cs *lgConn, window chan pending) {
 		for range window {
 		}
 	}
+	// Pre-grow the recorders so sampling appends do not allocate mid-run.
+	const reserve = 1 << 14
+	cs.all.Reserve(reserve)
+	for cl := range cs.lat {
+		cs.lat[cl].Reserve(reserve / 2)
+	}
 	for p := range window {
 		switch p.class {
 		case lgGet, lgMGet:
-			es, err := cl.RecvGet()
+			es, _, err := cl.RecvGetN()
 			if err != nil {
 				fail(err)
 				return
 			}
 			if p.class == lgGet {
 				cs.gets++
-				if len(es) > 0 {
+				if es > 0 {
 					cs.hits++
 				} else {
 					cs.misses++
 				}
 			} else {
 				cs.mgets++
-				cs.mgetKeys += uint64(len(es))
+				cs.mgetKeys += uint64(es)
 			}
 		case lgSet:
 			if _, err := cl.RecvStored(); err != nil {
@@ -394,6 +427,11 @@ type BenchRun struct {
 	MultiGets      uint64                       `json:"multi_gets"`
 	MultiGetKeys   uint64                       `json:"multi_get_keys"`
 	LatencyUS      map[string]stats.SummaryJSON `json:"latency_us"`
+	// Generator hygiene (see LoadgenResult): client-side allocations per
+	// request and GC pause totals over the driving window.
+	ClientAllocsPerOp float64 `json:"client_allocs_per_op"`
+	ClientGCPauseUS   float64 `json:"client_gc_pause_us"`
+	ClientNumGC       uint32  `json:"client_num_gc"`
 }
 
 // BenchFile is the BENCH_server.json document: the loadgen configuration
@@ -431,6 +469,10 @@ func BenchRunOf(r LoadgenResult) BenchRun {
 		MultiGets:      r.MGets,
 		MultiGetKeys:   r.MGetKeys,
 		LatencyUS:      map[string]stats.SummaryJSON{},
+
+		ClientAllocsPerOp: r.ClientAllocsPerOp,
+		ClientGCPauseUS:   float64(r.ClientGCPause) / 1e3,
+		ClientNumGC:       r.ClientNumGC,
 	}
 	for name, s := range r.Latency {
 		b.LatencyUS[name] = s.JSON()

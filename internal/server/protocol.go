@@ -6,13 +6,15 @@
 //
 // The layers, bottom up:
 //
-//   - protocol.go — framing: ReadCommand parses one request (command line
-//     plus optional data block) from a buffered stream, tolerating frames
-//     split across arbitrary read boundaries and resynchronizing after
-//     malformed lines.
+//   - protocol.go — framing: ReadCommandInto parses one request (command
+//     line plus optional data block) from a buffered stream into reused
+//     per-connection scratch, tolerating frames split across arbitrary read
+//     boundaries and resynchronizing after malformed lines. The steady-state
+//     parse performs no heap allocation: keys point into the read buffer
+//     (or retained scratch) and numbers are parsed in place.
 //   - store.go — memcached item semantics (flags, CAS tokens, lazy
 //     expiry, incr/decr) over ascylib.StringMap, i.e. over any registered
-//     structure.
+//     structure, with value blocks recycled through SSMEM epochs.
 //   - server.go — the TCP front: a sharded-accept worker pool, one
 //     goroutine per connection, per-connection read/write buffering, and
 //     pipelining (responses are flushed only when the input buffer runs
@@ -21,16 +23,16 @@
 //     send/receive halves so callers can pipeline.
 //   - loadgen.go — a closed-loop pipelined load generator driving any
 //     memcached-protocol endpoint with the workload package's mixes,
-//     recording per-op latency percentiles.
+//     recording per-op latency percentiles; itself allocation-free per
+//     operation so client-side GC pauses cannot pollute the samples.
 package server
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // Protocol limits. MaxKeyLen is the memcached limit; the line limit bounds
@@ -71,13 +73,17 @@ var opNames = [...]string{
 // String returns the wire verb.
 func (o Op) String() string { return opNames[o] }
 
-// Command is one parsed request.
+// Command is one parsed request. Its byte-slice fields point into the
+// connection's read buffer or the Scratch it was parsed with, so they are
+// valid only until the next ReadCommandInto on the same connection — the
+// request loop fully executes each command before reading the next, and the
+// store copies what it retains, so nothing ever aliases a dead buffer.
 type Command struct {
 	Op Op
 	// Keys holds the keys of a retrieval command (get/gets).
-	Keys []string
+	Keys [][]byte
 	// Key is the single key of a storage/arithmetic/delete command.
-	Key string
+	Key []byte
 	// Flags, Exptime, and Data belong to storage commands; Data is the
 	// value block, already stripped of its trailing CRLF.
 	Flags   uint32
@@ -89,6 +95,23 @@ type Command struct {
 	Delta uint64
 	// NoReply suppresses the response line.
 	NoReply bool
+}
+
+// reset clears the public fields for reuse.
+func (c *Command) reset() {
+	*c = Command{}
+}
+
+// Scratch is the retained per-connection parse state: the split-fields
+// table, a copy buffer for storage-command keys (which would otherwise be
+// invalidated by reading the data block), and the grow-only data-block
+// buffer. One Scratch per connection makes the steady-state parse
+// allocation-free.
+type Scratch struct {
+	fields  [][]byte
+	keyBuf  [MaxKeyLen]byte
+	dataBuf []byte
+	keys    [][]byte
 }
 
 // ProtoError is a protocol-level failure. Resp is the full response line to
@@ -161,7 +184,7 @@ func fatalIO(err error) error {
 
 // validKey reports whether k is a legal memcached key: 1..MaxKeyLen bytes,
 // no whitespace or control characters.
-func validKey(k string) bool {
+func validKey(k []byte) bool {
 	if len(k) == 0 || len(k) > MaxKeyLen {
 		return false
 	}
@@ -173,73 +196,167 @@ func validKey(k string) bool {
 	return true
 }
 
-// ReadCommand parses the next request from r: the command line and, for
-// storage commands, the data block. maxItem bounds the data block size
-// (<= 0 means DefaultMaxItemSize). Oversized values are consumed from the
-// stream and reported as a non-fatal ProtoError, so one abusive request
-// does not desynchronize the connection. io.EOF is returned only at a
-// clean boundary between requests.
-//
-// The reader's buffer must hold at least MaxCommandLine bytes (the server
-// and client constructors guarantee this).
-func ReadCommand(r *bufio.Reader, maxItem int) (*Command, error) {
-	if maxItem <= 0 {
-		maxItem = DefaultMaxItemSize
-	}
-	line, err := readLine(r)
-	if err != nil {
-		return nil, err
-	}
-	fields := strings.Fields(string(line))
-	cmd, err := parseFields(r, fields, maxItem)
-	if err != nil {
-		var pe *ProtoError
-		if errors.As(err, &pe) && !pe.NoReply &&
-			len(fields) > 0 && fields[len(fields)-1] == "noreply" {
-			// The failing command asked for noreply; suppress the error
-			// response as well (a copy — some ProtoErrors are shared).
-			cp := *pe
-			cp.NoReply = true
-			return nil, &cp
+// splitFields splits line on ASCII whitespace into dst (reused), the
+// allocation-free analog of strings.Fields.
+func splitFields(line []byte, dst [][]byte) [][]byte {
+	dst = dst[:0]
+	i := 0
+	for i < len(line) {
+		for i < len(line) && isSpace(line[i]) {
+			i++
 		}
+		start := i
+		for i < len(line) && !isSpace(line[i]) {
+			i++
+		}
+		if i > start {
+			dst = append(dst, line[start:i])
+		}
+	}
+	return dst
+}
+
+func isSpace(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// parseU64 parses an unsigned decimal without allocating. No length cap:
+// zero-padded numerals of any length are legal (as with strconv); the
+// overflow check bounds the value, and the command-line limit bounds the
+// input.
+func parseU64(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, false // overflow
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+// parseI64 parses a signed decimal without allocating.
+func parseI64(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	v, ok := parseU64(b)
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, false
+		}
+		return -int64(v), true
+	}
+	if v > 1<<63-1 {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+var noreplyBytes = []byte("noreply")
+
+// ReadCommand parses the next request from r into a freshly allocated
+// Command with its own Scratch. It is the convenience form for tests and
+// one-shot use; the server's request loop uses ReadCommandInto with
+// per-connection state. The returned command's byte fields are valid until
+// the next read from r.
+func ReadCommand(r *bufio.Reader, maxItem int) (*Command, error) {
+	cmd := &Command{}
+	if err := ReadCommandInto(r, maxItem, cmd, &Scratch{}); err != nil {
 		return nil, err
 	}
 	return cmd, nil
 }
 
-// parseFields parses one split command line (and, for storage commands,
-// the trailing data block).
-func parseFields(r *bufio.Reader, fields []string, maxItem int) (*Command, error) {
-	if len(fields) == 0 {
-		return nil, ErrUnknownCommand
+// ReadCommandInto parses the next request from r into cmd, reusing sc: the
+// command line and, for storage commands, the data block. maxItem bounds
+// the data block size (<= 0 means DefaultMaxItemSize). Oversized values are
+// consumed from the stream and reported as a non-fatal ProtoError, so one
+// abusive request does not desynchronize the connection. io.EOF is returned
+// only at a clean boundary between requests.
+//
+// The reader's buffer must hold at least MaxCommandLine bytes (the server
+// and client constructors guarantee this).
+func ReadCommandInto(r *bufio.Reader, maxItem int, cmd *Command, sc *Scratch) error {
+	if maxItem <= 0 {
+		maxItem = DefaultMaxItemSize
 	}
-	cmd := &Command{}
-	switch fields[0] {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	cmd.reset()
+	sc.fields = splitFields(line, sc.fields)
+	// Decide the noreply question now: parseFields may consume a data
+	// block, and that read refills the bufio buffer the field slices
+	// alias, so they cannot be trusted after an error.
+	n := len(sc.fields)
+	askedNoreply := n > 0 && bytes.Equal(sc.fields[n-1], noreplyBytes)
+	if err := parseFields(r, sc.fields, maxItem, cmd, sc); err != nil {
+		var pe *ProtoError
+		if errors.As(err, &pe) && !pe.NoReply && askedNoreply {
+			// The failing command asked for noreply; suppress the error
+			// response as well (a copy — some ProtoErrors are shared).
+			cp := *pe
+			cp.NoReply = true
+			return &cp
+		}
+		return err
+	}
+	return nil
+}
+
+// parseFields parses one split command line (and, for storage commands,
+// the trailing data block) into cmd.
+func parseFields(r *bufio.Reader, fields [][]byte, maxItem int, cmd *Command, sc *Scratch) error {
+	if len(fields) == 0 {
+		return ErrUnknownCommand
+	}
+	switch string(fields[0]) { // compiled to a no-alloc comparison switch
 	case "get", "gets":
 		cmd.Op = OpGet
-		if fields[0] == "gets" {
+		if len(fields[0]) == 4 {
 			cmd.Op = OpGets
 		}
 		if len(fields) < 2 {
-			return nil, clientErr("get requires at least one key")
+			return clientErr("get requires at least one key")
 		}
 		for _, k := range fields[1:] {
 			if !validKey(k) {
-				return nil, clientErr("bad key")
+				return clientErr("bad key")
 			}
 		}
-		cmd.Keys = fields[1:]
-		return cmd, nil
+		// The keys alias the read buffer, which stays untouched until the
+		// next command is read; reuse the retained table to carry them.
+		sc.keys = append(sc.keys[:0], fields[1:]...)
+		cmd.Keys = sc.keys
+		return nil
 
 	case "set", "add", "replace", "cas":
-		switch fields[0] {
-		case "set":
+		switch fields[0][0] {
+		case 's':
 			cmd.Op = OpSet
-		case "add":
+		case 'a':
 			cmd.Op = OpAdd
-		case "replace":
+		case 'r':
 			cmd.Op = OpReplace
-		case "cas":
+		default:
 			cmd.Op = OpCas
 		}
 		want := 5 // verb key flags exptime bytes
@@ -254,142 +371,151 @@ func parseFields(r *bufio.Reader, fields []string, maxItem int) (*Command, error
 		// interpreting the client's data bytes as commands — is exactly
 		// the request-smuggling shape).
 		if len(fields) < 5 {
-			return nil, &ProtoError{Resp: "CLIENT_ERROR bad command line format", Fatal: true}
+			return &ProtoError{Resp: "CLIENT_ERROR bad command line format", Fatal: true}
 		}
-		size, err := strconv.ParseInt(fields[4], 10, 64)
-		if err != nil || size < 0 {
-			return nil, &ProtoError{Resp: "CLIENT_ERROR bad command line format", Fatal: true}
+		size, ok := parseU64(fields[4])
+		if !ok || size > 1<<62 {
+			return &ProtoError{Resp: "CLIENT_ERROR bad command line format", Fatal: true}
 		}
-		badLine := func(format string, args ...any) (*Command, error) {
-			if err := discard(r, size+2); err != nil {
-				return nil, fatalIO(err)
+		badLine := func(format string, args ...any) error {
+			if err := discard(r, int64(size)+2); err != nil {
+				return fatalIO(err)
 			}
-			return nil, clientErr(format, args...)
+			return clientErr(format, args...)
 		}
 		n := len(fields)
-		if n == want+1 && fields[n-1] == "noreply" {
+		if n == want+1 && bytes.Equal(fields[n-1], noreplyBytes) {
 			cmd.NoReply = true
 			n--
 		}
 		if n != want {
 			return badLine("bad command line format")
 		}
-		cmd.Key = fields[1]
-		if !validKey(cmd.Key) {
+		if !validKey(fields[1]) {
 			return badLine("bad key")
 		}
-		flags, err1 := strconv.ParseUint(fields[2], 10, 32)
-		exptime, err2 := strconv.ParseInt(fields[3], 10, 64)
-		if err1 != nil || err2 != nil {
+		flags, ok1 := parseU64(fields[2])
+		exptime, ok2 := parseI64(fields[3])
+		if !ok1 || flags > 1<<32-1 || !ok2 {
 			return badLine("bad command line format")
 		}
 		if cmd.Op == OpCas {
-			casid, err := strconv.ParseUint(fields[5], 10, 64)
-			if err != nil {
+			casid, ok := parseU64(fields[5])
+			if !ok {
 				return badLine("bad command line format")
 			}
 			cmd.CasID = casid
 		}
 		cmd.Flags = uint32(flags)
 		cmd.Exptime = exptime
-		if size > int64(maxItem) {
+		if size > uint64(maxItem) {
 			// Swallow the block so the next command parses cleanly.
-			if err := discard(r, size+2); err != nil {
-				return nil, fatalIO(err)
+			if err := discard(r, int64(size)+2); err != nil {
+				return fatalIO(err)
 			}
-			return nil, &ProtoError{Resp: "SERVER_ERROR object too large for cache", NoReply: cmd.NoReply}
+			return &ProtoError{Resp: "SERVER_ERROR object too large for cache", NoReply: cmd.NoReply}
 		}
-		cmd.Data = make([]byte, size)
+		// Reading the data block recycles the read buffer the key points
+		// into: copy the key into retained scratch first.
+		cmd.Key = sc.keyBuf[:copy(sc.keyBuf[:], fields[1])]
+		if sc.dataBuf == nil || cap(sc.dataBuf) < int(size) {
+			n := int(size)
+			if n < 64 {
+				n = 64 // floor, so a zero-length value still gets a non-nil Data
+			}
+			sc.dataBuf = make([]byte, n)
+		}
+		cmd.Data = sc.dataBuf[:size]
 		if _, err := io.ReadFull(r, cmd.Data); err != nil {
-			return nil, fatalIO(err)
+			return fatalIO(err)
 		}
 		var crlf [2]byte
 		if _, err := io.ReadFull(r, crlf[:]); err != nil {
-			return nil, fatalIO(err)
+			return fatalIO(err)
 		}
 		if crlf[0] != '\r' || crlf[1] != '\n' {
 			// The block did not end where the length said: the stream
 			// cannot be trusted to be aligned on a command boundary.
-			return nil, &ProtoError{Resp: "CLIENT_ERROR bad data chunk", Fatal: true}
+			return &ProtoError{Resp: "CLIENT_ERROR bad data chunk", Fatal: true}
 		}
-		return cmd, nil
+		return nil
 
 	case "delete":
 		cmd.Op = OpDelete
 		n := len(fields)
-		if n == 3 && fields[2] == "noreply" {
+		if n == 3 && bytes.Equal(fields[2], noreplyBytes) {
 			cmd.NoReply = true
 			n--
 		}
 		if n != 2 {
-			return nil, clientErr("bad command line format")
+			return clientErr("bad command line format")
 		}
 		cmd.Key = fields[1]
 		if !validKey(cmd.Key) {
-			return nil, clientErr("bad key")
+			return clientErr("bad key")
 		}
-		return cmd, nil
+		return nil
 
 	case "incr", "decr":
 		cmd.Op = OpIncr
-		if fields[0] == "decr" {
+		if fields[0][0] == 'd' {
 			cmd.Op = OpDecr
 		}
 		n := len(fields)
-		if n == 4 && fields[3] == "noreply" {
+		if n == 4 && bytes.Equal(fields[3], noreplyBytes) {
 			cmd.NoReply = true
 			n--
 		}
 		if n != 3 {
-			return nil, clientErr("bad command line format")
+			return clientErr("bad command line format")
 		}
 		cmd.Key = fields[1]
 		if !validKey(cmd.Key) {
-			return nil, clientErr("bad key")
+			return clientErr("bad key")
 		}
-		delta, err := strconv.ParseUint(fields[2], 10, 64)
-		if err != nil {
-			return nil, clientErr("invalid numeric delta argument")
+		delta, ok := parseU64(fields[2])
+		if !ok {
+			return clientErr("invalid numeric delta argument")
 		}
 		cmd.Delta = delta
-		return cmd, nil
+		return nil
 
 	case "stats":
 		// Stats sub-arguments (slabs, items, …) are accepted and answered
 		// with the general statistics.
 		cmd.Op = OpStats
-		return cmd, nil
+		return nil
 
 	case "version":
 		cmd.Op = OpVersion
-		return cmd, nil
+		return nil
 
 	case "flush_all":
 		cmd.Op = OpFlushAll
 		n := len(fields)
-		if n > 1 && fields[n-1] == "noreply" {
+		if n > 1 && bytes.Equal(fields[n-1], noreplyBytes) {
 			cmd.NoReply = true
 			n--
 		}
 		if n > 2 {
-			return nil, clientErr("bad command line format")
+			return clientErr("bad command line format")
 		}
 		if n == 2 {
 			// Optional delay: invalidate everything stored up to now at
 			// now+delay seconds (carried in Exptime).
-			delay, err := strconv.ParseInt(fields[1], 10, 64)
-			if err != nil || delay < 0 {
-				return nil, clientErr("invalid flush_all delay")
+			delay, ok := parseI64(fields[1])
+			if !ok || delay < 0 {
+				return clientErr("invalid flush_all delay")
 			}
 			cmd.Exptime = delay
 		}
-		return cmd, nil
+		return nil
 
 	case "quit":
 		cmd.Op = OpQuit
-		return cmd, nil
+		return nil
 	}
-	return nil, ErrUnknownCommand
+	return ErrUnknownCommand
 }
 
 // discard drops n bytes from r.

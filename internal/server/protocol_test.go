@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -37,39 +38,66 @@ func parseOne(t *testing.T, input string) (*Command, error) {
 	return ReadCommand(newReader(strings.NewReader(input), 0), 0)
 }
 
+// cmdShape is the string-typed view of a Command the table tests compare
+// against (Command's own fields are byte slices into reused scratch).
+type cmdShape struct {
+	Op      Op
+	Keys    []string
+	Key     string
+	Flags   uint32
+	Exptime int64
+	Data    string
+	HasData bool
+	CasID   uint64
+	Delta   uint64
+	NoReply bool
+}
+
+func shapeOf(c *Command) cmdShape {
+	s := cmdShape{
+		Op: c.Op, Key: string(c.Key), Flags: c.Flags, Exptime: c.Exptime,
+		Data: string(c.Data), HasData: c.Data != nil, CasID: c.CasID,
+		Delta: c.Delta, NoReply: c.NoReply,
+	}
+	for _, k := range c.Keys {
+		s.Keys = append(s.Keys, string(k))
+	}
+	return s
+}
+
 func TestReadCommandWellFormed(t *testing.T) {
 	cases := []struct {
 		name  string
 		input string
-		want  Command
+		want  cmdShape
 	}{
-		{"get", "get foo\r\n", Command{Op: OpGet, Keys: []string{"foo"}}},
-		{"get multi", "get a b c\r\n", Command{Op: OpGet, Keys: []string{"a", "b", "c"}}},
-		{"gets", "gets a b\r\n", Command{Op: OpGets, Keys: []string{"a", "b"}}},
+		{"get", "get foo\r\n", cmdShape{Op: OpGet, Keys: []string{"foo"}}},
+		{"get multi", "get a b c\r\n", cmdShape{Op: OpGet, Keys: []string{"a", "b", "c"}}},
+		{"gets", "gets a b\r\n", cmdShape{Op: OpGets, Keys: []string{"a", "b"}}},
 		{"set", "set k 7 0 5\r\nhello\r\n",
-			Command{Op: OpSet, Key: "k", Flags: 7, Data: []byte("hello")}},
+			cmdShape{Op: OpSet, Key: "k", Flags: 7, Data: "hello", HasData: true}},
 		{"set noreply", "set k 0 0 2 noreply\r\nhi\r\n",
-			Command{Op: OpSet, Key: "k", NoReply: true, Data: []byte("hi")}},
+			cmdShape{Op: OpSet, Key: "k", NoReply: true, Data: "hi", HasData: true}},
 		{"set empty value", "set k 0 0 0\r\n\r\n",
-			Command{Op: OpSet, Key: "k", Data: []byte{}}},
+			cmdShape{Op: OpSet, Key: "k", HasData: true}},
 		{"add", "add k 1 30 3\r\nabc\r\n",
-			Command{Op: OpAdd, Key: "k", Flags: 1, Exptime: 30, Data: []byte("abc")}},
+			cmdShape{Op: OpAdd, Key: "k", Flags: 1, Exptime: 30, Data: "abc", HasData: true}},
 		{"replace", "replace k 0 0 1\r\nx\r\n",
-			Command{Op: OpReplace, Key: "k", Data: []byte("x")}},
+			cmdShape{Op: OpReplace, Key: "k", Data: "x", HasData: true}},
 		{"cas", "cas k 0 0 2 99\r\nhi\r\n",
-			Command{Op: OpCas, Key: "k", CasID: 99, Data: []byte("hi")}},
-		{"delete", "delete k\r\n", Command{Op: OpDelete, Key: "k"}},
+			cmdShape{Op: OpCas, Key: "k", CasID: 99, Data: "hi", HasData: true}},
+		{"delete", "delete k\r\n", cmdShape{Op: OpDelete, Key: "k"}},
 		{"delete noreply", "delete k noreply\r\n",
-			Command{Op: OpDelete, Key: "k", NoReply: true}},
-		{"incr", "incr k 5\r\n", Command{Op: OpIncr, Key: "k", Delta: 5}},
+			cmdShape{Op: OpDelete, Key: "k", NoReply: true}},
+		{"incr", "incr k 5\r\n", cmdShape{Op: OpIncr, Key: "k", Delta: 5}},
 		{"decr", "decr k 2 noreply\r\n",
-			Command{Op: OpDecr, Key: "k", Delta: 2, NoReply: true}},
-		{"stats", "stats\r\n", Command{Op: OpStats}},
-		{"version", "version\r\n", Command{Op: OpVersion}},
-		{"flush_all", "flush_all\r\n", Command{Op: OpFlushAll}},
-		{"quit", "quit\r\n", Command{Op: OpQuit}},
+			cmdShape{Op: OpDecr, Key: "k", Delta: 2, NoReply: true}},
+		{"stats", "stats\r\n", cmdShape{Op: OpStats}},
+		{"version", "version\r\n", cmdShape{Op: OpVersion}},
+		{"flush_all", "flush_all\r\n", cmdShape{Op: OpFlushAll}},
+		{"quit", "quit\r\n", cmdShape{Op: OpQuit}},
 		{"value with binary", "set k 0 0 4\r\n\x00\x01\r\x02\r\n",
-			Command{Op: OpSet, Key: "k", Data: []byte{0, 1, '\r', 2}}},
+			cmdShape{Op: OpSet, Key: "k", Data: "\x00\x01\r\x02", HasData: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -77,10 +105,94 @@ func TestReadCommandWellFormed(t *testing.T) {
 			if err != nil {
 				t.Fatalf("ReadCommand(%q) error: %v", tc.input, err)
 			}
-			if !reflect.DeepEqual(*got, tc.want) {
-				t.Fatalf("ReadCommand(%q)\n got %+v\nwant %+v", tc.input, *got, tc.want)
+			if gs := shapeOf(got); !reflect.DeepEqual(gs, tc.want) {
+				t.Fatalf("ReadCommand(%q)\n got %+v\nwant %+v", tc.input, gs, tc.want)
 			}
 		})
+	}
+}
+
+// TestReadCommandIntoReuse drives one Command/Scratch pair through a long
+// pipelined stream and checks both correctness of each parse and that the
+// steady-state parse allocates nothing.
+func TestReadCommandIntoReuse(t *testing.T) {
+	frame := "set bigkey-0123456789 42 0 10\r\nabcdefghij\r\nget bigkey-0123456789 other\r\nincr bigkey-0123456789 7\r\ndelete bigkey-0123456789\r\n"
+	const reps = 64
+	r := newReader(strings.NewReader(strings.Repeat(frame, reps)), 0)
+	var cmd Command
+	var sc Scratch
+	for i := 0; i < reps; i++ {
+		if err := ReadCommandInto(r, 0, &cmd, &sc); err != nil || cmd.Op != OpSet ||
+			string(cmd.Key) != "bigkey-0123456789" || string(cmd.Data) != "abcdefghij" || cmd.Flags != 42 {
+			t.Fatalf("rep %d set: %+v %v", i, shapeOf(&cmd), err)
+		}
+		if err := ReadCommandInto(r, 0, &cmd, &sc); err != nil || cmd.Op != OpGet ||
+			len(cmd.Keys) != 2 || string(cmd.Keys[0]) != "bigkey-0123456789" {
+			t.Fatalf("rep %d get: %+v %v", i, shapeOf(&cmd), err)
+		}
+		if err := ReadCommandInto(r, 0, &cmd, &sc); err != nil || cmd.Op != OpIncr || cmd.Delta != 7 {
+			t.Fatalf("rep %d incr: %+v %v", i, shapeOf(&cmd), err)
+		}
+		if err := ReadCommandInto(r, 0, &cmd, &sc); err != nil || cmd.Op != OpDelete {
+			t.Fatalf("rep %d delete: %+v %v", i, shapeOf(&cmd), err)
+		}
+	}
+	if err := ReadCommandInto(r, 0, &cmd, &sc); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+// TestParseNumbers covers the allocation-free numeric parsers against the
+// strconv ground truth, including overflow boundaries.
+func TestParseNumbers(t *testing.T) {
+	for _, s := range []string{
+		"0", "1", "42", "18446744073709551615", "18446744073709551616",
+		"99999999999999999999999", "", "-", "x", "1x", "007",
+		"0000000000000000000100", "00000000000000000000000000000000",
+	} {
+		got, ok := parseU64([]byte(s))
+		want, err := strconv.ParseUint(s, 10, 64)
+		if ok != (err == nil) || (ok && got != want) {
+			t.Fatalf("parseU64(%q) = %d,%v; strconv: %d,%v", s, got, ok, want, err)
+		}
+	}
+	for _, s := range []string{
+		"0", "-1", "+5", "9223372036854775807", "-9223372036854775808",
+		"9223372036854775808", "-9223372036854775809", "", "-", "--1",
+	} {
+		got, ok := parseI64([]byte(s))
+		want, err := strconv.ParseInt(s, 10, 64)
+		if ok != (err == nil) || (ok && got != want) {
+			t.Fatalf("parseI64(%q) = %d,%v; strconv: %d,%v", s, got, ok, want, err)
+		}
+	}
+}
+
+// TestReadCommandZeroPaddedSize: zero-padded numerals of any length are
+// legal, exactly as with the strconv-based parser this one replaced.
+func TestReadCommandZeroPaddedSize(t *testing.T) {
+	cmd, err := parseOne(t, "set k 0 0 0000000000000000000005\r\nhello\r\n")
+	if err != nil || cmd.Op != OpSet || string(cmd.Data) != "hello" {
+		t.Fatalf("zero-padded size: %+v, %v", cmd, err)
+	}
+}
+
+// TestReadCommandNoReplyAfterDiscard: the noreply decision must survive the
+// data-block discard of a malformed storage command, even when the block
+// arrives in later reads that recycle the buffer the command line sat in.
+func TestReadCommandNoReplyAfterDiscard(t *testing.T) {
+	payload := strings.Repeat("x", 100)
+	input := "set k bad 0 100 noreply\r\n" + payload + "\r\nversion\r\n"
+	for _, chunk := range []int{1, 7, 25, len(input)} {
+		r := newReader(&chunkReader{data: []byte(input), n: chunk}, 0)
+		_, err := ReadCommand(r, 0)
+		var pe *ProtoError
+		if !errors.As(err, &pe) || !pe.NoReply {
+			t.Fatalf("chunk=%d: want ProtoError with NoReply, got %v", chunk, err)
+		}
+		if cmd, err := ReadCommand(r, 0); err != nil || cmd.Op != OpVersion {
+			t.Fatalf("chunk=%d: resync failed: %+v, %v", chunk, cmd, err)
+		}
 	}
 }
 

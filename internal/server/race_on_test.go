@@ -1,0 +1,9 @@
+//go:build race
+
+package server
+
+// raceEnabled: under the race detector sync.Pool randomly drops Puts, so
+// epoch buffer allocators churn and pending garbage strands (reclaimed by
+// the Go GC, never reused). Reuse-rate assertions only hold without -race;
+// the safety assertions hold always.
+const raceEnabled = true

@@ -55,10 +55,12 @@ func (w *respWriter) replyUint(cmd *Command, v uint64) {
 	w.w.Write(crlf)
 }
 
-// value writes one VALUE stanza of a get/gets response.
-func (w *respWriter) value(key string, it Item, withCAS bool) {
+// value writes one VALUE stanza of a get/gets response. key may point into
+// the connection's read buffer; its bytes are copied into the write buffer
+// here.
+func (w *respWriter) value(key []byte, it Item, withCAS bool) {
 	w.w.WriteString("VALUE ")
-	w.w.WriteString(key)
+	w.w.Write(key)
 	w.w.WriteByte(' ')
 	w.w.Write(strconv.AppendUint(w.scratch[:0], uint64(it.Flags), 10))
 	w.w.WriteByte(' ')

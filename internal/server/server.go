@@ -37,6 +37,16 @@ type Config struct {
 	// 64 KiB writes.
 	ReadBufferSize  int
 	WriteBufferSize int
+	// NoValuePooling disables SSMEM recycling of stored value blocks
+	// (see Store); by default the serving path recycles them.
+	NoValuePooling bool
+	// WriteTimeout bounds each TCP write; a connection that cannot accept
+	// bytes for this long is closed. Bounded writes matter beyond hygiene:
+	// a request's epoch pin spans its response staging, and an epoch that
+	// never closes stalls value-block reclamation for the whole store, so
+	// an unbounded write would let one dead-slow client grow server memory
+	// without limit. 0 picks 30 seconds; negative disables the deadline.
+	WriteTimeout time.Duration
 	// Logf, when set, receives connection-level error logs.
 	Logf func(format string, args ...any)
 }
@@ -59,6 +69,9 @@ func (c *Config) fill() {
 	}
 	if c.WriteBufferSize <= 0 {
 		c.WriteBufferSize = 64 << 10
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
 	}
 }
 
@@ -104,7 +117,7 @@ func New(cfg Config) (*Server, error) {
 	} else if !a.Safe {
 		return nil, fmt.Errorf("server: algorithm %q is an unsynchronized async baseline; refusing to serve it", cfg.Algo)
 	}
-	st, err := NewStore(cfg.Algo, cfg.Capacity)
+	st, err := NewStore(cfg.Algo, cfg.Capacity, !cfg.NoValuePooling)
 	if err != nil {
 		return nil, err
 	}
@@ -234,21 +247,26 @@ func (s *Server) acceptLoop() {
 // handleConn runs the request loop of one connection. Pipelining: the
 // response writer is flushed only when the read buffer has no complete
 // further input, so a client that streams n requests back-to-back gets its
-// n responses in O(1) TCP writes.
+// n responses in O(1) TCP writes. The loop owns one Command and one Scratch
+// for its lifetime and pins the store's epoch per request, so the
+// steady-state request path (parse → store → respond) performs no heap
+// allocation.
 func (s *Server) handleConn(c net.Conn) {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	r := newConnReader(c, s)
 	br := newReader(r, s.cfg.ReadBufferSize)
-	bw := newWriter(&connWriter{c: c, s: s}, s.cfg.WriteBufferSize)
+	bw := newWriter(&connWriter{c: c, s: s, timeout: s.cfg.WriteTimeout}, s.cfg.WriteBufferSize)
+	var cmd Command
+	var sc Scratch
 	for {
 		if br.Buffered() == 0 {
 			if err := bw.Flush(); err != nil {
 				return
 			}
 		}
-		cmd, err := ReadCommand(br, s.cfg.MaxItemSize)
+		err := ReadCommandInto(br, s.cfg.MaxItemSize, &cmd, &sc)
 		if err != nil {
 			var pe *ProtoError
 			if errors.As(err, &pe) {
@@ -270,18 +288,23 @@ func (s *Server) handleConn(c net.Conn) {
 			bw.Flush()
 			return
 		}
-		s.execute(cmd, bw)
+		s.execute(&cmd, bw)
 	}
 }
 
-// execute applies one command to the store and writes its response.
+// execute applies one command to the store and writes its response. The
+// epoch pin spans the command's whole lifetime — including the staging of
+// response values into the write buffer — so a value block handed out by
+// Get cannot be recycled before its bytes are copied out.
 func (s *Server) execute(cmd *Command, w *respWriter) {
+	p := s.store.Pin()
+	defer p.Unpin()
 	switch cmd.Op {
 	case OpGet, OpGets:
 		s.cmdGet.Add(1)
 		withCAS := cmd.Op == OpGets
 		for _, k := range cmd.Keys {
-			it, ok := s.store.Get(k)
+			it, ok := s.store.Get(p, k)
 			if !ok {
 				s.getMisses.Add(1)
 				continue
@@ -293,12 +316,12 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 
 	case OpSet:
 		s.cmdSet.Add(1)
-		s.store.Set(cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data)
+		s.store.Set(p, cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data)
 		w.reply(cmd, "STORED")
 
 	case OpAdd:
 		s.cmdSet.Add(1)
-		if s.store.Add(cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data) {
+		if s.store.Add(p, cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data) {
 			w.reply(cmd, "STORED")
 		} else {
 			w.reply(cmd, "NOT_STORED")
@@ -306,7 +329,7 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 
 	case OpReplace:
 		s.cmdSet.Add(1)
-		if s.store.Replace(cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data) {
+		if s.store.Replace(p, cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data) {
 			w.reply(cmd, "STORED")
 		} else {
 			w.reply(cmd, "NOT_STORED")
@@ -314,7 +337,7 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 
 	case OpCas:
 		s.cmdSet.Add(1)
-		switch s.store.CompareAndSwap(cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data, cmd.CasID) {
+		switch s.store.CompareAndSwap(p, cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data, cmd.CasID) {
 		case CasStored:
 			s.casHits.Add(1)
 			w.reply(cmd, "STORED")
@@ -327,7 +350,7 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 		}
 
 	case OpDelete:
-		if s.store.Delete(cmd.Key) {
+		if s.store.Delete(p, cmd.Key) {
 			s.deleteHits.Add(1)
 			w.reply(cmd, "DELETED")
 		} else {
@@ -337,7 +360,7 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 
 	case OpIncr, OpDecr:
 		incr := cmd.Op == OpIncr
-		nv, status := s.store.IncrDecr(cmd.Key, cmd.Delta, incr)
+		nv, status := s.store.IncrDecr(p, cmd.Key, cmd.Delta, incr)
 		hits, misses := &s.incrHits, &s.incrMisses
 		if !incr {
 			hits, misses = &s.decrHits, &s.decrMisses
@@ -402,6 +425,13 @@ func (s *Server) Stats() [][2]string {
 		{"protocol_errors", u(s.protoErrors.Load())},
 		{"curr_items", strconv.Itoa(s.store.Items())},
 	}
+	// Value-block pool counters (ASCY4 on the serving path); zero when
+	// pooling is disabled.
+	bs := s.store.BufStats()
+	pairs = append(pairs,
+		[2]string{"value_pool_allocs", u(bs.Allocs)},
+		[2]string{"value_pool_reused", u(bs.Reused)},
+	)
 	return pairs
 }
 
@@ -430,13 +460,17 @@ func (r *connReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// connWriter counts bytes out.
+// connWriter counts bytes out and enforces the per-write deadline.
 type connWriter struct {
-	c net.Conn
-	s *Server
+	c       net.Conn
+	s       *Server
+	timeout time.Duration
 }
 
 func (w *connWriter) Write(p []byte) (int, error) {
+	if w.timeout > 0 {
+		w.c.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
 	n, err := w.c.Write(p)
 	if n > 0 {
 		w.s.bytesWritten.Add(uint64(n))

@@ -6,13 +6,17 @@ import (
 	"time"
 
 	ascylib "repro"
+	"repro/internal/ssmem"
 )
 
 // Item is one stored cache entry.
 type Item struct {
 	// Flags is the client-opaque word stored with the value.
 	Flags uint32
-	// Data is the value block.
+	// Data is the value block. With value pooling (the server default)
+	// the block lives in an SSMEM buffer pool and is recycled once no
+	// pinned reader can still hold it; read it only under the Pin that
+	// produced it, or via a copy.
 	Data []byte
 	// CAS is the item's unique compare-and-swap token, bumped on every
 	// successful store.
@@ -48,19 +52,35 @@ const (
 
 // Store provides memcached item semantics — flags, unique CAS tokens, lazy
 // expiry, and atomic arithmetic — over any registered algorithm, through
-// ascylib.StringMap. Every mutation is a single StringMap.Update, so the
-// store's atomicity is exactly the facade's: in-place and atomic against
-// everything on structures with native Update (CLHT-LB), serialized
-// against other mutations elsewhere.
+// ascylib.StringMap. Every mutation is a single StringMap.UpdateBytes, so
+// the store's atomicity is exactly the facade's: in-place and atomic
+// against everything on structures with native Update (CLHT-LB), serialized
+// against other mutations elsewhere. Keys arrive as []byte straight from
+// the wire and are materialized as strings only when a fresh entry is
+// inserted.
+//
+// Memory discipline (ASCY4 on the serving path): value blocks are copied
+// into an SSMEM buffer pool on store and freed back to it when a mutation
+// retires them; a freed block is reused only after every pinned reader has
+// unpinned, so a get can hand its Data to the response writer without
+// copying. Callers bracket work with Pin/Unpin — one pin per request in
+// the server's loop.
 //
 // Expiry is lazy, as in memcached: expired items are invisible to reads
 // and treated as absent by mutations, and are physically removed when a
-// mutation next touches their key (there is no background sweeper).
+// mutation next touches their key. Reads also reap: a Get that observes a
+// dead item removes it opportunistically (bounded to one reaper at a time,
+// never blocking the read), so read-heavy workloads cannot accumulate
+// corpses.
 type Store struct {
 	sm   *ascylib.StringMap[Item]
+	bufs *ssmem.BufPool // nil: value pooling off (blocks go to the Go GC)
 	cas  atomic.Uint64
 	now  func() int64
 	algo string
+	// reaping bounds opportunistic expired-item removal to one goroutine
+	// at a time; readers that lose the flag skip, never wait.
+	reaping atomic.Bool
 	// flush_all bookkeeping, the analog of memcached's oldest_live rule
 	// with CAS tokens as the store-order clock (tokens are unique and
 	// monotonic, so "existing at flush time" is exact even within one
@@ -72,7 +92,8 @@ type Store struct {
 
 // NewStore builds a store on the named algorithm. capacity sizes the hash
 // tables (<= 0 picks a service-appropriate default of 2^16 buckets).
-func NewStore(algo string, capacity int) (*Store, error) {
+// poolValues enables SSMEM recycling of value blocks.
+func NewStore(algo string, capacity int, poolValues bool) (*Store, error) {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
@@ -80,11 +101,75 @@ func NewStore(algo string, capacity int) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{sm: sm, now: func() int64 { return time.Now().Unix() }, algo: algo}, nil
+	s := &Store{sm: sm, now: func() int64 { return time.Now().Unix() }, algo: algo}
+	if poolValues {
+		s.bufs = ssmem.NewBufPool(0)
+	}
+	return s, nil
 }
 
 // Algo returns the backing algorithm's registry name.
 func (s *Store) Algo() string { return s.algo }
+
+// BufStats returns the value-block pool counters (zero when pooling is
+// off).
+func (s *Store) BufStats() ssmem.Stats {
+	if s.bufs == nil {
+		return ssmem.Stats{}
+	}
+	return s.bufs.Stats()
+}
+
+// Pin leases the calling goroutine into the store's epoch: Item.Data
+// returned by Get stays unrecycled until Unpin. Pins are cheap (a pool get
+// and one atomic increment) and must not be held across blocking waits
+// longer than a request's lifetime.
+type Pin struct {
+	s *Store
+	a *ssmem.BufAllocator
+}
+
+// Pin opens an epoch lease. The zero Pin is valid and inert (for a store
+// without pooling).
+func (s *Store) Pin() Pin {
+	if s.bufs == nil {
+		return Pin{s: s}
+	}
+	a := s.bufs.Get()
+	a.OpStart()
+	return Pin{s: s, a: a}
+}
+
+// Unpin closes the lease.
+func (p Pin) Unpin() {
+	if p.a != nil {
+		p.a.OpEnd()
+		p.s.bufs.Put(p.a)
+	}
+}
+
+// alloc copies data into a (pooled, when enabled) block.
+func (p Pin) alloc(data []byte) []byte {
+	if p.a == nil {
+		if len(data) == 0 {
+			return []byte{}
+		}
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out
+	}
+	b := p.a.Alloc(len(data))
+	copy(b, data)
+	return b
+}
+
+// free returns a retired block to the pool (no-op without pooling, or for
+// nil blocks).
+func (p Pin) free(b []byte) {
+	if p.a != nil && b != nil {
+		p.a.Free(b)
+	}
+}
 
 // absExpiry converts a protocol exptime to an absolute unix time: 0 never
 // expires, negative is already expired, values up to 30 days are relative
@@ -106,11 +191,11 @@ func (s *Store) absExpiry(exptime int64) int64 {
 // nextCAS issues a fresh token. Tokens are unique per store and never 0.
 func (s *Store) nextCAS() uint64 { return s.cas.Add(1) }
 
-// newItem builds a fresh item.
-func (s *Store) newItem(flags uint32, exptime int64, data []byte) Item {
+// newItem builds a fresh item whose Data is an owned (pooled) copy of data.
+func (s *Store) newItem(p Pin, flags uint32, exptime int64, data []byte) Item {
 	return Item{
 		Flags:    flags,
-		Data:     data,
+		Data:     p.alloc(data),
 		CAS:      s.nextCAS(),
 		ExpireAt: s.absExpiry(exptime),
 	}
@@ -128,48 +213,99 @@ func (s *Store) live(it Item, now int64) bool {
 	return true
 }
 
-// Get returns the live item under key.
-func (s *Store) Get(key string) (Item, bool) {
-	it, ok := s.sm.Get(key)
-	if !ok || !s.live(it, s.now()) {
+// Get returns the live item under key. The Data block is valid while p is
+// pinned. A dead item observed here is reaped opportunistically.
+func (s *Store) Get(p Pin, key []byte) (Item, bool) {
+	it, ok := s.sm.GetBytes(key)
+	if !ok {
 		return Item{}, false
 	}
-	return it, true
+	if s.live(it, s.now()) {
+		return it, true
+	}
+	s.reapDead(p, key, it.CAS)
+	return Item{}, false
+}
+
+// reapDead removes the corpse under key if it still carries token cas and
+// is still dead — bounded to one reaper at a time so a stampede of readers
+// on a hot expired key cannot pile onto the mutation path, and non-blocking
+// for everyone who loses the flag.
+func (s *Store) reapDead(p Pin, key []byte, cas uint64) {
+	if !s.reaping.CompareAndSwap(false, true) {
+		return
+	}
+	now := s.now()
+	var retired []byte
+	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+		retired = nil
+		if !present {
+			return old, false
+		}
+		if old.CAS != cas || s.live(old, now) {
+			return old, true // superseded or resurrected: keep
+		}
+		retired = old.Data
+		return old, false
+	})
+	s.reaping.Store(false)
+	p.free(retired)
 }
 
 // Set unconditionally stores the value and returns its CAS token.
-func (s *Store) Set(key string, flags uint32, exptime int64, data []byte) uint64 {
-	it := s.newItem(flags, exptime, data)
-	s.sm.Put(key, it)
+func (s *Store) Set(p Pin, key []byte, flags uint32, exptime int64, data []byte) uint64 {
+	it := s.newItem(p, flags, exptime, data)
+	var retired []byte
+	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+		retired = nil
+		if present {
+			retired = old.Data
+		}
+		return it, true
+	})
+	p.free(retired)
 	return it.CAS
 }
 
 // Add stores the value only if the key holds no live item.
-func (s *Store) Add(key string, flags uint32, exptime int64, data []byte) bool {
+func (s *Store) Add(p Pin, key []byte, flags uint32, exptime int64, data []byte) bool {
 	now := s.now()
-	it := s.newItem(flags, exptime, data)
+	it := s.newItem(p, flags, exptime, data)
 	stored := false
-	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+	var retired []byte
+	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+		retired = nil
 		if present && s.live(old, now) {
 			stored = false
 			return old, true
 		}
+		if present {
+			retired = old.Data // replacing a corpse
+		}
 		stored = true
 		return it, true
 	})
+	if stored {
+		p.free(retired)
+	} else {
+		p.free(it.Data) // never published
+	}
 	return stored
 }
 
 // Replace stores the value only if the key holds a live item.
-func (s *Store) Replace(key string, flags uint32, exptime int64, data []byte) bool {
+func (s *Store) Replace(p Pin, key []byte, flags uint32, exptime int64, data []byte) bool {
 	now := s.now()
-	it := s.newItem(flags, exptime, data)
+	it := s.newItem(p, flags, exptime, data)
 	stored := false
-	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+	var retired []byte
+	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+		retired = nil
 		if !present {
 			stored = false
 			return old, false
 		}
+		retired = old.Data
 		if !s.live(old, now) {
 			stored = false
 			return old, false // purge the corpse
@@ -177,22 +313,29 @@ func (s *Store) Replace(key string, flags uint32, exptime int64, data []byte) bo
 		stored = true
 		return it, true
 	})
+	p.free(retired)
+	if !stored {
+		p.free(it.Data) // never published
+	}
 	return stored
 }
 
 // CompareAndSwap stores the value only if the key's live item still carries
 // the token casid.
-func (s *Store) CompareAndSwap(key string, flags uint32, exptime int64, data []byte, casid uint64) CasStatus {
+func (s *Store) CompareAndSwap(p Pin, key []byte, flags uint32, exptime int64, data []byte, casid uint64) CasStatus {
 	now := s.now()
-	it := s.newItem(flags, exptime, data)
+	it := s.newItem(p, flags, exptime, data)
 	status := CasNotFound
-	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+	var retired []byte
+	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+		retired = nil
 		if !present {
 			status = CasNotFound
 			return old, false
 		}
 		if !s.live(old, now) {
 			status = CasNotFound
+			retired = old.Data // purge the corpse
 			return old, false
 		}
 		if old.CAS != casid {
@@ -200,40 +343,56 @@ func (s *Store) CompareAndSwap(key string, flags uint32, exptime int64, data []b
 			return old, true
 		}
 		status = CasStored
+		retired = old.Data
 		return it, true
 	})
+	p.free(retired)
+	if status != CasStored {
+		p.free(it.Data) // never published
+	}
 	return status
 }
 
 // Delete removes the key's live item and reports whether one was removed.
-func (s *Store) Delete(key string) bool {
+func (s *Store) Delete(p Pin, key []byte) bool {
 	now := s.now()
 	deleted := false
-	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+	var retired []byte
+	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+		retired = nil
+		if present {
+			retired = old.Data
+		}
 		deleted = present && s.live(old, now)
 		return old, false
 	})
+	p.free(retired)
 	return deleted
 }
 
 // IncrDecr atomically adjusts the decimal value under key by delta (incr
 // wraps at 2^64, decr floors at 0, as memcached specifies) and returns the
 // new value. The stored value must be an ASCII decimal uint64.
-func (s *Store) IncrDecr(key string, delta uint64, incr bool) (uint64, IncrStatus) {
+func (s *Store) IncrDecr(p Pin, key []byte, delta uint64, incr bool) (uint64, IncrStatus) {
 	now := s.now()
 	var newVal uint64
 	status := IncrNotFound
-	s.sm.Update(key, func(old Item, present bool) (Item, bool) {
+	var retired []byte
+	var staged []byte // pooled block reused across speculative invocations
+	var digits [20]byte
+	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+		retired = nil
 		if !present {
 			status = IncrNotFound
 			return old, false
 		}
 		if !s.live(old, now) {
 			status = IncrNotFound
+			retired = old.Data
 			return old, false
 		}
-		cur, err := strconv.ParseUint(string(old.Data), 10, 64)
-		if err != nil {
+		cur, ok := parseU64(old.Data)
+		if !ok {
 			status = IncrNonNumeric
 			return old, true
 		}
@@ -245,11 +404,25 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool) (uint64, IncrStatu
 			newVal = cur - delta
 		}
 		status = IncrOK
+		out := strconv.AppendUint(digits[:0], newVal, 10)
+		if cap(staged) < len(out) {
+			staged = p.alloc(out)
+		} else {
+			staged = staged[:len(out)]
+			copy(staged, out)
+		}
 		next := old
-		next.Data = []byte(strconv.FormatUint(newVal, 10))
+		retired = old.Data
+		next.Data = staged
 		next.CAS = s.nextCAS()
 		return next, true
 	})
+	if status == IncrOK {
+		p.free(retired)
+	} else {
+		p.free(retired)
+		p.free(staged) // never published
+	}
 	return newVal, status
 }
 
@@ -270,6 +443,8 @@ func (s *Store) FlushAll(delay int64) {
 	}
 	// Physically collect what the epoch just killed. Not atomic: items
 	// stored while the sweep runs are (correctly) kept.
+	p := s.Pin()
+	defer p.Unpin()
 	var keys []string
 	s.sm.ForEach(func(k string, it Item) bool {
 		if !s.live(it, now) {
@@ -278,9 +453,16 @@ func (s *Store) FlushAll(delay int64) {
 		return true
 	})
 	for _, k := range keys {
+		var retired []byte
 		s.sm.Update(k, func(old Item, present bool) (Item, bool) {
-			return old, present && s.live(old, s.now())
+			retired = nil
+			keep := present && s.live(old, s.now())
+			if present && !keep {
+				retired = old.Data
+			}
+			return old, keep
 		})
+		p.free(retired)
 	}
 }
 

@@ -1,0 +1,43 @@
+// Wire-path microbenchmarks: the parse→store→respond loop in isolation,
+// with -benchmem as the allocation ledger (the alloc gates in alloc_test.go
+// assert the get path at exactly zero).
+package server
+
+import (
+	"testing"
+)
+
+func BenchmarkWireGetPath(b *testing.B) {
+	s, _ := New(Config{Algo: "ht-clht-lb"})
+	p := s.store.Pin()
+	s.store.Set(p, []byte("hotkey"), 7, 0, []byte("0123456789"))
+	p.Unpin()
+	br := newReader(&repeatReader{frame: []byte("get hotkey\r\n")}, 1<<16)
+	bw := newWriter(devNull{}, 0)
+	var cmd Command
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReadCommandInto(br, DefaultMaxItemSize, &cmd, &sc)
+		s.execute(&cmd, bw)
+	}
+}
+
+func BenchmarkWireSetPath(b *testing.B) {
+	s, _ := New(Config{Algo: "ht-clht-lb"})
+	br := newReader(&repeatReader{frame: []byte("set hotkey 0 0 10\r\n0123456789\r\n")}, 1<<16)
+	bw := newWriter(devNull{}, 0)
+	var cmd Command
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReadCommandInto(br, DefaultMaxItemSize, &cmd, &sc)
+		s.execute(&cmd, bw)
+	}
+}
+
+type devNull struct{}
+
+func (devNull) Write(p []byte) (int, error) { return len(p), nil }

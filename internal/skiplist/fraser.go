@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/perf"
+	"repro/internal/ssmem"
 )
 
 // fRef is an immutable (successor, marked) record for one level of a tower;
@@ -34,11 +35,15 @@ func newFNode(k core.Key, v core.Value, h int) *fNode {
 // contains idea of Herlihy/Lev/Shavit): searches and parses skip over marked
 // nodes with plain reads, never CAS, and never restart; physical cleanup is
 // deferred to the update CASes, which naturally swallow marked spans.
+// With cfg.Recycle, height-1 nodes are recycled through SSMEM epochs by the
+// thread whose level-0 CAS detaches them (see recycle.go for why recycling
+// is height-1-only).
 type Fraser struct {
 	core.OrderedVia
 	head, tail *fNode
 	maxLevel   int
 	optimized  bool
+	rec        *ssmem.Pool[fNode]
 }
 
 // NewFraser returns an empty Fraser skip list; optimized selects fraser-opt.
@@ -50,16 +55,19 @@ func NewFraser(cfg core.Config, optimized bool) *Fraser {
 		tail.next[i].Store(&fRef{})
 		head.next[i].Store(&fRef{n: tail})
 	}
-	s := &Fraser{head: head, tail: tail, maxLevel: ml, optimized: optimized}
+	s := &Fraser{head: head, tail: tail, maxLevel: ml, optimized: optimized, rec: newNodePool[fNode](cfg)}
 	s.OrderedVia = core.OrderedVia{Ascend: s.ascend}
 	return s
 }
+
+// RecycleStats implements core.Recycler.
+func (l *Fraser) RecycleStats() ssmem.Stats { return ssmem.PoolStats(l.rec) }
 
 // search is Fraser's original search: positions preds/succs at every level,
 // unlinking marked nodes on the way; restarts from the top on any conflict.
 // refs[lvl] receives the exact record in preds[lvl].next[lvl] that points at
 // succs[lvl], as needed by the callers' CASes.
-func (l *Fraser) search(c *perf.Ctx, k core.Key, preds, succs []*fNode, refs []*fRef) {
+func (l *Fraser) search(a *ssmem.Allocator[fNode], c *perf.Ctx, k core.Key, preds, succs []*fNode, refs []*fRef) {
 retry:
 	for {
 		pred := l.head
@@ -85,6 +93,10 @@ retry:
 					}
 					c.Inc(perf.EvCAS)
 					c.Inc(perf.EvCleanup)
+					if lvl == 0 {
+						// Our CAS detached curr at its only level.
+						freeF1(a, curr)
+					}
 					predRef = nr
 					curr = cRef.n
 					cRef = curr.next[lvl].Load()
@@ -136,16 +148,18 @@ func (l *Fraser) parseOpt(c *perf.Ctx, k core.Key, preds, succs []*fNode, refs [
 	}
 }
 
-func (l *Fraser) parse(c *perf.Ctx, k core.Key, preds, succs []*fNode, refs []*fRef) {
+func (l *Fraser) parse(a *ssmem.Allocator[fNode], c *perf.Ctx, k core.Key, preds, succs []*fNode, refs []*fRef) {
 	if l.optimized {
 		l.parseOpt(c, k, preds, succs, refs)
 	} else {
-		l.search(c, k, preds, succs, refs)
+		l.search(a, c, k, preds, succs, refs)
 	}
 }
 
 // SearchCtx implements core.Instrumented.
 func (l *Fraser) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	if l.optimized {
 		// ASCY1: pure traversal.
 		pred := l.head
@@ -178,7 +192,7 @@ func (l *Fraser) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 	}
 	var preds, succs [maxHeight]*fNode
 	var refs [maxHeight]*fRef
-	l.search(c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
+	l.search(a, c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
 	if s := succs[0]; s != l.tail && s.key == k {
 		return s.val, true
 	}
@@ -187,14 +201,18 @@ func (l *Fraser) SearchCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 
 // InsertCtx implements core.Instrumented.
 func (l *Fraser) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	var preds, succs [maxHeight]*fNode
 	var refs [maxHeight]*fRef
 	h := randomLevel(l.maxLevel)
+	var node *fNode // allocated once, reused across CAS retries
 	for {
 		c.ParseBegin()
-		l.parse(c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
+		l.parse(a, c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
 		c.ParseEnd()
 		if s := succs[0]; s != l.tail && s.key == k {
+			freeF1(a, node) // allocated on an earlier retry, never published
 			return false
 		}
 		// The optimistic parse may hand back a ref read from a
@@ -208,7 +226,9 @@ func (l *Fraser) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
 			c.Inc(perf.EvParseRestart)
 			continue
 		}
-		node := newFNode(k, v, h)
+		if node == nil {
+			node = allocF(a, k, v, h)
+		}
 		for lvl := 0; lvl < h; lvl++ {
 			node.next[lvl].Store(&fRef{n: succs[lvl]})
 		}
@@ -219,6 +239,9 @@ func (l *Fraser) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
 			continue
 		}
 		c.Inc(perf.EvCAS)
+		// The CAS also swallowed the marked level-0 span the optimized
+		// parse stepped over; free its height-1 members.
+		freeF0Span(a, refs[0].n, succs[0])
 		// Link the upper levels; conflicts refresh via a (cleaning)
 		// search, as in Fraser's original.
 		for lvl := 1; lvl < h; lvl++ {
@@ -235,7 +258,7 @@ func (l *Fraser) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
 					break
 				}
 				c.Inc(perf.EvCASFail)
-				l.search(c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
+				l.search(a, c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
 				if succs[0] != node {
 					return true // unlinked already; stop building
 				}
@@ -253,10 +276,12 @@ func (l *Fraser) InsertCtx(c *perf.Ctx, k core.Key, v core.Value) bool {
 
 // RemoveCtx implements core.Instrumented.
 func (l *Fraser) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	var preds, succs [maxHeight]*fNode
 	var refs [maxHeight]*fRef
 	c.ParseBegin()
-	l.parse(c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
+	l.parse(a, c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
 	c.ParseEnd()
 	node := succs[0]
 	if node == l.tail || node.key != k {
@@ -287,19 +312,25 @@ func (l *Fraser) RemoveCtx(c *perf.Ctx, k core.Key) (core.Value, bool) {
 		}
 		c.Inc(perf.EvCASFail)
 	}
+	val := node.val // we won the level-0 mark; read before any free
 	if l.optimized {
 		// Single best-effort unlink; otherwise future update CASes
 		// swallow the marked span. Never CAS a marked ref: that would
 		// resurrect a dead predecessor's next pointer.
-		if !refs[0].marked && preds[0].next[0].CompareAndSwap(refs[0], &fRef{n: node.next[0].Load().n}) {
+		target := node.next[0].Load().n // frozen by the mark
+		if !refs[0].marked && preds[0].next[0].CompareAndSwap(refs[0], &fRef{n: target}) {
 			c.Inc(perf.EvCAS)
 			c.Inc(perf.EvCleanup)
+			// Detached [refs[0].n .. target): node plus any marked
+			// span the parse stepped over.
+			freeF0Span(a, refs[0].n, target)
 		}
 	} else {
-		// Fraser: eager cleanup via a fresh search.
-		l.search(c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
+		// Fraser: eager cleanup via a fresh search (which frees what
+		// its CASes detach).
+		l.search(a, c, k, preds[:l.maxLevel], succs[:l.maxLevel], refs[:l.maxLevel])
 	}
-	return node.val, true
+	return val, true
 }
 
 // Search looks up k.
@@ -313,6 +344,8 @@ func (l *Fraser) Remove(k core.Key) (core.Value, bool) { return l.RemoveCtx(nil,
 
 // Size counts unmarked elements at level 0. Quiescent use only.
 func (l *Fraser) Size() int {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	n := 0
 	for curr := l.head.next[0].Load().n; curr != l.tail; {
 		ref := curr.next[0].Load()

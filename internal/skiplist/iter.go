@@ -7,7 +7,10 @@
 // atomic snapshot.
 package skiplist
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/ssmem"
+)
 
 // ascend implements core.AscendFunc over the async list, bounded like every
 // Seq traversal.
@@ -33,7 +36,10 @@ func (l *Seq) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
 }
 
 // ascend implements core.AscendFunc, skipping logically deleted nodes.
+// Epoch-pinned for the whole scan under recycling, like the searches.
 func (l *Pugh) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	pred := l.head
 	for lvl := l.maxLevel - 1; lvl >= 0; lvl-- {
 		for curr := pred.next[lvl].Load(); curr != nil && curr.key < lo; curr = pred.next[lvl].Load() {
@@ -64,8 +70,10 @@ func (l *Herlihy) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
 }
 
 // ascend implements core.AscendFunc over the marked (successor, marked)
-// records, as in the searches.
+// records, as in the searches. Epoch-pinned under recycling.
 func (l *Fraser) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
+	a := ssmem.Pin(l.rec)
+	defer ssmem.Unpin(l.rec, a)
 	pred := l.head
 	for lvl := l.maxLevel - 1; lvl >= 0; lvl-- {
 		for {

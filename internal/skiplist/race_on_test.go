@@ -1,0 +1,9 @@
+//go:build race
+
+package skiplist_test
+
+// raceEnabled: under the race detector sync.Pool randomly drops Puts, so
+// per-goroutine epoch allocators churn and their pending garbage strands
+// (reclaimed by the Go GC, never reused). The reuse-rate assertions only
+// hold without -race; the safety assertions hold always.
+const raceEnabled = true

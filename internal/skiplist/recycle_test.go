@@ -1,0 +1,83 @@
+package skiplist_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/settest"
+	"repro/internal/skiplist"
+)
+
+func recycleCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxLevel = 8
+	cfg.Recycle = true
+	cfg.RecycleThreshold = 8 // tiny batches so reuse happens fast in tests
+	return cfg
+}
+
+// TestRecycleConformance: the recycling variants must be semantically
+// indistinguishable from the GC-backed defaults (run with -race for the
+// epoch-protocol guarantees).
+func TestRecycleConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Set
+	}{
+		{"fraser", func() core.Set { return skiplist.NewFraser(recycleCfg(), false) }},
+		{"fraser-opt", func() core.Set { return skiplist.NewFraser(recycleCfg(), true) }},
+		{"pugh", func() core.Set { return skiplist.NewPugh(recycleCfg()) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) { settest.Run(t, true, tc.mk) })
+	}
+}
+
+// TestRecycleReuseHappens churns hard enough that height-1 towers recycle,
+// and checks the counters balance (no double free, no double hand-out).
+func TestRecycleReuseHappens(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Set
+	}{
+		{"fraser", func() core.Set { return skiplist.NewFraser(recycleCfg(), false) }},
+		{"fraser-opt", func() core.Set { return skiplist.NewFraser(recycleCfg(), true) }},
+		{"pugh", func() core.Set { return skiplist.NewPugh(recycleCfg()) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.mk()
+			const workers, rounds, span = 4, 300, 32
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := core.Key(1 + w*span)
+					for r := 0; r < rounds; r++ {
+						for k := base; k < base+span; k++ {
+							s.Insert(k, core.Value(k))
+						}
+						for k := base; k < base+span; k++ {
+							s.Search(k)
+							s.Remove(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if got := s.Size(); got != 0 {
+				t.Fatalf("size after drain = %d, want 0", got)
+			}
+			st := s.(core.Recycler).RecycleStats()
+			if st.Frees > st.Allocs {
+				t.Fatalf("more frees than allocations (double free): %+v", st)
+			}
+			if st.Reused == 0 && !raceEnabled {
+				t.Fatalf("no node reuse under churn: %+v", st)
+			}
+			if st.Garbage < 0 {
+				t.Fatalf("negative garbage (double hand-out): %+v", st)
+			}
+		})
+	}
+}

@@ -24,6 +24,17 @@ func (r *Recorder) Add(ns int64) {
 	r.samples = append(r.samples, ns)
 }
 
+// Reserve pre-grows the sample buffer so steady-state recording does not
+// allocate (the zero-alloc load generator reserves its expected sample
+// count up front).
+func (r *Recorder) Reserve(n int) {
+	if cap(r.samples)-len(r.samples) < n {
+		grown := make([]int64, len(r.samples), len(r.samples)+n)
+		copy(grown, r.samples)
+		r.samples = grown
+	}
+}
+
 // AddSince records the latency of an operation that started at t0. It is
 // the recording helper the wire-level drivers use around a request's
 // send-to-response window.

@@ -200,6 +200,45 @@ func (m *Map[K, V]) GetOrInsert(k K, v V) (V, bool) {
 	}
 }
 
+// updState carries one Update call's mutable state in a single heap
+// object: the callback is a method value over it, so the call costs two
+// allocations (state + method value) instead of one boxed cell per
+// captured variable — mutations are the facade's hottest write path.
+type updState[K IntKey, V any] struct {
+	m             *Map[K, V]
+	f             func(old V, present bool) (V, bool)
+	slotW         core.Value
+	slotAllocated bool
+	lastV         V
+	replaced      core.Value
+	had           bool
+}
+
+func (s *updState[K, V]) step(old core.Value, ok bool) (core.Value, bool) {
+	m := s.m
+	var ov V
+	if ok {
+		ov, _ = m.load(old) // a stale read only happens on a
+		// speculative invocation whose result is discarded
+	}
+	nv, keep := s.f(ov, ok)
+	s.lastV = nv
+	s.replaced, s.had = old, ok
+	if !keep {
+		return 0, false
+	}
+	if m.direct {
+		return m.encVal(nv), true
+	}
+	if !s.slotAllocated {
+		s.slotW = m.arena.alloc(nv)
+		s.slotAllocated = true
+	} else {
+		m.arena.set(s.slotW, nv) // still private: not yet published
+	}
+	return s.slotW, true
+}
+
 // Update atomically transforms the entry for k: f receives the current
 // value (present reports existence) and returns the new value and whether
 // the key should remain present. It returns the value after the update and
@@ -207,45 +246,19 @@ func (m *Map[K, V]) GetOrInsert(k K, v V) (V, bool) {
 // map: it may run more than once, and with native algorithms it runs under
 // the structure's own lock.
 func (m *Map[K, V]) Update(k K, f func(old V, present bool) (V, bool)) (V, bool) {
-	var slotW core.Value
-	slotAllocated := false
-	var lastV V
-	var replaced core.Value
-	var had bool
-	_, present := m.set.Update(m.enc(k), func(old core.Value, ok bool) (core.Value, bool) {
-		var ov V
-		if ok {
-			ov, _ = m.load(old) // a stale read only happens on a
-			// speculative invocation whose result is discarded
-		}
-		nv, keep := f(ov, ok)
-		lastV = nv
-		replaced, had = old, ok
-		if !keep {
-			return 0, false
-		}
-		if m.direct {
-			return m.encVal(nv), true
-		}
-		if !slotAllocated {
-			slotW = m.arena.alloc(nv)
-			slotAllocated = true
-		} else {
-			m.arena.set(slotW, nv) // still private: not yet published
-		}
-		return slotW, true
-	})
+	st := updState[K, V]{m: m, f: f}
+	_, present := m.set.Update(m.enc(k), st.step)
 	if present {
-		if had {
-			m.free(replaced) // the fresh slot replaced the old word
+		if st.had {
+			m.free(st.replaced) // the fresh slot replaced the old word
 		}
-		return lastV, true
+		return st.lastV, true
 	}
-	if had {
-		m.free(replaced) // the update removed the entry
+	if st.had {
+		m.free(st.replaced) // the update removed the entry
 	}
-	if slotAllocated {
-		m.free(slotW) // allocated on a path that ultimately removed
+	if st.slotAllocated {
+		m.free(st.slotW) // allocated on a path that ultimately removed
 	}
 	var zero V
 	return zero, false

@@ -49,8 +49,9 @@ func MustNewStringMap[V any](algo string, opts ...Option) *StringMap[V] {
 }
 
 // hash maps a key onto the core's usable key domain (FNV-1a 64, folded away
-// from the two reserved top values).
-func (m *StringMap[V]) hash(k string) uint64 {
+// from the two reserved top values). Generic over string and []byte so the
+// wire-facing byte paths hash without materializing a string.
+func strHash[K ~string | ~[]byte](k K) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -61,6 +62,22 @@ func (m *StringMap[V]) hash(k string) uint64 {
 		h *= prime64
 	}
 	return h % (math.MaxUint64 - 1)
+}
+
+func (m *StringMap[V]) hash(k string) uint64 { return strHash(k) }
+
+// eqStringBytes compares a stored string key with a []byte key without
+// allocating (the explicit loop sidesteps any conversion).
+func eqStringBytes(s string, b []byte) bool {
+	if len(s) != len(b) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Get returns the value stored under k.
@@ -77,6 +94,100 @@ func (m *StringMap[V]) Get(k string) (V, bool) {
 	return zero, false
 }
 
+// GetBytes is Get for a []byte key: the hash runs over the slice and chain
+// keys are compared byte-wise, so the read path performs no allocation and
+// never materializes a string. It is the wire-facing fast path (the server
+// keys every get on bytes still sitting in its connection buffer).
+func (m *StringMap[V]) GetBytes(k []byte) (V, bool) {
+	chain, ok := m.m.Get(strHash(k))
+	if ok {
+		for i := range chain {
+			if eqStringBytes(chain[i].key, k) {
+				return chain[i].val, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// chainUpd carries one updateChain call's mutable state in a single heap
+// object (see Map's updState for the allocation rationale). The staging
+// chain is allocated once per call and reused across speculative
+// invocations of the callback: earlier invocations' results are discarded
+// by contract, so rewriting the same backing array is safe, and the final
+// invocation's array is what gets published.
+type chainUpd[K ~string | ~[]byte, V any] struct {
+	k          K
+	f          func(old V, present bool) (V, bool)
+	outV       V
+	outPresent bool
+	scratch    []strEntry[V]
+}
+
+func (s *chainUpd[K, V]) step(chain []strEntry[V], _ bool) ([]strEntry[V], bool) {
+	k := s.k
+	idx := -1
+	for i := range chain {
+		if len(chain[i].key) == len(k) {
+			match := true
+			for j := 0; j < len(k); j++ {
+				if chain[i].key[j] != k[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				idx = i
+				break
+			}
+		}
+	}
+	var old V
+	if idx >= 0 {
+		old = chain[idx].val
+	}
+	nv, keep := s.f(old, idx >= 0)
+	switch {
+	case keep:
+		if cap(s.scratch) < len(chain)+1 {
+			s.scratch = make([]strEntry[V], 0, len(chain)+1)
+		}
+		out := append(s.scratch[:0], chain...)
+		if idx >= 0 {
+			out[idx].val = nv
+		} else {
+			out = append(out, strEntry[V]{key: string(k), val: nv})
+		}
+		s.scratch = out
+		s.outV, s.outPresent = nv, true
+		return out, true
+	case idx < 0:
+		// Removing an absent key: leave the chain as it stands.
+		s.outV, s.outPresent = old, false
+		return chain, len(chain) > 0
+	default:
+		if cap(s.scratch) < len(chain)-1 {
+			s.scratch = make([]strEntry[V], 0, len(chain)-1)
+		}
+		out := append(s.scratch[:0], chain[:idx]...)
+		out = append(out, chain[idx+1:]...)
+		s.scratch = out
+		s.outV, s.outPresent = old, false
+		return out, len(out) > 0
+	}
+}
+
+// updateChain is the shared read-modify-write over a collision chain,
+// generic over string and []byte keys. The key is converted to a string
+// only when a fresh entry is appended — steady-state mutations of existing
+// keys never materialize one.
+func updateChain[K ~string | ~[]byte, V any](m *StringMap[V], k K, f func(old V, present bool) (V, bool)) (V, bool) {
+	st := chainUpd[K, V]{k: k, f: f}
+	m.m.Update(strHash(k), st.step)
+	return st.outV, st.outPresent
+}
+
 // Update atomically transforms the entry for k: f receives the current
 // value (present reports existence) and returns the new value and whether
 // the key should remain present. It returns the value after the update and
@@ -85,45 +196,14 @@ func (m *StringMap[V]) Get(k string) (V, bool) {
 // back into the map: it may be invoked more than once, and only the last
 // invocation takes effect.
 func (m *StringMap[V]) Update(k string, f func(old V, present bool) (V, bool)) (V, bool) {
-	var outV V
-	var outPresent bool
-	m.m.Update(m.hash(k), func(chain []strEntry[V], _ bool) ([]strEntry[V], bool) {
-		idx := -1
-		for i := range chain {
-			if chain[i].key == k {
-				idx = i
-				break
-			}
-		}
-		var old V
-		if idx >= 0 {
-			old = chain[idx].val
-		}
-		nv, keep := f(old, idx >= 0)
-		switch {
-		case keep:
-			out := make([]strEntry[V], len(chain), len(chain)+1)
-			copy(out, chain)
-			if idx >= 0 {
-				out[idx].val = nv
-			} else {
-				out = append(out, strEntry[V]{key: k, val: nv})
-			}
-			outV, outPresent = nv, true
-			return out, true
-		case idx < 0:
-			// Removing an absent key: leave the chain as it stands.
-			outV, outPresent = old, false
-			return chain, len(chain) > 0
-		default:
-			out := make([]strEntry[V], 0, len(chain)-1)
-			out = append(out, chain[:idx]...)
-			out = append(out, chain[idx+1:]...)
-			outV, outPresent = old, false
-			return out, len(out) > 0
-		}
-	})
-	return outV, outPresent
+	return updateChain(m, k, f)
+}
+
+// UpdateBytes is Update for a []byte key. The key is copied into a string
+// only if the update inserts a fresh entry; updates and removals of
+// existing keys run allocation-free with respect to the key.
+func (m *StringMap[V]) UpdateBytes(k []byte, f func(old V, present bool) (V, bool)) (V, bool) {
+	return updateChain(m, k, f)
 }
 
 // Put stores v under k, replacing any existing value, and reports whether

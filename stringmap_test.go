@@ -105,3 +105,120 @@ func TestStringMapManyKeys(t *testing.T) {
 		}
 	}
 }
+
+func TestStringMapBytesPaths(t *testing.T) {
+	for _, algo := range []string{"ht-clht-lb", "ht-clht-lf", "sl-fraser-opt"} {
+		t.Run(algo, func(t *testing.T) {
+			m := MustNewStringMap[string](algo, Capacity(64))
+			// Fresh insert through the bytes path materializes the key once.
+			m.UpdateBytes([]byte("alpha"), func(_ string, present bool) (string, bool) {
+				if present {
+					t.Fatal("fresh key reported present")
+				}
+				return "1", true
+			})
+			if v, ok := m.Get("alpha"); !ok || v != "1" {
+				t.Fatalf("Get after UpdateBytes = %q, %v", v, ok)
+			}
+			if v, ok := m.GetBytes([]byte("alpha")); !ok || v != "1" {
+				t.Fatalf("GetBytes = %q, %v", v, ok)
+			}
+			if _, ok := m.GetBytes([]byte("beta")); ok {
+				t.Fatal("GetBytes hit on absent key")
+			}
+			// Overwrite through bytes, read through string.
+			m.UpdateBytes([]byte("alpha"), func(old string, present bool) (string, bool) {
+				if !present || old != "1" {
+					t.Fatalf("old = %q, %v", old, present)
+				}
+				return "2", true
+			})
+			if v, _ := m.Get("alpha"); v != "2" {
+				t.Fatalf("after overwrite: %q", v)
+			}
+			// Remove through bytes.
+			if _, present := m.UpdateBytes([]byte("alpha"), func(old string, _ bool) (string, bool) {
+				return old, false
+			}); present {
+				t.Fatal("remove reported still present")
+			}
+			if _, ok := m.Get("alpha"); ok {
+				t.Fatal("key survived UpdateBytes remove")
+			}
+		})
+	}
+}
+
+// TestStringMapGetBytesZeroAlloc is one of the PR's allocation gates: a
+// steady-state GetBytes hit must not allocate (no string materialization,
+// no chain copying) on the headline hash-table backends.
+func TestStringMapGetBytesZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gates are meaningless under race instrumentation")
+	}
+	for _, algo := range []string{"ht-clht-lb", "ht-clht-lf"} {
+		t.Run(algo, func(t *testing.T) {
+			m := MustNewStringMap[uint64](algo, Capacity(256))
+			key := []byte("benchmark-key")
+			m.UpdateBytes(key, func(_ uint64, _ bool) (uint64, bool) { return 42, true })
+			var v uint64
+			var ok bool
+			if avg := testing.AllocsPerRun(200, func() {
+				v, ok = m.GetBytes(key)
+			}); avg != 0 {
+				t.Fatalf("GetBytes allocates %.1f/op, want 0", avg)
+			}
+			if !ok || v != 42 {
+				t.Fatalf("GetBytes = %d, %v", v, ok)
+			}
+		})
+	}
+}
+
+// TestStringMapUpdateStagingIsolated: the staging chain reused across
+// speculative Update invocations must never leak into a published chain
+// that a concurrent reader still holds (values read back must always be
+// internally consistent).
+func TestStringMapUpdateStagingIsolated(t *testing.T) {
+	m := MustNewStringMap[[2]uint64]("ht-clht-lb", Capacity(64))
+	const writers, rounds = 4, 2000
+	var readerErr error
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // reader: every observed value must be a (x, x) pair
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v, ok := m.GetBytes([]byte("pair")); ok && v[0] != v[1] {
+				readerErr = fmt.Errorf("torn pair: %v", v)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				x := uint64(w*rounds + i)
+				m.UpdateBytes([]byte("pair"), func(_ [2]uint64, _ bool) ([2]uint64, bool) {
+					return [2]uint64{x, x}, true
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	if v, ok := m.Get("pair"); !ok || v[0] != v[1] {
+		t.Fatalf("final value torn: %v %v", v, ok)
+	}
+}
