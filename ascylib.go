@@ -128,6 +128,18 @@ func RecycleNodes(b bool) Option { return core.RecycleNodes(b) }
 // collection pass (<= 0 uses the paper's default of 512 freed locations).
 func RecycleThreshold(n int) Option { return core.RecycleThreshold(n) }
 
+// Sharded hash-partitions the key domain across n independent instances of
+// the structure — the paper's "hash tables scale because they are already
+// sharded" observation applied one level up, so a single hot list or tree
+// becomes n cool ones. Each shard is a complete instance with its own locks
+// and (with RecycleNodes) its own SSMEM epoch domain; Capacity is a total,
+// split across the shards. Point operations keep their per-structure
+// semantics; Size/Len and ForEach aggregate; ordering does not survive —
+// a sharded structure is never natively Ordered, so Map.Range/Min/Max fall
+// back to snapshot-and-sort (NativeOrder reports false). 0 or 1 builds a
+// single instance. See also ShardedStringMap for the string-keyed facade.
+func Sharded(n int) Option { return core.Shards(n) }
+
 // New constructs the named algorithm. Names are listed by Algorithms; the
 // headline ones are "ht-clht-lb", "ht-clht-lf", and "bst-tk".
 func New(name string, opts ...Option) (Set, error) { return core.New(name, opts...) }

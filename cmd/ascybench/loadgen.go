@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -19,12 +21,19 @@ import (
 //     port and drives that; "all" sweeps every servable registry entry,
 //     producing one BENCH run per algorithm.
 //
+// In self-serve mode, -shards takes a comma-separated list of keyspace
+// partition counts (e.g. -shards 1,2,4,8) and produces one run per
+// algorithm x shard count at identical client concurrency — the sharding
+// experiment: how far does splitting one hot structure into S cool ones
+// carry each family's server throughput.
+//
 // Results go to stdout and, machine-readably, to -out (BENCH_server.json).
 func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	var (
 		addr      = fs.String("addr", "", "target server address; empty boots an in-process server")
-		algo      = fs.String("algo", "ht-clht-lb", "self-serve algorithm, or \"all\" for the sweep (ignored with -addr)")
+		algo      = fs.String("algo", "ht-clht-lb", "self-serve algorithm(s), comma-separated, or \"all\" for the sweep (ignored with -addr)")
+		shardList = fs.String("shards", "1", "comma-separated self-serve shard counts, one run each (ignored with -addr)")
 		conns     = fs.Int("conns", 4, "client connections")
 		pipeline  = fs.Int("pipeline", 8, "pipelined requests in flight per connection")
 		duration  = fs.Duration("duration", 2*time.Second, "measured window per run")
@@ -62,22 +71,36 @@ func runLoadgen(args []string) error {
 		printLoadgen(res)
 		runs = append(runs, res)
 	} else {
-		algos := []string{*algo}
+		shardCounts, err := parseShardList(*shardList)
+		if err != nil {
+			return err
+		}
+		var algos []string
 		if *algo == "all" {
-			algos = algos[:0]
 			for _, a := range core.All() {
 				if a.Safe {
 					algos = append(algos, a.Name)
 				}
 			}
+		} else {
+			for _, name := range strings.Split(*algo, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					algos = append(algos, name)
+				}
+			}
+			if len(algos) == 0 {
+				return fmt.Errorf("-algo %q names no algorithms", *algo)
+			}
 		}
 		for _, name := range algos {
-			res, err := selfServe(name, cfg)
-			if err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+			for _, shards := range shardCounts {
+				res, err := selfServe(name, shards, cfg)
+				if err != nil {
+					return fmt.Errorf("%s (shards=%d): %w", name, shards, err)
+				}
+				printLoadgen(res)
+				runs = append(runs, res)
 			}
-			printLoadgen(res)
-			runs = append(runs, res)
 		}
 	}
 	if *out != "" {
@@ -89,10 +112,31 @@ func runLoadgen(args []string) error {
 	return nil
 }
 
-// selfServe boots an in-process server for one algorithm, drives it, and
-// tears it down.
-func selfServe(algo string, cfg server.LoadgenConfig) (server.LoadgenResult, error) {
-	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo})
+// parseShardList parses the -shards flag: a comma-separated list of
+// positive shard counts.
+func parseShardList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out, nil
+}
+
+// selfServe boots an in-process server for one algorithm and shard count,
+// drives it, and tears it down.
+func selfServe(algo string, shards int, cfg server.LoadgenConfig) (server.LoadgenResult, error) {
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo, Shards: shards})
 	if err != nil {
 		return server.LoadgenResult{}, err
 	}
@@ -113,6 +157,9 @@ func printLoadgen(r server.LoadgenResult) {
 	algo := r.Algo
 	if algo == "" {
 		algo = "(unknown algo)"
+	}
+	if r.Shards > 0 {
+		algo += fmt.Sprintf(" [%d shard(s)]", r.Shards)
 	}
 	fmt.Printf("%s: %d conns x %d deep, %v\n", algo, r.Cfg.Conns, r.Cfg.Pipeline, r.Elapsed.Round(time.Millisecond))
 	fmt.Printf("  throughput: %.0f req/s (%d requests)\n", r.Throughput(), r.Ops)

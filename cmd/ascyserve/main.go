@@ -5,6 +5,7 @@
 //	ascyserve                                  # CLHT-LB on :11211
 //	ascyserve -algo ht-clht-lf -addr :11300
 //	ascyserve -algo sl-fraser-opt              # a skip list speaking memcached
+//	ascyserve -algo ll-lazy -shards 8          # keyspace split over 8 lazy lists
 //	ascyserve -addr 127.0.0.1:0 -addrfile /tmp/a.addr   # ephemeral port for scripts
 //
 // The server speaks get/gets (multi-key), set/add/replace/cas, delete,
@@ -32,9 +33,11 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":11211", "listen address (port 0 picks an ephemeral port)")
 		algo     = flag.String("algo", "ht-clht-lb", "backing algorithm (see `ascybench list`)")
-		capacity = flag.Int("capacity", 1<<16, "structure capacity (hash-table buckets)")
+		capacity = flag.Int("capacity", 1<<16, "structure capacity (hash-table buckets, total across shards)")
+		shards   = flag.Int("shards", 1, "partition the keyspace across this many independent structure instances")
 		accept   = flag.Int("accept", 0, "sharded-accept workers (0 = GOMAXPROCS, capped at 8)")
 		maxItem  = flag.Int("maxitem", server.DefaultMaxItemSize, "maximum value size in bytes")
+		idle     = flag.Duration("idletimeout", 0, "reclaim connections silent for this long (0 = server default of 5m, negative disables)")
 		addrFile = flag.String("addrfile", "", "write the bound address to this file (for scripts)")
 		quiet    = flag.Bool("quiet", false, "suppress the startup banner and shutdown stats")
 	)
@@ -54,8 +57,10 @@ func main() {
 		Addr:          *addr,
 		Algo:          *algo,
 		Capacity:      *capacity,
+		Shards:        *shards,
 		AcceptWorkers: *accept,
 		MaxItemSize:   *maxItem,
+		IdleTimeout:   *idle,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -69,7 +74,7 @@ func main() {
 		os.Exit(1)
 	}
 	if !*quiet {
-		fmt.Printf("ascyserve: %s serving %s on %s\n", server.Version, *algo, s.Addr())
+		fmt.Printf("ascyserve: %s serving %s (%d shard(s)) on %s\n", server.Version, *algo, s.Store().Shards(), s.Addr())
 	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(s.Addr().String()), 0o644); err != nil {

@@ -1,0 +1,166 @@
+// Sharded keyspace decomposition: one structure becomes S independent ones.
+//
+// The paper's Figure 2 explanation for why hash tables scale — independent
+// buckets spread contention — applies one level up to any structure: hash-
+// partitioning the key domain across S complete instances turns a single hot
+// list (or skip list, or tree) into S cool ones, each with its own locks,
+// nodes, and SSMEM epoch domain. Nothing in any per-structure algorithm
+// changes; the decomposition is entirely in the routing layer here.
+//
+// What aggregates and what does not: Search/Insert/Remove/Update/GetOrInsert
+// route to exactly one shard and keep their single-structure semantics; Size
+// and ForEach aggregate across shards (with ForEach's usual no-snapshot
+// caveat); RecycleStats sums the per-shard allocator counters. Ordering does
+// NOT survive: a sharded set is never natively Ordered, so Range/Min/Max are
+// served by OrderedOf's snapshot-and-sort fallback.
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/perf"
+	"repro/internal/ssmem"
+)
+
+// shardedSet routes the whole Extended surface across cfg.Shards instances
+// built by the algorithm's own constructor. Each inner instance is wrapped
+// with Extend, so Update and GetOrInsert are native exactly where the
+// backing algorithm has them — per shard, which is what the fallback-parity
+// conformance checks assert.
+type shardedSet struct {
+	shards []Extended
+	raw    []Set          // the unwrapped instances (capability probing, stats)
+	insts  []Instrumented // insts[i] non-nil when raw[i] is Instrumented
+}
+
+// newShardedSet builds cfg.Shards instances of a, each with its share of the
+// bucket budget and (with cfg.Recycle) its own SSMEM domain.
+func newShardedSet(a Algorithm, cfg Config) *shardedSet {
+	n := cfg.Shards
+	per := cfg
+	per.Shards = 1
+	per.Buckets = cfg.Buckets / n
+	if per.Buckets < 1 {
+		per.Buckets = 1
+	}
+	s := &shardedSet{
+		shards: make([]Extended, n),
+		raw:    make([]Set, n),
+		insts:  make([]Instrumented, n),
+	}
+	for i := 0; i < n; i++ {
+		inner := a.New(per)
+		s.raw[i] = inner
+		s.shards[i] = Extend(inner)
+		s.insts[i], _ = inner.(Instrumented)
+	}
+	return s
+}
+
+// shardOf routes a key. The Fibonacci multiply plus xorshift folds
+// decorrelate the route from arithmetic key patterns, and the multiply-shift
+// range reduction consumes the scramble's top bits — deliberately disjoint
+// from the low bits the power-of-two hash tables mask for their bucket
+// index, so sharding never collapses a shard's keys onto a fraction of its
+// buckets.
+func (s *shardedSet) shardOf(k Key) int {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	hi, _ := bits.Mul64(h, uint64(len(s.shards)))
+	return int(hi)
+}
+
+func (s *shardedSet) Search(k Key) (Value, bool) { return s.shards[s.shardOf(k)].Search(k) }
+
+func (s *shardedSet) Insert(k Key, v Value) bool { return s.shards[s.shardOf(k)].Insert(k, v) }
+
+func (s *shardedSet) Remove(k Key) (Value, bool) { return s.shards[s.shardOf(k)].Remove(k) }
+
+// Size sums the shards; like every Size in the library it is linear time and
+// quiescently exact.
+func (s *shardedSet) Size() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Size()
+	}
+	return n
+}
+
+// Update implements Updater by routing: atomicity is the backing shard's
+// (native where the algorithm has it, the per-wrapper stripe fallback
+// elsewhere) — keys never cross shards, so the guarantee is unchanged.
+func (s *shardedSet) Update(k Key, f UpdateFunc) (Value, bool) {
+	return s.shards[s.shardOf(k)].Update(k, f)
+}
+
+// GetOrInsert implements GetOrInserter by routing.
+func (s *shardedSet) GetOrInsert(k Key, v Value) (Value, bool) {
+	return s.shards[s.shardOf(k)].GetOrInsert(k, v)
+}
+
+// ForEach enumerates shard by shard. Enumeration order is the route order,
+// not key order; concurrency semantics are each shard's own.
+func (s *shardedSet) ForEach(yield func(k Key, v Value) bool) {
+	for _, sh := range s.shards {
+		stopped := false
+		sh.ForEach(func(k Key, v Value) bool {
+			if !yield(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// SearchCtx, InsertCtx, RemoveCtx implement Instrumented by forwarding the
+// perf context into the routed shard, so the harness's memory-event and
+// phase accounting keeps working under sharding. (Every structure in the
+// library is Instrumented; the plain fallback covers out-of-tree sets.)
+func (s *shardedSet) SearchCtx(c *perf.Ctx, k Key) (Value, bool) {
+	i := s.shardOf(k)
+	if inst := s.insts[i]; inst != nil {
+		return inst.SearchCtx(c, k)
+	}
+	return s.shards[i].Search(k)
+}
+
+func (s *shardedSet) InsertCtx(c *perf.Ctx, k Key, v Value) bool {
+	i := s.shardOf(k)
+	if inst := s.insts[i]; inst != nil {
+		return inst.InsertCtx(c, k, v)
+	}
+	return s.shards[i].Insert(k, v)
+}
+
+func (s *shardedSet) RemoveCtx(c *perf.Ctx, k Key) (Value, bool) {
+	i := s.shardOf(k)
+	if inst := s.insts[i]; inst != nil {
+		return inst.RemoveCtx(c, k)
+	}
+	return s.shards[i].Remove(k)
+}
+
+// RecycleStats implements Recycler: the sum of every shard's allocator
+// counters (zero for shards — or builds — without recycling).
+func (s *shardedSet) RecycleStats() ssmem.Stats {
+	var agg ssmem.Stats
+	for _, r := range s.raw {
+		if rec, ok := r.(Recycler); ok {
+			agg.Add(rec.RecycleStats())
+		}
+	}
+	return agg
+}
+
+// NumShards reports the shard count of a set built with Config.Shards > 1,
+// and 1 for any other Set.
+func NumShards(s Set) int {
+	if sh, ok := s.(*shardedSet); ok {
+		return len(sh.shards)
+	}
+	return 1
+}

@@ -27,14 +27,25 @@ func (r *repeatReader) Read(p []byte) (int, error) {
 // TestServerGetPathZeroAlloc is the PR's end-to-end allocation gate: a
 // pipelined get hit — ReadCommandInto → Store.Get → VALUE staging — must
 // perform zero heap allocations per request in steady state, for both the
-// hash-table headliner and an SSMEM-recycling ordered backend.
+// hash-table headliner and an SSMEM-recycling ordered backend, and with the
+// keyspace sharded (the per-shard pin routing runs on pooled frames, so
+// sharding must not reintroduce a per-request allocation).
 func TestServerGetPathZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-mode sync.Pool drops Puts at random, so Pin() itself allocates")
 	}
-	for _, algo := range []string{"ht-clht-lb", "ht-clht-lf"} {
-		t.Run(algo, func(t *testing.T) {
-			s, err := New(Config{Algo: algo})
+	for _, tc := range []struct {
+		algo   string
+		shards int
+	}{
+		{"ht-clht-lb", 1},
+		{"ht-clht-lf", 1},
+		{"ht-clht-lb", 4},
+		{"ll-lazy", 4},
+	} {
+		algo := tc.algo
+		t.Run(fmt.Sprintf("%s/shards-%d", algo, tc.shards), func(t *testing.T) {
+			s, err := New(Config{Algo: algo, Shards: tc.shards})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +82,7 @@ func TestServerGetPathZeroAlloc(t *testing.T) {
 // write has begun overwriting (every byte of the returned Data must agree).
 // Run under -race: the SSMEM epoch edges are what make this pass.
 func TestStoreDataPoolingNoAliasing(t *testing.T) {
-	st, err := NewStore("ht-clht-lb", 64, true)
+	st, err := NewStore("ht-clht-lb", 64, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +153,7 @@ func TestStoreDataPoolingNoAliasing(t *testing.T) {
 // actually happens (without -race; see race_on_test.go for why sync.Pool
 // churn strands garbage under the detector).
 func TestStoreDataPoolReuseBalance(t *testing.T) {
-	st, err := NewStore("ht-clht-lb", 64, true)
+	st, err := NewStore("ht-clht-lb", 64, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +182,7 @@ func TestStoreDataPoolReuseBalance(t *testing.T) {
 // removed (bounded, non-blocking) instead of lingering until a mutation
 // touches the key.
 func TestStoreReapsExpiredOnGet(t *testing.T) {
-	st, err := NewStore("ht-clht-lb", 64, true)
+	st, err := NewStore("ht-clht-lb", 64, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

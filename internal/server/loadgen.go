@@ -94,6 +94,7 @@ type pending struct {
 type LoadgenResult struct {
 	Cfg     LoadgenConfig
 	Algo    string // from the server's stats ("algo"), if it reports one
+	Shards  int    // from the server's stats ("shards"); 0 when not reported
 	Elapsed time.Duration
 
 	Ops        uint64 // requests completed (a multi-get counts once)
@@ -199,6 +200,9 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	}
 	if st, err := pre.Stats(); err == nil {
 		res.Algo = st["algo"]
+		if n, err := strconv.Atoi(st["shards"]); err == nil {
+			res.Shards = n
+		}
 	}
 	pre.Close()
 
@@ -414,7 +418,10 @@ const BenchSchema = "ascylib/bench-server/v1"
 
 // BenchRun is one load-generation run in machine-readable form.
 type BenchRun struct {
-	Algo           string                       `json:"algo"`
+	Algo string `json:"algo"`
+	// Shards is the server-side keyspace partition count the run was
+	// served with (0 for servers that predate the stat).
+	Shards         int                          `json:"shards"`
 	Ops            uint64                       `json:"ops"`
 	DurationS      float64                      `json:"duration_s"`
 	ThroughputOpsS float64                      `json:"throughput_ops_s"`
@@ -457,6 +464,7 @@ type BenchFile struct {
 func BenchRunOf(r LoadgenResult) BenchRun {
 	b := BenchRun{
 		Algo:           r.Algo,
+		Shards:         r.Shards,
 		Ops:            r.Ops,
 		DurationS:      r.Elapsed.Seconds(),
 		ThroughputOpsS: r.Throughput(),

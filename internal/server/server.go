@@ -22,9 +22,15 @@ type Config struct {
 	Addr string
 	// Algo is the registry name of the backing structure.
 	Algo string
-	// Capacity sizes the backing structure (hash-table buckets); <= 0
-	// picks the store default.
+	// Capacity sizes the backing structure (hash-table buckets, total
+	// across shards); <= 0 picks the store default.
 	Capacity int
+	// Shards hash-partitions the keyspace across that many independent
+	// structure instances, each with its own value-block pool and SSMEM
+	// epochs (see Store) — the knob that lets the list and tree families
+	// serve multi-core traffic instead of serializing on one structure.
+	// <= 0 means 1 (a single instance).
+	Shards int
 	// AcceptWorkers is the size of the sharded-accept pool: that many
 	// goroutines block in Accept concurrently, so connection setup under
 	// a connect storm spreads across cores instead of serializing on one
@@ -47,6 +53,16 @@ type Config struct {
 	// an unbounded write would let one dead-slow client grow server memory
 	// without limit. 0 picks 30 seconds; negative disables the deadline.
 	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a connection may sit with no bytes
+	// arriving before the server reclaims it. Without it, an idle or
+	// half-open client pins its goroutine (and its slot in the connection
+	// table) forever — a slow leak under real traffic, where peers
+	// disappear without a FIN all the time. The deadline is re-armed on
+	// every read, so any traffic keeps a connection alive indefinitely;
+	// a request already in progress is still subject to it (a client that
+	// stalls mid-frame for the whole window is indistinguishable from a
+	// dead one). 0 picks 5 minutes; negative disables the deadline.
+	IdleTimeout time.Duration
 	// Logf, when set, receives connection-level error logs.
 	Logf func(format string, args ...any)
 }
@@ -73,6 +89,12 @@ func (c *Config) fill() {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 }
 
 // Server is a memcached-protocol TCP server over one Store.
@@ -94,6 +116,9 @@ type Server struct {
 	bytesWritten atomic.Uint64
 	cmdGet       atomic.Uint64
 	cmdSet       atomic.Uint64
+	cmdDelete    atomic.Uint64
+	cmdIncr      atomic.Uint64
+	cmdDecr      atomic.Uint64
 	cmdFlush     atomic.Uint64
 	getHits      atomic.Uint64
 	getMisses    atomic.Uint64
@@ -117,7 +142,7 @@ func New(cfg Config) (*Server, error) {
 	} else if !a.Safe {
 		return nil, fmt.Errorf("server: algorithm %q is an unsynchronized async baseline; refusing to serve it", cfg.Algo)
 	}
-	st, err := NewStore(cfg.Algo, cfg.Capacity, !cfg.NoValuePooling)
+	st, err := NewStore(cfg.Algo, cfg.Capacity, !cfg.NoValuePooling, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -350,6 +375,7 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 		}
 
 	case OpDelete:
+		s.cmdDelete.Add(1)
 		if s.store.Delete(p, cmd.Key) {
 			s.deleteHits.Add(1)
 			w.reply(cmd, "DELETED")
@@ -360,11 +386,12 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 
 	case OpIncr, OpDecr:
 		incr := cmd.Op == OpIncr
-		nv, status := s.store.IncrDecr(p, cmd.Key, cmd.Delta, incr)
-		hits, misses := &s.incrHits, &s.incrMisses
+		cmds, hits, misses := &s.cmdIncr, &s.incrHits, &s.incrMisses
 		if !incr {
-			hits, misses = &s.decrHits, &s.decrMisses
+			cmds, hits, misses = &s.cmdDecr, &s.decrHits, &s.decrMisses
 		}
+		cmds.Add(1)
+		nv, status := s.store.IncrDecr(p, cmd.Key, cmd.Delta, incr)
 		switch status {
 		case IncrOK:
 			hits.Add(1)
@@ -373,6 +400,10 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 			misses.Add(1)
 			w.reply(cmd, "NOT_FOUND")
 		default:
+			// The key was found (that is what made the value inspectable),
+			// so the outcome is a hit — as memcached counts it. Every
+			// incr/decr lands in exactly one of hit or miss.
+			hits.Add(1)
 			w.reply(cmd, "CLIENT_ERROR cannot increment or decrement non-numeric value")
 		}
 
@@ -386,6 +417,14 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 		w.line("VERSION " + Version)
 
 	case OpFlushAll:
+		// The parser rejects negative delays; this guard keeps the store's
+		// flush epoch in the future even if a new command path (or an
+		// in-process caller) hands one through — a past epoch with a fresh
+		// CAS watermark would silently kill every current item.
+		if cmd.Exptime < 0 {
+			w.reply(cmd, "CLIENT_ERROR invalid flush_all delay")
+			return
+		}
 		s.cmdFlush.Add(1)
 		s.store.FlushAll(cmd.Exptime)
 		w.reply(cmd, "OK")
@@ -403,6 +442,7 @@ func (s *Server) Stats() [][2]string {
 		{"version", Version},
 		{"pointer_size", "64"},
 		{"algo", s.store.Algo()},
+		{"shards", strconv.Itoa(s.store.Shards())},
 		{"threads", strconv.Itoa(s.cfg.AcceptWorkers)},
 		{"curr_connections", strconv.FormatInt(s.currConns.Load(), 10)},
 		{"total_connections", u(s.totalConns.Load())},
@@ -410,6 +450,9 @@ func (s *Server) Stats() [][2]string {
 		{"bytes_written", u(s.bytesWritten.Load())},
 		{"cmd_get", u(s.cmdGet.Load())},
 		{"cmd_set", u(s.cmdSet.Load())},
+		{"cmd_delete", u(s.cmdDelete.Load())},
+		{"cmd_incr", u(s.cmdIncr.Load())},
+		{"cmd_decr", u(s.cmdDecr.Load())},
 		{"cmd_flush", u(s.cmdFlush.Load())},
 		{"get_hits", u(s.getHits.Load())},
 		{"get_misses", u(s.getMisses.Load())},
@@ -444,15 +487,24 @@ func (s *Server) StatsMap() map[string]string {
 	return m
 }
 
-// connReader counts bytes into the server's stats.
+// connReader counts bytes into the server's stats and enforces the idle
+// timeout: the read deadline is re-armed before every Read, so a silent or
+// half-open client times out and is reclaimed while any live traffic keeps
+// the connection open.
 type connReader struct {
-	c net.Conn
-	s *Server
+	c       net.Conn
+	s       *Server
+	timeout time.Duration
 }
 
-func newConnReader(c net.Conn, s *Server) *connReader { return &connReader{c: c, s: s} }
+func newConnReader(c net.Conn, s *Server) *connReader {
+	return &connReader{c: c, s: s, timeout: s.cfg.IdleTimeout}
+}
 
 func (r *connReader) Read(p []byte) (int, error) {
+	if r.timeout > 0 {
+		r.c.SetReadDeadline(time.Now().Add(r.timeout))
+	}
 	n, err := r.c.Read(p)
 	if n > 0 {
 		r.s.bytesRead.Add(uint64(n))

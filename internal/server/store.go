@@ -2,10 +2,12 @@ package server
 
 import (
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	ascylib "repro"
+	"repro/internal/pad"
 	"repro/internal/ssmem"
 )
 
@@ -52,58 +54,92 @@ const (
 
 // Store provides memcached item semantics — flags, unique CAS tokens, lazy
 // expiry, and atomic arithmetic — over any registered algorithm, through
-// ascylib.StringMap. Every mutation is a single StringMap.UpdateBytes, so
-// the store's atomicity is exactly the facade's: in-place and atomic
-// against everything on structures with native Update (CLHT-LB), serialized
-// against other mutations elsewhere. Keys arrive as []byte straight from
-// the wire and are materialized as strings only when a fresh entry is
-// inserted.
+// ascylib.ShardedStringMap. Every mutation is a single UpdateBytes, so the
+// store's atomicity is exactly the facade's: in-place and atomic against
+// everything on structures with native Update (CLHT-LB), serialized against
+// other mutations elsewhere. Keys arrive as []byte straight from the wire
+// and are materialized as strings only when a fresh entry is inserted.
+//
+// Sharding: the keyspace is hash-partitioned across Shards independent
+// structure instances, each with its own value-block pool and its own
+// expired-item reaper — so a list or tree backend stops serializing every
+// request on one hot structure. A Pin opens only the epochs of the shards a
+// request actually touches ("pin only the shard you touch"): a single-key
+// request costs exactly one epoch bracket regardless of the shard count,
+// and a multi-get pays one per distinct shard it reads.
 //
 // Memory discipline (ASCY4 on the serving path): value blocks are copied
-// into an SSMEM buffer pool on store and freed back to it when a mutation
-// retires them; a freed block is reused only after every pinned reader has
-// unpinned, so a get can hand its Data to the response writer without
-// copying. Callers bracket work with Pin/Unpin — one pin per request in
-// the server's loop.
+// into the touched shard's SSMEM buffer pool on store and freed back to it
+// when a mutation retires them; a freed block is reused only after every
+// reader pinned into that shard has unpinned, so a get can hand its Data to
+// the response writer without copying. Callers bracket work with Pin/Unpin
+// — one pin per request in the server's loop.
 //
 // Expiry is lazy, as in memcached: expired items are invisible to reads
 // and treated as absent by mutations, and are physically removed when a
 // mutation next touches their key. Reads also reap: a Get that observes a
-// dead item removes it opportunistically (bounded to one reaper at a time,
-// never blocking the read), so read-heavy workloads cannot accumulate
-// corpses.
+// dead item removes it opportunistically (bounded to one reaper per shard
+// at a time, never blocking the read), so read-heavy workloads cannot
+// accumulate corpses.
 type Store struct {
-	sm   *ascylib.StringMap[Item]
-	bufs *ssmem.BufPool // nil: value pooling off (blocks go to the Go GC)
+	sm   *ascylib.ShardedStringMap[Item]
+	bufs []*ssmem.BufPool // per shard; nil slice: value pooling off
+	pins sync.Pool        // *pinFrame, recycled so Pin() is allocation-free
 	cas  atomic.Uint64
 	now  func() int64
 	algo string
 	// reaping bounds opportunistic expired-item removal to one goroutine
-	// at a time; readers that lose the flag skip, never wait.
-	reaping atomic.Bool
+	// per shard at a time; readers that lose the flag skip, never wait.
+	// Padded: the flags are written on the read path of distinct shards.
+	reaping []reapFlag
 	// flush_all bookkeeping, the analog of memcached's oldest_live rule
 	// with CAS tokens as the store-order clock (tokens are unique and
-	// monotonic, so "existing at flush time" is exact even within one
-	// wall-clock second): at flushAt (unix seconds; 0 = no flush), every
-	// item whose CAS token is <= flushCAS dies.
+	// monotonic store-wide, so "existing at flush time" is exact even
+	// within one wall-clock second and across shards): at flushAt (unix
+	// seconds; 0 = no flush), every item whose CAS token is <= flushCAS
+	// dies.
 	flushAt  atomic.Int64
 	flushCAS atomic.Uint64
 }
 
-// NewStore builds a store on the named algorithm. capacity sizes the hash
-// tables (<= 0 picks a service-appropriate default of 2^16 buckets).
-// poolValues enables SSMEM recycling of value blocks.
-func NewStore(algo string, capacity int, poolValues bool) (*Store, error) {
+// reapFlag is a cache-line-isolated per-shard reaper bound.
+type reapFlag struct {
+	flag atomic.Bool
+	_    [pad.CacheLineSize - 1]byte
+}
+
+// NewStore builds a store on the named algorithm. capacity sizes the backing
+// structures in total across shards (<= 0 picks a service-appropriate
+// default of 2^16 hash-table buckets). poolValues enables SSMEM recycling of
+// value blocks. shards is the keyspace partition count (< 1 means 1).
+func NewStore(algo string, capacity int, poolValues bool, shards int) (*Store, error) {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	sm, err := ascylib.NewStringMap[Item](algo, ascylib.Capacity(capacity))
+	if shards < 1 {
+		shards = 1
+	}
+	sm, err := ascylib.NewShardedStringMap[Item](algo, shards, ascylib.Capacity(capacity))
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{sm: sm, now: func() int64 { return time.Now().Unix() }, algo: algo}
+	s := &Store{
+		sm:      sm,
+		now:     func() int64 { return time.Now().Unix() },
+		algo:    algo,
+		reaping: make([]reapFlag, shards),
+	}
 	if poolValues {
-		s.bufs = ssmem.NewBufPool(0)
+		s.bufs = make([]*ssmem.BufPool, shards)
+		for i := range s.bufs {
+			s.bufs[i] = ssmem.NewBufPool(0)
+		}
+	}
+	s.pins.New = func() any {
+		return &pinFrame{
+			as:      make([]*ssmem.BufAllocator, shards),
+			touched: make([]int, 0, shards),
+		}
 	}
 	return s, nil
 }
@@ -111,22 +147,36 @@ func NewStore(algo string, capacity int, poolValues bool) (*Store, error) {
 // Algo returns the backing algorithm's registry name.
 func (s *Store) Algo() string { return s.algo }
 
-// BufStats returns the value-block pool counters (zero when pooling is
-// off).
+// Shards returns the keyspace partition count.
+func (s *Store) Shards() int { return s.sm.NumShards() }
+
+// BufStats returns the value-block pool counters summed across shards (zero
+// when pooling is off).
 func (s *Store) BufStats() ssmem.Stats {
-	if s.bufs == nil {
-		return ssmem.Stats{}
+	var agg ssmem.Stats
+	for _, p := range s.bufs {
+		agg.Add(p.Stats())
 	}
-	return s.bufs.Stats()
+	return agg
 }
 
-// Pin leases the calling goroutine into the store's epoch: Item.Data
-// returned by Get stays unrecycled until Unpin. Pins are cheap (a pool get
-// and one atomic increment) and must not be held across blocking waits
-// longer than a request's lifetime.
+// pinFrame carries one Pin's per-shard allocator leases; frames are pooled
+// so the request loop never allocates one. touched lists the shards holding
+// a lease, so Unpin's cost scales with the shards a request used, not with
+// the store's shard count.
+type pinFrame struct {
+	as      []*ssmem.BufAllocator // indexed by shard; nil until the shard is touched
+	touched []int
+}
+
+// Pin leases the calling goroutine into the store's epochs, shard by shard
+// as they are touched: Item.Data returned by Get stays unrecycled until
+// Unpin. Pins are cheap (a pooled frame, plus a pool get and one atomic
+// increment per distinct shard touched) and must not be held across
+// blocking waits longer than a request's lifetime.
 type Pin struct {
 	s *Store
-	a *ssmem.BufAllocator
+	f *pinFrame
 }
 
 // Pin opens an epoch lease. The zero Pin is valid and inert (for a store
@@ -135,22 +185,49 @@ func (s *Store) Pin() Pin {
 	if s.bufs == nil {
 		return Pin{s: s}
 	}
-	a := s.bufs.Get()
-	a.OpStart()
-	return Pin{s: s, a: a}
+	return Pin{s: s, f: s.pins.Get().(*pinFrame)}
 }
 
-// Unpin closes the lease.
+// Unpin closes the lease: every shard epoch the pin opened ends, and the
+// leased allocators and the frame go back to their pools.
 func (p Pin) Unpin() {
-	if p.a != nil {
-		p.a.OpEnd()
-		p.s.bufs.Put(p.a)
+	if p.f == nil {
+		return
 	}
+	for _, sh := range p.f.touched {
+		a := p.f.as[sh]
+		a.OpEnd()
+		p.s.bufs[sh].Put(a)
+		p.f.as[sh] = nil
+	}
+	p.f.touched = p.f.touched[:0]
+	p.s.pins.Put(p.f)
 }
 
-// alloc copies data into a (pooled, when enabled) block.
-func (p Pin) alloc(data []byte) []byte {
-	if p.a == nil {
+// enter opens shard sh's epoch for this pin (idempotent, no-op without
+// pooling) and returns its allocator. Every store operation calls it before
+// touching the shard: the open epoch is what keeps an Item.Data block —
+// including one read inside a speculative update callback — from being
+// recycled under the request.
+func (p Pin) enter(sh int) *ssmem.BufAllocator {
+	if p.f == nil {
+		return nil
+	}
+	if a := p.f.as[sh]; a != nil {
+		return a
+	}
+	a := p.s.bufs[sh].Get()
+	a.OpStart()
+	p.f.as[sh] = a
+	p.f.touched = append(p.f.touched, sh)
+	return a
+}
+
+// alloc copies data into a block from shard sh's pool (plain copy without
+// pooling).
+func (p Pin) alloc(sh int, data []byte) []byte {
+	a := p.enter(sh)
+	if a == nil {
 		if len(data) == 0 {
 			return []byte{}
 		}
@@ -158,17 +235,18 @@ func (p Pin) alloc(data []byte) []byte {
 		copy(out, data)
 		return out
 	}
-	b := p.a.Alloc(len(data))
+	b := a.Alloc(len(data))
 	copy(b, data)
 	return b
 }
 
-// free returns a retired block to the pool (no-op without pooling, or for
-// nil blocks).
-func (p Pin) free(b []byte) {
-	if p.a != nil && b != nil {
-		p.a.Free(b)
+// free returns a retired block to shard sh's pool (no-op without pooling,
+// or for nil blocks).
+func (p Pin) free(sh int, b []byte) {
+	if p.f == nil || b == nil {
+		return
 	}
+	p.enter(sh).Free(b)
 }
 
 // absExpiry converts a protocol exptime to an absolute unix time: 0 never
@@ -188,14 +266,16 @@ func (s *Store) absExpiry(exptime int64) int64 {
 	}
 }
 
-// nextCAS issues a fresh token. Tokens are unique per store and never 0.
+// nextCAS issues a fresh token. Tokens are unique per store (across every
+// shard) and never 0.
 func (s *Store) nextCAS() uint64 { return s.cas.Add(1) }
 
-// newItem builds a fresh item whose Data is an owned (pooled) copy of data.
-func (s *Store) newItem(p Pin, flags uint32, exptime int64, data []byte) Item {
+// newItem builds a fresh item whose Data is an owned copy of data in shard
+// sh's pool.
+func (s *Store) newItem(p Pin, sh int, flags uint32, exptime int64, data []byte) Item {
 	return Item{
 		Flags:    flags,
-		Data:     p.alloc(data),
+		Data:     p.alloc(sh, data),
 		CAS:      s.nextCAS(),
 		ExpireAt: s.absExpiry(exptime),
 	}
@@ -216,28 +296,34 @@ func (s *Store) live(it Item, now int64) bool {
 // Get returns the live item under key. The Data block is valid while p is
 // pinned. A dead item observed here is reaped opportunistically.
 func (s *Store) Get(p Pin, key []byte) (Item, bool) {
-	it, ok := s.sm.GetBytes(key)
+	sh, h := s.sm.RouteBytes(key)
+	p.enter(sh)
+	it, ok := s.sm.GetBytesHashed(sh, h, key)
 	if !ok {
 		return Item{}, false
 	}
 	if s.live(it, s.now()) {
 		return it, true
 	}
-	s.reapDead(p, key, it.CAS)
+	s.reapDead(p, sh, h, key, it.CAS)
 	return Item{}, false
 }
 
 // reapDead removes the corpse under key if it still carries token cas and
-// is still dead — bounded to one reaper at a time so a stampede of readers
-// on a hot expired key cannot pile onto the mutation path, and non-blocking
-// for everyone who loses the flag.
-func (s *Store) reapDead(p Pin, key []byte, cas uint64) {
-	if !s.reaping.CompareAndSwap(false, true) {
+// is still dead — bounded to one reaper per shard at a time so a stampede
+// of readers on a hot expired key cannot pile onto the mutation path, and
+// non-blocking for everyone who loses the flag. The flag clear is deferred:
+// a panic on the reap path (the facade's value-arena exhaustion panic
+// surfaces through UpdateBytes, and an injected clock can throw too) must
+// not leave the flag stuck and permanently disable reaping for the shard.
+func (s *Store) reapDead(p Pin, sh int, h uint64, key []byte, cas uint64) {
+	if !s.reaping[sh].flag.CompareAndSwap(false, true) {
 		return
 	}
+	defer s.reaping[sh].flag.Store(false)
 	now := s.now()
 	var retired []byte
-	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+	s.sm.UpdateBytesHashed(sh, h, key, func(old Item, present bool) (Item, bool) {
 		retired = nil
 		if !present {
 			return old, false
@@ -248,32 +334,33 @@ func (s *Store) reapDead(p Pin, key []byte, cas uint64) {
 		retired = old.Data
 		return old, false
 	})
-	s.reaping.Store(false)
-	p.free(retired)
+	p.free(sh, retired)
 }
 
 // Set unconditionally stores the value and returns its CAS token.
 func (s *Store) Set(p Pin, key []byte, flags uint32, exptime int64, data []byte) uint64 {
-	it := s.newItem(p, flags, exptime, data)
+	sh, h := s.sm.RouteBytes(key)
+	it := s.newItem(p, sh, flags, exptime, data)
 	var retired []byte
-	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+	s.sm.UpdateBytesHashed(sh, h, key, func(old Item, present bool) (Item, bool) {
 		retired = nil
 		if present {
 			retired = old.Data
 		}
 		return it, true
 	})
-	p.free(retired)
+	p.free(sh, retired)
 	return it.CAS
 }
 
 // Add stores the value only if the key holds no live item.
 func (s *Store) Add(p Pin, key []byte, flags uint32, exptime int64, data []byte) bool {
+	sh, h := s.sm.RouteBytes(key)
 	now := s.now()
-	it := s.newItem(p, flags, exptime, data)
+	it := s.newItem(p, sh, flags, exptime, data)
 	stored := false
 	var retired []byte
-	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+	s.sm.UpdateBytesHashed(sh, h, key, func(old Item, present bool) (Item, bool) {
 		retired = nil
 		if present && s.live(old, now) {
 			stored = false
@@ -286,20 +373,21 @@ func (s *Store) Add(p Pin, key []byte, flags uint32, exptime int64, data []byte)
 		return it, true
 	})
 	if stored {
-		p.free(retired)
+		p.free(sh, retired)
 	} else {
-		p.free(it.Data) // never published
+		p.free(sh, it.Data) // never published
 	}
 	return stored
 }
 
 // Replace stores the value only if the key holds a live item.
 func (s *Store) Replace(p Pin, key []byte, flags uint32, exptime int64, data []byte) bool {
+	sh, h := s.sm.RouteBytes(key)
 	now := s.now()
-	it := s.newItem(p, flags, exptime, data)
+	it := s.newItem(p, sh, flags, exptime, data)
 	stored := false
 	var retired []byte
-	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+	s.sm.UpdateBytesHashed(sh, h, key, func(old Item, present bool) (Item, bool) {
 		retired = nil
 		if !present {
 			stored = false
@@ -313,9 +401,9 @@ func (s *Store) Replace(p Pin, key []byte, flags uint32, exptime int64, data []b
 		stored = true
 		return it, true
 	})
-	p.free(retired)
+	p.free(sh, retired)
 	if !stored {
-		p.free(it.Data) // never published
+		p.free(sh, it.Data) // never published
 	}
 	return stored
 }
@@ -323,11 +411,12 @@ func (s *Store) Replace(p Pin, key []byte, flags uint32, exptime int64, data []b
 // CompareAndSwap stores the value only if the key's live item still carries
 // the token casid.
 func (s *Store) CompareAndSwap(p Pin, key []byte, flags uint32, exptime int64, data []byte, casid uint64) CasStatus {
+	sh, h := s.sm.RouteBytes(key)
 	now := s.now()
-	it := s.newItem(p, flags, exptime, data)
+	it := s.newItem(p, sh, flags, exptime, data)
 	status := CasNotFound
 	var retired []byte
-	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+	s.sm.UpdateBytesHashed(sh, h, key, func(old Item, present bool) (Item, bool) {
 		retired = nil
 		if !present {
 			status = CasNotFound
@@ -346,19 +435,21 @@ func (s *Store) CompareAndSwap(p Pin, key []byte, flags uint32, exptime int64, d
 		retired = old.Data
 		return it, true
 	})
-	p.free(retired)
+	p.free(sh, retired)
 	if status != CasStored {
-		p.free(it.Data) // never published
+		p.free(sh, it.Data) // never published
 	}
 	return status
 }
 
 // Delete removes the key's live item and reports whether one was removed.
 func (s *Store) Delete(p Pin, key []byte) bool {
+	sh, h := s.sm.RouteBytes(key)
+	p.enter(sh)
 	now := s.now()
 	deleted := false
 	var retired []byte
-	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+	s.sm.UpdateBytesHashed(sh, h, key, func(old Item, present bool) (Item, bool) {
 		retired = nil
 		if present {
 			retired = old.Data
@@ -366,7 +457,7 @@ func (s *Store) Delete(p Pin, key []byte) bool {
 		deleted = present && s.live(old, now)
 		return old, false
 	})
-	p.free(retired)
+	p.free(sh, retired)
 	return deleted
 }
 
@@ -374,13 +465,15 @@ func (s *Store) Delete(p Pin, key []byte) bool {
 // wraps at 2^64, decr floors at 0, as memcached specifies) and returns the
 // new value. The stored value must be an ASCII decimal uint64.
 func (s *Store) IncrDecr(p Pin, key []byte, delta uint64, incr bool) (uint64, IncrStatus) {
+	sh, h := s.sm.RouteBytes(key)
+	p.enter(sh)
 	now := s.now()
 	var newVal uint64
 	status := IncrNotFound
 	var retired []byte
 	var staged []byte // pooled block reused across speculative invocations
 	var digits [20]byte
-	s.sm.UpdateBytes(key, func(old Item, present bool) (Item, bool) {
+	s.sm.UpdateBytesHashed(sh, h, key, func(old Item, present bool) (Item, bool) {
 		retired = nil
 		if !present {
 			status = IncrNotFound
@@ -406,7 +499,7 @@ func (s *Store) IncrDecr(p Pin, key []byte, delta uint64, incr bool) (uint64, In
 		status = IncrOK
 		out := strconv.AppendUint(digits[:0], newVal, 10)
 		if cap(staged) < len(out) {
-			staged = p.alloc(out)
+			staged = p.alloc(sh, out)
 		} else {
 			staged = staged[:len(out)]
 			copy(staged, out)
@@ -417,20 +510,20 @@ func (s *Store) IncrDecr(p Pin, key []byte, delta uint64, incr bool) (uint64, In
 		next.CAS = s.nextCAS()
 		return next, true
 	})
-	if status == IncrOK {
-		p.free(retired)
-	} else {
-		p.free(retired)
-		p.free(staged) // never published
+	p.free(sh, retired)
+	if status != IncrOK {
+		p.free(sh, staged) // never published
 	}
 	return newVal, status
 }
 
 // FlushAll invalidates every item stored up to now, after delay seconds
-// (0 = immediately). Like memcached's oldest_live rule, the epoch applies
-// lazily through liveness checks — items stored after the call stay live —
-// and an immediate flush additionally sweeps the structure so the memory
-// is released. A later FlushAll supersedes a pending one.
+// (0 = immediately; negative is clamped to 0 — the wire layer rejects
+// negative delays before they get here). Like memcached's oldest_live rule,
+// the epoch applies lazily through liveness checks — items stored after the
+// call stay live — and an immediate flush additionally sweeps the
+// structures, shard by shard, so the memory is released. A later FlushAll
+// supersedes a pending one.
 func (s *Store) FlushAll(delay int64) {
 	now := s.now()
 	if delay < 0 {
@@ -441,12 +534,24 @@ func (s *Store) FlushAll(delay int64) {
 	if delay > 0 {
 		return
 	}
-	// Physically collect what the epoch just killed. Not atomic: items
-	// stored while the sweep runs are (correctly) kept.
+	// Physically collect what the epoch just killed, one shard at a time,
+	// under one pin per shard — holding earlier shards' epochs open across
+	// the whole sweep would stall their block reclamation, exactly the
+	// cross-shard coupling the per-shard pools exist to avoid. Not atomic:
+	// items stored while the sweep runs are (correctly) kept.
+	for sh := 0; sh < s.sm.NumShards(); sh++ {
+		s.flushShard(sh, now)
+	}
+}
+
+// flushShard collects shard sh's epoch-killed items under a shard-local pin.
+func (s *Store) flushShard(sh int, now int64) {
 	p := s.Pin()
 	defer p.Unpin()
+	p.enter(sh)
+	shard := s.sm.Shard(sh)
 	var keys []string
-	s.sm.ForEach(func(k string, it Item) bool {
+	shard.ForEach(func(k string, it Item) bool {
 		if !s.live(it, now) {
 			keys = append(keys, k)
 		}
@@ -454,7 +559,7 @@ func (s *Store) FlushAll(delay int64) {
 	})
 	for _, k := range keys {
 		var retired []byte
-		s.sm.Update(k, func(old Item, present bool) (Item, bool) {
+		shard.Update(k, func(old Item, present bool) (Item, bool) {
 			retired = nil
 			keep := present && s.live(old, s.now())
 			if present && !keep {
@@ -462,10 +567,10 @@ func (s *Store) FlushAll(delay int64) {
 			}
 			return old, keep
 		})
-		p.free(retired)
+		p.free(sh, retired)
 	}
 }
 
-// Items counts stored entries (including not-yet-collected expired ones);
-// linear time, quiescent use.
+// Items counts stored entries (including not-yet-collected expired ones)
+// across all shards; linear time, quiescent use.
 func (s *Store) Items() int { return s.sm.Len() }

@@ -135,7 +135,9 @@ func (s Stats) ReuseRate() float64 {
 	return float64(s.Reused) / float64(s.Allocs)
 }
 
-func (s *Stats) add(o Stats) {
+// Add accumulates o into s field by field — the one summation the
+// shard-aggregating callers (sharded sets, sharded stores) share.
+func (s *Stats) Add(o Stats) {
 	s.Allocs += o.Allocs
 	s.Frees += o.Frees
 	s.Reused += o.Reused
@@ -355,7 +357,7 @@ func (p *Pool[T]) Stats() Stats {
 	p.mu.Unlock()
 	var s Stats
 	for _, a := range all {
-		s.add(a.Stats())
+		s.Add(a.Stats())
 	}
 	return s
 }
@@ -593,7 +595,7 @@ func (p *BufPool) Stats() Stats {
 	p.mu.Unlock()
 	var s Stats
 	for _, a := range all {
-		s.add(a.Stats())
+		s.Add(a.Stats())
 	}
 	return s
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/ssmem"
 )
 
 // IntKey is the key constraint of Map: any integer type. The encoding onto
@@ -41,6 +42,7 @@ type IntKey interface {
 // fallback Updates are atomic against each other through this Map.
 type Map[K IntKey, V any] struct {
 	set    core.Extended
+	raw    core.Set // the unwrapped structure (recycling stats, shard probing)
 	ord    core.Ordered
 	native bool
 	signed bool
@@ -59,6 +61,7 @@ func NewMap[K IntKey, V any](algo string, opts ...Option) (*Map[K, V], error) {
 	var zk K
 	m := &Map[K, V]{
 		set:    core.Extend(s),
+		raw:    s,
 		ord:    ord,
 		native: native,
 		signed: zk-1 < zk,
@@ -292,8 +295,23 @@ func (m *Map[K, V]) ForEach(yield func(K, V) bool) {
 }
 
 // NativeOrder reports whether the backing structure enumerates in key order
-// itself; when false, Range/Min/Max snapshot and sort (O(n log n)).
+// itself; when false, Range/Min/Max snapshot and sort (O(n log n)). A map
+// built with Sharded(n > 1) is never natively ordered.
 func (m *Map[K, V]) NativeOrder() bool { return m.native }
+
+// NumShards reports how many independent structure instances back the map:
+// n for a map built with Sharded(n > 1), otherwise 1.
+func (m *Map[K, V]) NumShards() int { return core.NumShards(m.raw) }
+
+// RecycleStats returns the backing structure's SSMEM allocator counters —
+// summed across shards when the map is sharded — and a zero Stats when the
+// structure was built without recycling (or does not support it).
+func (m *Map[K, V]) RecycleStats() ssmem.Stats {
+	if r, ok := m.raw.(core.Recycler); ok {
+		return r.RecycleStats()
+	}
+	return ssmem.Stats{}
+}
 
 // Range yields the entries with keys in [lo, hi] in ascending key order and
 // returns how many were yielded.

@@ -1,0 +1,221 @@
+package ascylib
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/ssmem"
+)
+
+// ShardedStringMap hash-partitions a string keyspace across S fully
+// independent StringMap instances — the sharding layer the server runs on.
+// Where Sharded(n) on Map/StringMap shards the backing structure under one
+// facade, ShardedStringMap shards the facade itself: every shard is a
+// complete StringMap with its own backing structure, its own value arena,
+// and (with RecycleNodes) its own SSMEM recycling domain, so shards share no
+// synchronization whatsoever. The point, per the paper's Figure 2 story:
+// hash tables scale because they are already sharded; this applies the same
+// decomposition one level up, so the list, skip-list, and BST families can
+// serve heavy multi-core traffic too.
+//
+// Routing scrambles the same FNV-1a hash StringMap keys the core with
+// through an xorshift-multiply finalizer and range-reduces its top bits
+// (multiply-shift). The finalizer matters: FNV's high-order bits are poorly
+// mixed for short patterned keys (a raw top-bit split leaves shards starved),
+// and the scrambled route is decorrelated from the low hash bits the
+// power-of-two hash tables mask for their bucket index — so sharding a CLHT
+// never collapses a shard's keys onto a fraction of its buckets.
+//
+// What aggregates and what does not: per-key operations route to exactly one
+// shard and keep StringMap's semantics unchanged; Len and RecycleStats sum
+// across shards; ForEach enumerates shard by shard (no cross-shard
+// snapshot). There is no Range — hashing already destroyed order at the
+// StringMap layer, and sharding does not change that.
+type ShardedStringMap[V any] struct {
+	shards []*StringMap[V]
+}
+
+// NewShardedStringMap builds nshards independent StringMaps on the named
+// algorithm. nshards < 1 is treated as 1; counts above core.MaxShards are
+// rejected (same bound as the Sharded option — a typo must not allocate
+// millions of structures). opts apply to every shard, except that Capacity
+// is interpreted as a total and split evenly (floored at 1 bucket per
+// shard), and any Sharded option is overridden — the shards of a
+// ShardedStringMap are always flat single instances.
+func NewShardedStringMap[V any](algo string, nshards int, opts ...Option) (*ShardedStringMap[V], error) {
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > core.MaxShards {
+		return nil, fmt.Errorf("ascylib: shard count %d exceeds the maximum of %d", nshards, core.MaxShards)
+	}
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	per := cfg.Buckets / nshards
+	if per < 1 {
+		per = 1
+	}
+	shardOpts := make([]Option, 0, len(opts)+2)
+	shardOpts = append(shardOpts, opts...)
+	shardOpts = append(shardOpts, Capacity(per), Sharded(1))
+	s := &ShardedStringMap[V]{shards: make([]*StringMap[V], nshards)}
+	for i := range s.shards {
+		m, err := NewStringMap[V](algo, shardOpts...)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = m
+	}
+	return s, nil
+}
+
+// MustNewShardedStringMap is NewShardedStringMap, panicking on error.
+func MustNewShardedStringMap[V any](algo string, nshards int, opts ...Option) *ShardedStringMap[V] {
+	s, err := NewShardedStringMap[V](algo, nshards, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *ShardedStringMap[V]) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i — for callers (like the server's per-shard flush
+// sweep) that iterate the shards directly. Mutating through a shard is
+// legal: it is the same instance the router targets.
+func (s *ShardedStringMap[V]) Shard(i int) *StringMap[V] { return s.shards[i] }
+
+// shardFromHash range-reduces a key hash onto the shard index: an
+// xorshift-multiply finalizer (FNV's raw top bits are too weak to route on;
+// see the type comment), then multiply-shift over the shard count.
+func (s *ShardedStringMap[V]) shardFromHash(h uint64) int {
+	h ^= h >> 33
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	hi, _ := bits.Mul64(h, uint64(len(s.shards)))
+	return int(hi)
+}
+
+// ShardOf returns the shard index key k routes to.
+func (s *ShardedStringMap[V]) ShardOf(k string) int { return s.shardFromHash(strHash(k)) }
+
+// ShardOfBytes is ShardOf for a []byte key.
+func (s *ShardedStringMap[V]) ShardOfBytes(k []byte) int { return s.shardFromHash(strHash(k)) }
+
+// RouteBytes returns the shard index for k together with the key hash that
+// produced it, for callers that need the shard before the operation (the
+// server routes per-shard epoch pins this way) without paying a second hash
+// or route inside the operation itself: pass both back to GetBytesHashed or
+// UpdateBytesHashed.
+func (s *ShardedStringMap[V]) RouteBytes(k []byte) (shard int, hash uint64) {
+	h := strHash(k)
+	return s.shardFromHash(h), h
+}
+
+// GetBytesHashed is GetBytes with the route precomputed by RouteBytes; both
+// arguments must come from one RouteBytes call over the same key.
+func (s *ShardedStringMap[V]) GetBytesHashed(shard int, hash uint64, k []byte) (V, bool) {
+	return getChain(s.shards[shard], hash, k)
+}
+
+// UpdateBytesHashed is UpdateBytes with the route precomputed by
+// RouteBytes; shard and hash must come from one RouteBytes call over the
+// same key.
+func (s *ShardedStringMap[V]) UpdateBytesHashed(shard int, hash uint64, k []byte, f func(old V, present bool) (V, bool)) (V, bool) {
+	return updateChain(s.shards[shard], hash, k, f)
+}
+
+// Get returns the value stored under k.
+func (s *ShardedStringMap[V]) Get(k string) (V, bool) {
+	h := strHash(k)
+	return getChain(s.shards[s.shardFromHash(h)], h, k)
+}
+
+// GetBytes is Get for a []byte key; like StringMap.GetBytes it allocates
+// nothing — one hash computation routes and looks up.
+func (s *ShardedStringMap[V]) GetBytes(k []byte) (V, bool) {
+	h := strHash(k)
+	return getChain(s.shards[s.shardFromHash(h)], h, k)
+}
+
+// Update atomically transforms the entry for k in its shard; the contract
+// is StringMap.Update's.
+func (s *ShardedStringMap[V]) Update(k string, f func(old V, present bool) (V, bool)) (V, bool) {
+	h := strHash(k)
+	return updateChain(s.shards[s.shardFromHash(h)], h, k, f)
+}
+
+// UpdateBytes is Update for a []byte key.
+func (s *ShardedStringMap[V]) UpdateBytes(k []byte, f func(old V, present bool) (V, bool)) (V, bool) {
+	h := strHash(k)
+	return updateChain(s.shards[s.shardFromHash(h)], h, k, f)
+}
+
+// Put stores v under k, replacing any existing value, and reports whether
+// the key was fresh. Like every per-key operation here it hashes once,
+// routing and operating on the same hash through the chain helpers shared
+// with StringMap.
+func (s *ShardedStringMap[V]) Put(k string, v V) bool {
+	h := strHash(k)
+	return putChain(s.shards[s.shardFromHash(h)], h, k, v)
+}
+
+// Insert adds (k, v) if k is absent and reports whether it did.
+func (s *ShardedStringMap[V]) Insert(k string, v V) bool {
+	h := strHash(k)
+	return insertChain(s.shards[s.shardFromHash(h)], h, k, v)
+}
+
+// GetOrInsert returns the existing value for k, or stores and returns v.
+func (s *ShardedStringMap[V]) GetOrInsert(k string, v V) (V, bool) {
+	h := strHash(k)
+	return getOrInsertChain(s.shards[s.shardFromHash(h)], h, k, v)
+}
+
+// Delete removes k, returning the removed value.
+func (s *ShardedStringMap[V]) Delete(k string) (V, bool) {
+	h := strHash(k)
+	return deleteChain(s.shards[s.shardFromHash(h)], h, k)
+}
+
+// Len sums the shards' entry counts. Linear time, quiescent use.
+func (s *ShardedStringMap[V]) Len() int {
+	n := 0
+	for _, m := range s.shards {
+		n += m.Len()
+	}
+	return n
+}
+
+// ForEach enumerates entries shard by shard, in no particular order, until
+// yield returns false. Entries deleted concurrently may be skipped; there is
+// no cross-shard snapshot.
+func (s *ShardedStringMap[V]) ForEach(yield func(k string, v V) bool) {
+	for _, m := range s.shards {
+		stopped := false
+		m.ForEach(func(k string, v V) bool {
+			if !yield(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// RecycleStats sums the SSMEM allocator counters of every shard's backing
+// structure (zero without recycling).
+func (s *ShardedStringMap[V]) RecycleStats() ssmem.Stats {
+	var agg ssmem.Stats
+	for _, m := range s.shards {
+		agg.Add(m.RecycleStats())
+	}
+	return agg
+}

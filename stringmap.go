@@ -1,6 +1,10 @@
 package ascylib
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/ssmem"
+)
 
 // StringMap is the string-keyed companion of Map: a concurrent map from
 // string keys to an arbitrary value type V, backed by any registered
@@ -66,32 +70,39 @@ func strHash[K ~string | ~[]byte](k K) uint64 {
 
 func (m *StringMap[V]) hash(k string) uint64 { return strHash(k) }
 
-// eqStringBytes compares a stored string key with a []byte key without
+// eqKey compares a stored string key with a string or []byte key without
 // allocating (the explicit loop sidesteps any conversion).
-func eqStringBytes(s string, b []byte) bool {
-	if len(s) != len(b) {
+func eqKey[K ~string | ~[]byte](s string, k K) bool {
+	if len(s) != len(k) {
 		return false
 	}
 	for i := 0; i < len(s); i++ {
-		if s[i] != b[i] {
+		if s[i] != k[i] {
 			return false
 		}
 	}
 	return true
 }
 
-// Get returns the value stored under k.
-func (m *StringMap[V]) Get(k string) (V, bool) {
-	chain, ok := m.m.Get(m.hash(k))
+// getChain is the shared read path: look up the collision chain under the
+// precomputed hash h and scan it for k. Split from Get/GetBytes so the
+// sharded facade can route and look up with a single hash computation.
+func getChain[K ~string | ~[]byte, V any](m *StringMap[V], h uint64, k K) (V, bool) {
+	chain, ok := m.m.Get(h)
 	if ok {
 		for i := range chain {
-			if chain[i].key == k {
+			if eqKey(chain[i].key, k) {
 				return chain[i].val, true
 			}
 		}
 	}
 	var zero V
 	return zero, false
+}
+
+// Get returns the value stored under k.
+func (m *StringMap[V]) Get(k string) (V, bool) {
+	return getChain(m, strHash(k), k)
 }
 
 // GetBytes is Get for a []byte key: the hash runs over the slice and chain
@@ -99,16 +110,7 @@ func (m *StringMap[V]) Get(k string) (V, bool) {
 // never materializes a string. It is the wire-facing fast path (the server
 // keys every get on bytes still sitting in its connection buffer).
 func (m *StringMap[V]) GetBytes(k []byte) (V, bool) {
-	chain, ok := m.m.Get(strHash(k))
-	if ok {
-		for i := range chain {
-			if eqStringBytes(chain[i].key, k) {
-				return chain[i].val, true
-			}
-		}
-	}
-	var zero V
-	return zero, false
+	return getChain(m, strHash(k), k)
 }
 
 // chainUpd carries one updateChain call's mutable state in a single heap
@@ -179,12 +181,12 @@ func (s *chainUpd[K, V]) step(chain []strEntry[V], _ bool) ([]strEntry[V], bool)
 }
 
 // updateChain is the shared read-modify-write over a collision chain,
-// generic over string and []byte keys. The key is converted to a string
-// only when a fresh entry is appended — steady-state mutations of existing
-// keys never materialize one.
-func updateChain[K ~string | ~[]byte, V any](m *StringMap[V], k K, f func(old V, present bool) (V, bool)) (V, bool) {
+// generic over string and []byte keys, under a precomputed hash (see
+// getChain). The key is converted to a string only when a fresh entry is
+// appended — steady-state mutations of existing keys never materialize one.
+func updateChain[K ~string | ~[]byte, V any](m *StringMap[V], h uint64, k K, f func(old V, present bool) (V, bool)) (V, bool) {
 	st := chainUpd[K, V]{k: k, f: f}
-	m.m.Update(strHash(k), st.step)
+	m.m.Update(h, st.step)
 	return st.outV, st.outPresent
 }
 
@@ -196,34 +198,36 @@ func updateChain[K ~string | ~[]byte, V any](m *StringMap[V], k K, f func(old V,
 // back into the map: it may be invoked more than once, and only the last
 // invocation takes effect.
 func (m *StringMap[V]) Update(k string, f func(old V, present bool) (V, bool)) (V, bool) {
-	return updateChain(m, k, f)
+	return updateChain(m, strHash(k), k, f)
 }
 
 // UpdateBytes is Update for a []byte key. The key is copied into a string
 // only if the update inserts a fresh entry; updates and removals of
 // existing keys run allocation-free with respect to the key.
 func (m *StringMap[V]) UpdateBytes(k []byte, f func(old V, present bool) (V, bool)) (V, bool) {
-	return updateChain(m, k, f)
+	return updateChain(m, strHash(k), k, f)
 }
 
-// Put stores v under k, replacing any existing value, and reports whether
-// the key was fresh.
-func (m *StringMap[V]) Put(k string, v V) bool {
+// putChain, insertChain, getOrInsertChain, and deleteChain are the shared
+// bodies of the derived per-key operations, under a precomputed hash — both
+// StringMap and ShardedStringMap (which routes on the same hash first) call
+// them, so the semantics exist exactly once.
+
+func putChain[V any](m *StringMap[V], h uint64, k string, v V) bool {
 	fresh := false
-	m.Update(k, func(_ V, present bool) (V, bool) {
+	updateChain(m, h, k, func(_ V, present bool) (V, bool) {
 		fresh = !present
 		return v, true
 	})
 	return fresh
 }
 
-// Insert adds (k, v) if k is absent and reports whether it did.
-func (m *StringMap[V]) Insert(k string, v V) bool {
-	if _, ok := m.Get(k); ok {
+func insertChain[V any](m *StringMap[V], h uint64, k string, v V) bool {
+	if _, ok := getChain(m, h, k); ok {
 		return false
 	}
 	inserted := false
-	m.Update(k, func(old V, present bool) (V, bool) {
+	updateChain(m, h, k, func(old V, present bool) (V, bool) {
 		if present {
 			inserted = false
 			return old, true
@@ -234,13 +238,12 @@ func (m *StringMap[V]) Insert(k string, v V) bool {
 	return inserted
 }
 
-// GetOrInsert returns the existing value for k, or stores and returns v.
-func (m *StringMap[V]) GetOrInsert(k string, v V) (V, bool) {
-	if got, ok := m.Get(k); ok {
+func getOrInsertChain[V any](m *StringMap[V], h uint64, k string, v V) (V, bool) {
+	if got, ok := getChain(m, h, k); ok {
 		return got, false
 	}
 	got, inserted := v, false
-	m.Update(k, func(old V, present bool) (V, bool) {
+	updateChain(m, h, k, func(old V, present bool) (V, bool) {
 		if present {
 			got, inserted = old, false
 			return old, true
@@ -251,15 +254,35 @@ func (m *StringMap[V]) GetOrInsert(k string, v V) (V, bool) {
 	return got, inserted
 }
 
-// Delete removes k, returning the removed value.
-func (m *StringMap[V]) Delete(k string) (V, bool) {
+func deleteChain[V any](m *StringMap[V], h uint64, k string) (V, bool) {
 	var had bool
 	var got V
-	m.Update(k, func(old V, present bool) (V, bool) {
+	updateChain(m, h, k, func(old V, present bool) (V, bool) {
 		had, got = present, old
 		return old, false
 	})
 	return got, had
+}
+
+// Put stores v under k, replacing any existing value, and reports whether
+// the key was fresh.
+func (m *StringMap[V]) Put(k string, v V) bool {
+	return putChain(m, strHash(k), k, v)
+}
+
+// Insert adds (k, v) if k is absent and reports whether it did.
+func (m *StringMap[V]) Insert(k string, v V) bool {
+	return insertChain(m, strHash(k), k, v)
+}
+
+// GetOrInsert returns the existing value for k, or stores and returns v.
+func (m *StringMap[V]) GetOrInsert(k string, v V) (V, bool) {
+	return getOrInsertChain(m, strHash(k), k, v)
+}
+
+// Delete removes k, returning the removed value.
+func (m *StringMap[V]) Delete(k string) (V, bool) {
+	return deleteChain(m, strHash(k), k)
 }
 
 // Len counts the entries. Like Set.Size: linear time, quiescent use.
@@ -284,3 +307,12 @@ func (m *StringMap[V]) ForEach(yield func(k string, v V) bool) {
 		return true
 	})
 }
+
+// RecycleStats returns the backing structure's SSMEM allocator counters
+// (zero without recycling); see Map.RecycleStats.
+func (m *StringMap[V]) RecycleStats() ssmem.Stats { return m.m.RecycleStats() }
+
+// NumShards reports how many structure instances back the map: n when built
+// with Sharded(n > 1), otherwise 1. (A ShardedStringMap shards the facade
+// itself instead; its shards each report 1 here.)
+func (m *StringMap[V]) NumShards() int { return m.m.NumShards() }
