@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -27,31 +29,48 @@ import (
 // experiment: how far does splitting one hot structure into S cool ones
 // carry each family's server throughput.
 //
+// -pipeline likewise takes a comma-separated list of closed-loop window
+// depths (e.g. -pipeline 1,8,32,64), one run each — the batching
+// experiment: depth 1 is the strict request/response baseline where every
+// command pays its own pin, epoch brackets, clock read, and flush, and
+// deeper windows hand the server ever larger free batches to amortize
+// those over. Each run reports the server-side achieved batch depth from
+// its stats (batch_depth_avg), so the document shows what the server
+// actually got, not just what the client offered.
+//
 // Results go to stdout and, machine-readably, to -out (BENCH_server.json).
+// -cpuprofile/-memprofile capture pprof profiles of the whole process over
+// the driving window (in self-serve mode that includes the server — the
+// point: the next server-side hot spot is findable without editing code).
 func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	var (
-		addr      = fs.String("addr", "", "target server address; empty boots an in-process server")
-		algo      = fs.String("algo", "ht-clht-lb", "self-serve algorithm(s), comma-separated, or \"all\" for the sweep (ignored with -addr)")
-		shardList = fs.String("shards", "1", "comma-separated self-serve shard counts, one run each (ignored with -addr)")
-		conns     = fs.Int("conns", 4, "client connections")
-		pipeline  = fs.Int("pipeline", 8, "pipelined requests in flight per connection")
-		duration  = fs.Duration("duration", 2*time.Second, "measured window per run")
-		keys      = fs.Int("keys", 4096, "hot keyspace size (preloaded; draws span twice this)")
-		valueSize = fs.Int("valuesize", 64, "value size in bytes")
-		update    = fs.Int("update", 10, "update percentage (sets + deletes)")
-		rangePct  = fs.Int("rangepct", 0, "multi-get percentage (the wire analog of range scans)")
-		multiGet  = fs.Int("multiget", 10, "keys per multi-get batch")
-		sample    = fs.Int("sample", 4, "sample the latency of every n-th request")
-		seed      = fs.Uint64("seed", 1, "workload seed")
-		out       = fs.String("out", "BENCH_server.json", "machine-readable output file (empty disables)")
+		addr       = fs.String("addr", "", "target server address; empty boots an in-process server")
+		algo       = fs.String("algo", "ht-clht-lb", "self-serve algorithm(s), comma-separated, or \"all\" for the sweep (ignored with -addr)")
+		shardList  = fs.String("shards", "1", "comma-separated self-serve shard counts, one run each (ignored with -addr)")
+		pipeList   = fs.String("pipeline", "8", "comma-separated pipeline depths (requests in flight per connection), one run each")
+		conns      = fs.Int("conns", 4, "client connections")
+		duration   = fs.Duration("duration", 2*time.Second, "measured window per run")
+		keys       = fs.Int("keys", 4096, "hot keyspace size (preloaded; draws span twice this)")
+		valueSize  = fs.Int("valuesize", 64, "value size in bytes")
+		update     = fs.Int("update", 10, "update percentage (sets + deletes)")
+		rangePct   = fs.Int("rangepct", 0, "multi-get percentage (the wire analog of range scans)")
+		multiGet   = fs.Int("multiget", 10, "keys per multi-get batch")
+		sample     = fs.Int("sample", 4, "sample the latency of every n-th request")
+		seed       = fs.Uint64("seed", 1, "workload seed")
+		out        = fs.String("out", "BENCH_server.json", "machine-readable output file (empty disables)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole loadgen process (incl. the in-process server in self-serve mode) to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile taken after the last run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	pipelines, err := parseIntList("-pipeline", *pipeList)
+	if err != nil {
+		return err
+	}
 	cfg := server.LoadgenConfig{
 		Conns:       *conns,
-		Pipeline:    *pipeline,
 		Duration:    *duration,
 		Keys:        *keys,
 		ValueSize:   *valueSize,
@@ -61,17 +80,45 @@ func runLoadgen(args []string) error {
 		Seed:        *seed,
 	}
 
-	var runs []server.LoadgenResult
-	if *addr != "" {
-		cfg.Addr = *addr
-		res, err := server.RunLoadgen(cfg)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			return err
 		}
-		printLoadgen(res)
-		runs = append(runs, res)
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: memprofile:", err)
+			}
+		}()
+	}
+
+	var runs []server.LoadgenResult
+	if *addr != "" {
+		cfg.Addr = *addr
+		for _, depth := range pipelines {
+			cfg.Pipeline = depth
+			res, err := server.RunLoadgen(cfg)
+			if err != nil {
+				return err
+			}
+			printLoadgen(res)
+			runs = append(runs, res)
+		}
 	} else {
-		shardCounts, err := parseShardList(*shardList)
+		shardCounts, err := parseIntList("-shards", *shardList)
 		if err != nil {
 			return err
 		}
@@ -94,12 +141,15 @@ func runLoadgen(args []string) error {
 		}
 		for _, name := range algos {
 			for _, shards := range shardCounts {
-				res, err := selfServe(name, shards, cfg)
-				if err != nil {
-					return fmt.Errorf("%s (shards=%d): %w", name, shards, err)
+				for _, depth := range pipelines {
+					cfg.Pipeline = depth
+					res, err := selfServe(name, shards, cfg)
+					if err != nil {
+						return fmt.Errorf("%s (shards=%d, pipeline=%d): %w", name, shards, depth, err)
+					}
+					printLoadgen(res)
+					runs = append(runs, res)
 				}
-				printLoadgen(res)
-				runs = append(runs, res)
 			}
 		}
 	}
@@ -112,9 +162,9 @@ func runLoadgen(args []string) error {
 	return nil
 }
 
-// parseShardList parses the -shards flag: a comma-separated list of
-// positive shard counts.
-func parseShardList(s string) ([]int, error) {
+// parseIntList parses a comma-separated list of positive integers (the
+// -shards and -pipeline sweep flags).
+func parseIntList(name, s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -123,7 +173,7 @@ func parseShardList(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad -shards entry %q (want positive integers, e.g. 1,2,4,8)", part)
+			return nil, fmt.Errorf("bad %s entry %q (want positive integers, e.g. 1,2,4,8)", name, part)
 		}
 		out = append(out, n)
 	}
@@ -168,6 +218,9 @@ func printLoadgen(r server.LoadgenResult) {
 		fmt.Printf(", multi-gets: %d (%.1f keys/batch)", r.MGets, float64(r.MGetKeys)/float64(r.MGets))
 	}
 	fmt.Println()
+	if r.BatchDepthAvg > 0 {
+		fmt.Printf("  server batch depth: %.2f avg (achieved, from stats)\n", r.BatchDepthAvg)
+	}
 	if all, ok := r.Latency["all"]; ok && all.N > 0 {
 		j := all.JSON()
 		fmt.Printf("  latency: mean %.0fus, p50 %.0fus, p99 %.0fus (n=%d sampled)\n",

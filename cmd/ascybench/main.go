@@ -211,9 +211,9 @@ func runAdhoc(algo string, initial, update, rangePct int, rangeSpan uint64, thre
 func printMatrix() {
 	fmt.Println("v2 capability matrix (native = implemented in the structure; fallback = generic path in core)")
 	fmt.Println()
-	fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s\n",
-		"algorithm", "class", "safe", "ascy", "ordered", "update", "getorins", "foreach", "range")
-	fmt.Println(strings.Repeat("-", 86))
+	fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s %-9s\n",
+		"algorithm", "class", "safe", "ascy", "ordered", "update", "getorins", "foreach", "range", "batch")
+	fmt.Println(strings.Repeat("-", 96))
 	nf := func(native bool) string {
 		if native {
 			return "native"
@@ -229,15 +229,16 @@ func printMatrix() {
 				}
 				return "-"
 			}
-			fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s\n",
+			fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s %-9s\n",
 				a.Name, a.Class, yn(a.Safe), yn(a.ASCY), yn(a.Ordered),
 				nf(c.NativeUpdate), nf(c.NativeGetOrInsert),
-				nf(c.NativeForEach), nf(c.NativeRange))
+				nf(c.NativeForEach), nf(c.NativeRange), nf(c.NativeSearchBatch))
 		}
 	}
 	fmt.Println()
 	fmt.Println("every algorithm serves the whole surface: Update/GetOrInsert/ForEach via core.Extend,")
-	fmt.Println("Range/Min/Max via core.OrderedOf (sorted families natively, hash tables by snapshot+sort)")
+	fmt.Println("Range/Min/Max via core.OrderedOf (sorted families natively, hash tables by snapshot+sort),")
+	fmt.Println("SearchBatch via core.BatcherOf (recycling/sharded structures amortize natively)")
 }
 
 // describeAlgorithm prints one registry entry in detail.
@@ -267,5 +268,6 @@ func describeAlgorithm(name string) error {
 	fmt.Printf("  getorinsert: %s\n", nf(c.NativeGetOrInsert))
 	fmt.Printf("  foreach:     %s\n", nf(c.NativeForEach))
 	fmt.Printf("  range:       %s\n", nf(c.NativeRange))
+	fmt.Printf("  searchbatch: %s\n", nf(c.NativeSearchBatch))
 	return nil
 }

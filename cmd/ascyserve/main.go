@@ -37,6 +37,7 @@ func main() {
 		shards   = flag.Int("shards", 1, "partition the keyspace across this many independent structure instances")
 		accept   = flag.Int("accept", 0, "sharded-accept workers (0 = GOMAXPROCS, capped at 8)")
 		maxItem  = flag.Int("maxitem", server.DefaultMaxItemSize, "maximum value size in bytes")
+		maxBatch = flag.Int("maxbatch", server.DefaultMaxBatch, "max pipelined requests executed per store pin (1 disables batching)")
 		idle     = flag.Duration("idletimeout", 0, "reclaim connections silent for this long (0 = server default of 5m, negative disables)")
 		addrFile = flag.String("addrfile", "", "write the bound address to this file (for scripts)")
 		quiet    = flag.Bool("quiet", false, "suppress the startup banner and shutdown stats")
@@ -60,6 +61,7 @@ func main() {
 		Shards:        *shards,
 		AcceptWorkers: *accept,
 		MaxItemSize:   *maxItem,
+		MaxBatch:      *maxBatch,
 		IdleTimeout:   *idle,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

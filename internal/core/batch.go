@@ -1,0 +1,119 @@
+// Batched reads: the amortization capability of the v2 surface.
+//
+// The paper's argument (§2, §7) is that a search structure's scaling is
+// limited by the fixed synchronization cost around each operation, not by
+// the search itself. For the SSMEM-recycling structures that fixed cost is
+// the per-operation epoch bracket (allocator lease + OpStart/OpEnd); for a
+// sharded set it is the route. A caller that already holds n keys — a
+// pipelined server batch, a multi-get, an analytical scan — can hand the
+// structure the whole set at once and pay those costs once per batch (or
+// once per shard group) instead of once per key. Batcher is that contract;
+// BatcherOf serves it for every registered algorithm, natively where the
+// implementation amortizes something real and through a serial fallback
+// elsewhere, mirroring how Extend and OrderedOf treat the rest of the v2
+// surface.
+package core
+
+import "sync"
+
+// Batcher is the batched-read capability. A batch is read-only and carries
+// no atomicity across its keys: each lookup is linearizable on its own,
+// exactly as n independent Search calls would be — the batch buys
+// amortization, never a snapshot.
+type Batcher interface {
+	// SearchBatch looks up every keys[i], storing the value in vals[i] and
+	// whether it was found in found[i]. vals and found must each have at
+	// least len(keys) elements; keys may contain duplicates.
+	SearchBatch(keys []Key, vals []Value, found []bool)
+}
+
+// serialSearchBatch is the generic fallback: n independent searches.
+func serialSearchBatch(s Set, keys []Key, vals []Value, found []bool) {
+	for i, k := range keys {
+		vals[i], found[i] = s.Search(k)
+	}
+}
+
+// serialBatcher adapts any Set to Batcher through the fallback.
+type serialBatcher struct{ s Set }
+
+func (b serialBatcher) SearchBatch(keys []Key, vals []Value, found []bool) {
+	serialSearchBatch(b.s, keys, vals, found)
+}
+
+// BatcherOf returns a batched-read view of s: s itself when the
+// implementation batches natively (native true), else the serial fallback
+// (native false). Unlike ForEach, every Set can be batch-read.
+func BatcherOf(s Set) (b Batcher, native bool) {
+	if b, ok := s.(Batcher); ok {
+		return b, true
+	}
+	return serialBatcher{s}, false
+}
+
+// --- sharded batching ---------------------------------------------------
+
+// shardScratch is the reusable grouping state of shardedSet.SearchBatch:
+// per-key routes plus one shard group's gathered keys and scattered
+// results. Pooled because a sharded set is shared by many goroutines and
+// cannot hold per-instance scratch.
+type shardScratch struct {
+	sh    []int32
+	keys  []Key
+	idx   []int32
+	vals  []Value
+	found []bool
+}
+
+var shardScratchPool = sync.Pool{New: func() any { return &shardScratch{} }}
+
+// grow sizes the scratch for an n-key batch.
+func (sc *shardScratch) grow(n int) {
+	if cap(sc.sh) < n {
+		sc.sh = make([]int32, n)
+		sc.keys = make([]Key, 0, n)
+		sc.idx = make([]int32, 0, n)
+		sc.vals = make([]Value, n)
+		sc.found = make([]bool, n)
+	}
+	sc.sh = sc.sh[:n]
+}
+
+// SearchBatch implements Batcher for the sharded router: keys are routed
+// once, then each distinct shard's keys are gathered and handed to that
+// shard as one contiguous sub-batch — so a recycling shard pays one epoch
+// bracket per group, and every shard's memory is walked consecutively. The
+// results scatter back into request order.
+func (s *shardedSet) SearchBatch(keys []Key, vals []Value, found []bool) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	sc := shardScratchPool.Get().(*shardScratch)
+	sc.grow(n)
+	for i, k := range keys {
+		sc.sh[i] = int32(s.shardOf(k))
+	}
+	for i := 0; i < n; i++ {
+		if sc.sh[i] < 0 {
+			continue // already resolved in an earlier shard group
+		}
+		sh := sc.sh[i]
+		sc.keys, sc.idx = sc.keys[:0], sc.idx[:0]
+		for j := i; j < n; j++ {
+			if sc.sh[j] == sh {
+				sc.keys = append(sc.keys, keys[j])
+				sc.idx = append(sc.idx, int32(j))
+				sc.sh[j] = -1
+			}
+		}
+		g := len(sc.keys)
+		// Extended embeds Batcher, so the shard batches natively or
+		// through its wrapper's serial fallback — its call, not ours.
+		s.shards[sh].SearchBatch(sc.keys, sc.vals[:g], sc.found[:g])
+		for t, j := range sc.idx {
+			vals[j], found[j] = sc.vals[t], sc.found[t]
+		}
+	}
+	shardScratchPool.Put(sc)
+}

@@ -235,6 +235,10 @@ type Capabilities struct {
 	// NativeRange: ordered scans traverse the structure directly instead
 	// of snapshot-and-sort.
 	NativeRange bool
+	// NativeSearchBatch: batched reads amortize real per-operation cost
+	// (one SSMEM epoch bracket for a whole batch, or shard-grouped routing)
+	// instead of looping Search.
+	NativeSearchBatch bool
 }
 
 // Caps probes the algorithm's native capabilities.
@@ -248,6 +252,7 @@ func (a Algorithm) Caps() Capabilities {
 	_, c.NativeGetOrInsert = s.(GetOrInserter)
 	_, c.NativeForEach = s.(Iterable)
 	_, c.NativeRange = s.(Ordered)
+	_, c.NativeSearchBatch = s.(Batcher)
 	return c
 }
 

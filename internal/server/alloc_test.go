@@ -61,7 +61,9 @@ func TestServerGetPathZeroAlloc(t *testing.T) {
 				if err := ReadCommandInto(br, DefaultMaxItemSize, &cmd, &sc); err != nil {
 					t.Fatal(err)
 				}
-				s.execute(&cmd, bw)
+				p := s.store.Pin()
+				s.execute(p, &cmd, bw)
+				p.Unpin()
 			}
 			for i := 0; i < 64; i++ {
 				step() // reach steady state (scratch sized, pools primed)
@@ -72,6 +74,70 @@ func TestServerGetPathZeroAlloc(t *testing.T) {
 			if s.getHits.Load() == 0 || s.getMisses.Load() != 0 {
 				t.Fatalf("gate did not exercise hits: hits=%d misses=%d",
 					s.getHits.Load(), s.getMisses.Load())
+			}
+		})
+	}
+}
+
+// TestServerBatchedGetPathZeroAlloc is the batch-path allocation gate: a
+// deep pipelined burst — ReadBatchInto over 64 buffered get frames
+// (single-key and shard-grouped multi-key), executed under one pin — must
+// stay at zero heap allocations per batch in steady state. This is the PR 3
+// invariant carried onto the amortized path: batching must not buy its
+// speed with per-command garbage.
+func TestServerBatchedGetPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts at random, so Pin() itself allocates")
+	}
+	for _, tc := range []struct {
+		algo   string
+		shards int
+	}{
+		{"ht-clht-lb", 1},
+		{"ht-clht-lb", 4},
+		{"ll-lazy", 4},
+		{"sl-fraser-opt", 4},
+	} {
+		t.Run(fmt.Sprintf("%s/shards-%d", tc.algo, tc.shards), func(t *testing.T) {
+			s, err := New(Config{Algo: tc.algo, Shards: tc.shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := s.store.Pin()
+			for i := 0; i < 8; i++ {
+				s.store.Set(p, []byte(fmt.Sprintf("key%d", i)), 7, 0, bytes.Repeat([]byte("v"), 100))
+			}
+			p.Unpin()
+			// 62 single-key gets plus one 8-key multi-get: 63 commands per
+			// burst, every one a hit, the multi-get spanning every shard.
+			frame := bytes.Repeat([]byte("get key1\r\n"), 62)
+			frame = append(frame, []byte("get key0 key1 key2 key3 key4 key5 key6 key7\r\n")...)
+			br := bufio.NewReaderSize(&repeatReader{frame: frame}, 1<<16)
+			bw := newWriter(io.Discard, 0)
+			var b Batch
+			step := func() {
+				n, err := ReadBatchInto(br, DefaultMaxItemSize, 63, &b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n == 0 {
+					t.Fatal("empty batch")
+				}
+				if s.executeBatch(&b, bw) {
+					t.Fatal("batch asked to close the connection")
+				}
+			}
+			for i := 0; i < 32; i++ {
+				step() // steady state: batch tables sized, pools primed
+			}
+			if avg := testing.AllocsPerRun(256, step); avg != 0 {
+				t.Fatalf("batched get burst allocates %.2f/batch, want 0", avg)
+			}
+			if s.getMisses.Load() != 0 {
+				t.Fatalf("gate keys missed: misses=%d", s.getMisses.Load())
+			}
+			if got := s.cmdBatched.Load() / s.batches.Load(); got < 32 {
+				t.Fatalf("achieved batch depth %d, want >= 32 (batching not engaged)", got)
 			}
 		})
 	}
@@ -189,13 +255,18 @@ func TestStoreReapsExpiredOnGet(t *testing.T) {
 	now := int64(1000)
 	st.now = func() int64 { return now }
 	p := st.Pin()
-	defer p.Unpin()
 	st.Set(p, []byte("ttl"), 0, 100, []byte("soon-dead"))
 	st.Set(p, []byte("keep"), 0, 0, []byte("alive"))
+	p.Unpin()
 	if st.Items() != 2 {
 		t.Fatalf("items = %d, want 2", st.Items())
 	}
 	now += 200 // expire "ttl"
+	// Re-pin: a pin fixes its timestamp at creation (one clock read per
+	// request batch), so the advanced clock is seen by the next pin — as it
+	// is by the next request batch in the server.
+	p = st.Pin()
+	defer p.Unpin()
 	if _, ok := st.Get(p, []byte("ttl")); ok {
 		t.Fatal("expired item visible")
 	}

@@ -2,12 +2,18 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"strings"
 )
+
+// errNoKeys rejects a keyless retrieval before it reaches the wire: a bare
+// "get\r\n" is a malformed frame the server answers with CLIENT_ERROR,
+// which would desynchronize every response queued behind it.
+var errNoKeys = errors.New("client: get requires at least one key")
 
 // Client speaks the memcached text protocol over one connection. The
 // synchronous methods (Get, Set, …) send, flush, and read the response.
@@ -63,8 +69,13 @@ type Entry struct {
 
 // --- pipelined send half ---
 
-// SendGet queues a get (or gets, when withCAS) for the given keys.
+// SendGet queues a get (or gets, when withCAS) for the given keys. An empty
+// key list is rejected without writing anything — the frame it would emit is
+// malformed, and a pipelined caller must not poison its own response stream.
 func (c *Client) SendGet(withCAS bool, keys ...string) error {
+	if len(keys) == 0 {
+		return errNoKeys
+	}
 	verb := "get"
 	if withCAS {
 		verb = "gets"

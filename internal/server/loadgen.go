@@ -97,6 +97,13 @@ type LoadgenResult struct {
 	Shards  int    // from the server's stats ("shards"); 0 when not reported
 	Elapsed time.Duration
 
+	// BatchDepthAvg is the server-side achieved batch depth over the run
+	// (Δcmd_batched / Δbatches from the server's stats): how many pipelined
+	// commands the server actually executed per pin/epoch/clock/dispatch
+	// round. 0 when the server does not report batch stats; 1.0 means no
+	// amortization happened.
+	BatchDepthAvg float64
+
 	Ops        uint64 // requests completed (a multi-get counts once)
 	Gets       uint64
 	GetHits    uint64
@@ -198,11 +205,16 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 			n++
 		}
 	}
+	var batches0, batched0 uint64
 	if st, err := pre.Stats(); err == nil {
 		res.Algo = st["algo"]
 		if n, err := strconv.Atoi(st["shards"]); err == nil {
 			res.Shards = n
 		}
+		// Batch counters are cumulative since server start; snapshot them
+		// so the run reports its own achieved depth, not history's.
+		batches0, _ = strconv.ParseUint(st["batches"], 10, 64)
+		batched0, _ = strconv.ParseUint(st["cmd_batched"], 10, 64)
 	}
 	pre.Close()
 
@@ -285,6 +297,17 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	}
 	if res.Ops > 0 {
 		res.ClientAllocsPerOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(res.Ops)
+	}
+	// Achieved server-side batch depth over the run window.
+	if post, err := Dial(cfg.Addr); err == nil {
+		if st, err := post.Stats(); err == nil {
+			batches1, _ := strconv.ParseUint(st["batches"], 10, 64)
+			batched1, _ := strconv.ParseUint(st["cmd_batched"], 10, 64)
+			if batches1 > batches0 {
+				res.BatchDepthAvg = float64(batched1-batched0) / float64(batches1-batches0)
+			}
+		}
+		post.Close()
 	}
 	res.Latency = map[string]stats.Summary{"all": all.Summarize()}
 	for cl := range lat {
@@ -413,15 +436,23 @@ func lgReceive(cl *Client, cs *lgConn, window chan pending) {
 
 // --- BENCH_server.json ---
 
-// BenchSchema identifies the BENCH_server.json layout.
-const BenchSchema = "ascylib/bench-server/v1"
+// BenchSchema identifies the BENCH_server.json layout. v2 adds the per-run
+// client pipeline depth and the server-side achieved batch depth, so the
+// pipeline-depth sweep is first-class in the document.
+const BenchSchema = "ascylib/bench-server/v2"
 
 // BenchRun is one load-generation run in machine-readable form.
 type BenchRun struct {
 	Algo string `json:"algo"`
 	// Shards is the server-side keyspace partition count the run was
 	// served with (0 for servers that predate the stat).
-	Shards         int                          `json:"shards"`
+	Shards int `json:"shards"`
+	// Pipeline is the client-side closed-loop window of this run; the
+	// sweep varies it per run, so it lives here rather than in Config.
+	Pipeline int `json:"pipeline"`
+	// BatchDepthAvg is the server-side achieved batch depth over the run
+	// (see LoadgenResult.BatchDepthAvg).
+	BatchDepthAvg  float64                      `json:"batch_depth_avg"`
 	Ops            uint64                       `json:"ops"`
 	DurationS      float64                      `json:"duration_s"`
 	ThroughputOpsS float64                      `json:"throughput_ops_s"`
@@ -442,12 +473,12 @@ type BenchRun struct {
 }
 
 // BenchFile is the BENCH_server.json document: the loadgen configuration
-// and one run per algorithm driven.
+// and one run per algorithm driven. Since v2 the pipeline depth lives on
+// each run (the sweep varies it), not in the shared config.
 type BenchFile struct {
 	Schema string `json:"schema"`
 	Config struct {
 		Conns       int     `json:"conns"`
-		Pipeline    int     `json:"pipeline"`
 		DurationS   float64 `json:"duration_s"`
 		Keys        int     `json:"keys"`
 		ValueSize   int     `json:"value_size"`
@@ -465,6 +496,8 @@ func BenchRunOf(r LoadgenResult) BenchRun {
 	b := BenchRun{
 		Algo:           r.Algo,
 		Shards:         r.Shards,
+		Pipeline:       r.Cfg.Pipeline,
+		BatchDepthAvg:  r.BatchDepthAvg,
 		Ops:            r.Ops,
 		DurationS:      r.Elapsed.Seconds(),
 		ThroughputOpsS: r.Throughput(),
@@ -495,7 +528,6 @@ func WriteBench(path string, cfg LoadgenConfig, runs []LoadgenResult) error {
 	var f BenchFile
 	f.Schema = BenchSchema
 	f.Config.Conns = cfg.Conns
-	f.Config.Pipeline = cfg.Pipeline
 	f.Config.DurationS = cfg.Duration.Seconds()
 	f.Config.Keys = cfg.Keys
 	f.Config.ValueSize = cfg.ValueSize

@@ -11,14 +11,19 @@
 //     per-connection scratch, tolerating frames split across arbitrary read
 //     boundaries and resynchronizing after malformed lines. The steady-state
 //     parse performs no heap allocation: keys point into the read buffer
-//     (or retained scratch) and numbers are parsed in place.
+//     (or retained scratch) and numbers are parsed in place. ReadBatchInto
+//     drains every complete frame a pipelining client has already buffered
+//     into one reused Batch — the free batch the server amortizes over.
 //   - store.go — memcached item semantics (flags, CAS tokens, lazy
 //     expiry, incr/decr) over ascylib.StringMap, i.e. over any registered
-//     structure, with value blocks recycled through SSMEM epochs.
+//     structure, with value blocks recycled through SSMEM epochs. Pins
+//     capture the clock once and carry the shard-grouped GetBatch scratch.
 //   - server.go — the TCP front: a sharded-accept worker pool, one
 //     goroutine per connection, per-connection read/write buffering, and
-//     pipelining (responses are flushed only when the input buffer runs
-//     dry, so a burst of n requests costs O(1) flushes, not n).
+//     pipelining: requests execute in batches under a single store pin
+//     (epochs, pin-pool traffic, and clock reads amortize across the
+//     burst), and responses are flushed only when the input buffer runs
+//     dry, so a burst of n requests costs O(1) flushes, not n.
 //   - client.go — a minimal client for the same protocol, with explicit
 //     send/receive halves so callers can pipeline.
 //   - loadgen.go — a closed-loop pipelined load generator driving any
@@ -522,4 +527,195 @@ func parseFields(r *bufio.Reader, fields [][]byte, maxItem int, cmd *Command, sc
 func discard(r *bufio.Reader, n int64) error {
 	_, err := io.CopyN(io.Discard, r, n)
 	return err
+}
+
+// --- batched framing ----------------------------------------------------
+
+// DefaultMaxBatch bounds how many requests one ReadBatchInto call drains.
+// The read buffer bounds a batch's total frame bytes anyway; this bounds the
+// per-connection entry/scratch tables a deep pipeline can grow. Frames left
+// buffered beyond the cap are simply picked up by the next batch, so the cap
+// costs no latency.
+const DefaultMaxBatch = 512
+
+// BatchEntry is one slot of a parsed batch: either a command (Err nil) or an
+// in-order recoverable protocol error to report in the command's place.
+type BatchEntry struct {
+	Cmd Command
+	// Err, when non-nil, means this slot is a protocol error: Cmd is
+	// invalid, and the server responds with Err.Resp (unless Err.NoReply)
+	// exactly where the failed command's response would have gone, keeping
+	// pipelined responses aligned. A Fatal Err is always the last entry.
+	Err *ProtoError
+}
+
+// batchDataRetention bounds the data-block buffer capacity a Batch keeps
+// across rounds, summed over its slots. A batch's non-first frames all come
+// out of the read buffer (64 KiB by default), so this budget keeps uniform
+// workloads allocation-free between batches while preventing a pathological
+// burst shape (many slots each ratcheted to a large value) from pinning
+// MaxBatch × large-value bytes per connection forever.
+const batchDataRetention = 128 << 10
+
+// Batch is the retained per-connection batch state: the entry table and one
+// Scratch per slot. Per-slot scratches are what let a whole batch of parsed
+// commands stay alive at once — ReadCommandInto's single-Scratch contract
+// ("valid until the next read") covers one command, not a pipeline.
+// Scratches are held by pointer so growing the table never relocates a
+// keyBuf out from under an already-parsed command.
+type Batch struct {
+	Entries []BatchEntry
+	scs     []*Scratch
+}
+
+// shedData releases per-slot data buffers beyond the retention budget. The
+// caller must be between batches: entries from the previous round alias
+// these buffers while they are live. Slot 0 is exempt — it serves the
+// blocking first frame, the only one that may exceed the read buffer, and
+// keeping it matches the per-command path's one-Scratch-per-connection
+// retention (a client looping large sets stays allocation-free).
+func (b *Batch) shedData() {
+	budget := int64(batchDataRetention)
+	for i, sc := range b.scs {
+		if i == 0 {
+			continue
+		}
+		if budget -= int64(cap(sc.dataBuf)); budget < 0 {
+			sc.dataBuf = nil
+		}
+	}
+}
+
+// slot appends and returns the next entry with its dedicated scratch.
+func (b *Batch) slot() (*BatchEntry, *Scratch) {
+	i := len(b.Entries)
+	if i < cap(b.Entries) {
+		b.Entries = b.Entries[:i+1]
+	} else {
+		b.Entries = append(b.Entries, BatchEntry{})
+	}
+	for len(b.scs) <= i {
+		b.scs = append(b.scs, &Scratch{})
+	}
+	e := &b.Entries[i]
+	e.Err = nil
+	return e, b.scs[i]
+}
+
+// truncate drops the last (unfilled) entry again.
+func (b *Batch) truncate() { b.Entries = b.Entries[:len(b.Entries)-1] }
+
+// nextFieldOf returns the first whitespace-separated field of line and the
+// remainder after it, without building a field table.
+func nextFieldOf(line []byte) (field, rest []byte) {
+	i := 0
+	for i < len(line) && isSpace(line[i]) {
+		i++
+	}
+	start := i
+	for i < len(line) && !isSpace(line[i]) {
+		i++
+	}
+	return line[start:i], line[i:]
+}
+
+// frameExtra returns how many bytes beyond the command line (and its LF) the
+// frame consumes: size+2 for a storage command whose size field parses, 0
+// otherwise. It mirrors parseFields' consumption exactly — including the
+// error paths, which either discard the same announced block (recoverable)
+// or consume nothing past the line (fatal) — and errs on the side of
+// demanding more, never less, so a frame it calls complete can always be
+// parsed without refilling the read buffer. The result is int64 on purpose:
+// announced sizes run up to 2^62, and truncating through int would wrap on
+// 32-bit platforms and report a mostly-unbuffered frame as complete.
+func frameExtra(line []byte) int64 {
+	verb, rest := nextFieldOf(line)
+	switch string(verb) { // no-alloc comparison switch
+	case "set", "add", "replace", "cas":
+	default:
+		return 0
+	}
+	// Fields 1..3 are key/flags/exptime; field 4 announces the block size.
+	var f []byte
+	for i := 0; i < 4; i++ {
+		f, rest = nextFieldOf(rest)
+	}
+	size, ok := parseU64(f)
+	if !ok || size > 1<<62 {
+		return 0 // unparseable size: the fatal path reads nothing further
+	}
+	return int64(size) + 2
+}
+
+// frameBuffered reports whether r's buffer already holds one complete
+// request frame, so parsing it cannot trigger a buffer refill. A refill
+// would slide the buffered window and dangle the key slices of commands
+// parsed earlier in the same batch, so this check is what makes batched
+// parsing sound — and it is also what keeps ReadBatchInto from blocking
+// after its first command.
+func frameBuffered(r *bufio.Reader) bool {
+	n := r.Buffered()
+	if n == 0 {
+		return false
+	}
+	buf, err := r.Peek(n)
+	if err != nil {
+		return false
+	}
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		return false
+	}
+	line := buf[:i]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return int64(n) >= int64(i+1)+frameExtra(line)
+}
+
+// ReadBatchInto drains pipelined requests from r into b, reusing its entry
+// and scratch tables. The first command is read exactly like ReadCommandInto
+// (blocking if the stream is mid-frame); after that, parsing continues only
+// while a complete frame is already buffered — never blocking and never
+// refilling the read buffer — up to maxBatch entries (<= 0 means
+// DefaultMaxBatch). This is the free batch a pipelining client hands the
+// server: everything it queued behind the first request.
+//
+// Recoverable protocol errors become in-order entries with Err set, so the
+// response stream stays aligned with the request stream. A fatal protocol
+// error becomes the batch's last entry (its Err.Fatal tells the caller to
+// close after responding), and a quit command likewise ends the batch. The
+// returned error is non-nil only for transport failures on the first
+// command (io.EOF at a clean request boundary); in that case no entries are
+// returned.
+func ReadBatchInto(r *bufio.Reader, maxItem, maxBatch int, b *Batch) (int, error) {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	b.shedData() // the previous round's entries are dead; cap retained buffers
+	b.Entries = b.Entries[:0]
+	for len(b.Entries) < maxBatch {
+		if len(b.Entries) > 0 && !frameBuffered(r) {
+			break
+		}
+		e, sc := b.slot()
+		if err := ReadCommandInto(r, maxItem, &e.Cmd, sc); err != nil {
+			var pe *ProtoError
+			if errors.As(err, &pe) {
+				e.Err = pe
+				if pe.Fatal {
+					break
+				}
+				continue
+			}
+			// Transport error or EOF. Only the first command can block, so
+			// only it can see one; the batch is empty.
+			b.truncate()
+			return 0, err
+		}
+		if e.Cmd.Op == OpQuit {
+			break
+		}
+	}
+	return len(b.Entries), nil
 }

@@ -38,6 +38,14 @@ type Config struct {
 	AcceptWorkers int
 	// MaxItemSize bounds value blocks; <= 0 means DefaultMaxItemSize.
 	MaxItemSize int
+	// MaxBatch bounds how many pipelined requests one batch executes under
+	// a single store pin (see ReadBatchInto): a client that has queued n
+	// requests in the read buffer hands the server a free batch, and the
+	// per-request fixed costs — pin-frame pool traffic, per-shard epoch
+	// brackets, the clock read, and the response flush — amortize across
+	// it. <= 0 picks DefaultMaxBatch; 1 disables batching (the per-command
+	// path, kept for differential testing and as the depth-1 baseline).
+	MaxBatch int
 	// ReadBufferSize / WriteBufferSize size the per-connection bufio
 	// buffers; <= 0 picks 64 KiB reads (never below MaxCommandLine) and
 	// 64 KiB writes.
@@ -95,7 +103,14 @@ func (c *Config) fill() {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
 }
+
+// batchHistBuckets is the number of power-of-two batch-depth histogram
+// buckets: 1, 2–3, 4–7, …, 128–255, 256+.
+const batchHistBuckets = 9
 
 // Server is a memcached-protocol TCP server over one Store.
 type Server struct {
@@ -132,6 +147,13 @@ type Server struct {
 	casMisses    atomic.Uint64
 	casBadval    atomic.Uint64
 	protoErrors  atomic.Uint64
+	// Batch accounting: batches counts ReadBatchInto rounds executed,
+	// cmdBatched the commands they carried (so cmdBatched/batches is the
+	// achieved server-side batch depth), and batchHist buckets the depth
+	// distribution in powers of two.
+	batches    atomic.Uint64
+	cmdBatched atomic.Uint64
+	batchHist  [batchHistBuckets]atomic.Uint64
 }
 
 // New builds a server (not yet listening) for cfg.
@@ -269,11 +291,14 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handleConn runs the request loop of one connection. Pipelining: the
+// handleConn runs the request loop of one connection. Pipelining: requests
+// are read in batches — everything completely buffered behind the first
+// (blocking) frame, up to MaxBatch — and each batch executes under one
+// store pin, so the per-request fixed costs (pin-frame pool traffic,
+// per-shard epoch brackets, the clock read) amortize across the burst. The
 // response writer is flushed only when the read buffer has no complete
-// further input, so a client that streams n requests back-to-back gets its
-// n responses in O(1) TCP writes. The loop owns one Command and one Scratch
-// for its lifetime and pins the store's epoch per request, so the
+// further input, so a burst of n requests costs O(1) TCP writes. The loop
+// owns one Batch (entries plus per-slot scratch) for its lifetime, so the
 // steady-state request path (parse → store → respond) performs no heap
 // allocation.
 func (s *Server) handleConn(c net.Conn) {
@@ -283,59 +308,100 @@ func (s *Server) handleConn(c net.Conn) {
 	r := newConnReader(c, s)
 	br := newReader(r, s.cfg.ReadBufferSize)
 	bw := newWriter(&connWriter{c: c, s: s, timeout: s.cfg.WriteTimeout}, s.cfg.WriteBufferSize)
-	var cmd Command
-	var sc Scratch
+	var b Batch
 	for {
 		if br.Buffered() == 0 {
 			if err := bw.Flush(); err != nil {
 				return
 			}
 		}
-		err := ReadCommandInto(br, s.cfg.MaxItemSize, &cmd, &sc)
+		n, err := ReadBatchInto(br, s.cfg.MaxItemSize, s.cfg.MaxBatch, &b)
+		if n > 0 && s.executeBatch(&b, bw) {
+			bw.Flush()
+			return
+		}
 		if err != nil {
-			var pe *ProtoError
-			if errors.As(err, &pe) {
-				s.protoErrors.Add(1)
-				if !pe.NoReply {
-					bw.line(pe.Resp)
-				}
-				if pe.Fatal {
-					bw.Flush()
-					return
-				}
-				continue
-			}
 			// Transport error or EOF: flush whatever is pending and stop.
 			bw.Flush()
 			return
 		}
-		if cmd.Op == OpQuit {
-			bw.Flush()
-			return
-		}
-		s.execute(&cmd, bw)
 	}
 }
 
-// execute applies one command to the store and writes its response. The
-// epoch pin spans the command's whole lifetime — including the staging of
-// response values into the write buffer — so a value block handed out by
-// Get cannot be recycled before its bytes are copied out.
-func (s *Server) execute(cmd *Command, w *respWriter) {
+// executeBatch applies one parsed batch to the store under a single pin and
+// reports whether the connection must close (quit or a fatal protocol
+// error). The epoch pin spans the whole batch — including the staging of
+// every response value into the write buffer — so a value block handed out
+// by Get cannot be recycled before its bytes are copied out, and a batch of
+// n commands costs one pin-frame round-trip and at most one epoch bracket
+// per touched shard instead of n.
+func (s *Server) executeBatch(b *Batch, w *respWriter) (closed bool) {
+	n := len(b.Entries)
+	s.batches.Add(1)
+	s.cmdBatched.Add(uint64(n))
+	s.batchHist[batchBucket(n)].Add(1)
 	p := s.store.Pin()
 	defer p.Unpin()
+	for i := range b.Entries {
+		e := &b.Entries[i]
+		if e.Err != nil {
+			s.protoErrors.Add(1)
+			if !e.Err.NoReply {
+				w.line(e.Err.Resp)
+			}
+			if e.Err.Fatal {
+				return true
+			}
+			continue
+		}
+		if e.Cmd.Op == OpQuit {
+			return true
+		}
+		s.execute(p, &e.Cmd, w)
+	}
+	return false
+}
+
+// batchBucket maps a batch depth onto its histogram bucket: bucket i covers
+// [2^i, 2^(i+1)), with the last bucket open-ended.
+func batchBucket(n int) int {
+	b := 0
+	for n > 1 && b < batchHistBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// execute applies one command to the store under the batch's pin and writes
+// its response.
+func (s *Server) execute(p Pin, cmd *Command, w *respWriter) {
 	switch cmd.Op {
 	case OpGet, OpGets:
 		s.cmdGet.Add(1)
 		withCAS := cmd.Op == OpGets
-		for _, k := range cmd.Keys {
-			it, ok := s.store.Get(p, k)
-			if !ok {
-				s.getMisses.Add(1)
-				continue
+		if len(cmd.Keys) > 1 {
+			// Multi-get: route, group by shard, and walk shard-grouped
+			// under the already-open pin; responses come back in request
+			// order (see Store.GetBatch).
+			s.store.GetBatch(p, cmd.Keys, func(i int, it Item, ok bool) {
+				if !ok {
+					s.getMisses.Add(1)
+					return
+				}
+				s.getHits.Add(1)
+				w.value(cmd.Keys[i], it, withCAS)
+			})
+		} else {
+			for _, k := range cmd.Keys {
+				it, ok := s.store.Get(p, k)
+				if !ok {
+					s.getMisses.Add(1)
+					continue
+				}
+				s.getHits.Add(1)
+				w.value(k, it, withCAS)
 			}
-			s.getHits.Add(1)
-			w.value(k, it, withCAS)
 		}
 		w.line("END")
 
@@ -426,7 +492,7 @@ func (s *Server) execute(cmd *Command, w *respWriter) {
 			return
 		}
 		s.cmdFlush.Add(1)
-		s.store.FlushAll(cmd.Exptime)
+		s.store.FlushAll(p, cmd.Exptime)
 		w.reply(cmd, "OK")
 	}
 }
@@ -467,6 +533,30 @@ func (s *Server) Stats() [][2]string {
 		{"cas_badval", u(s.casBadval.Load())},
 		{"protocol_errors", u(s.protoErrors.Load())},
 		{"curr_items", strconv.Itoa(s.store.Items())},
+	}
+	// Batch accounting: how well the pipelined bursts amortize. The depth
+	// histogram buckets are powers of two; batch_depth_avg is the achieved
+	// server-side batch depth (1.0 means no amortization — every command
+	// paid its own pin, epochs, and clock read).
+	batches, batched := s.batches.Load(), s.cmdBatched.Load()
+	avg := 0.0
+	if batches > 0 {
+		avg = float64(batched) / float64(batches)
+	}
+	pairs = append(pairs,
+		[2]string{"batches", u(batches)},
+		[2]string{"cmd_batched", u(batched)},
+		[2]string{"batch_depth_avg", strconv.FormatFloat(avg, 'f', 2, 64)},
+	)
+	for i := range s.batchHist {
+		lo := 1 << i
+		name := fmt.Sprintf("batch_depth_%d_%d", lo, 2*lo-1)
+		if i == 0 {
+			name = "batch_depth_1"
+		} else if i == batchHistBuckets-1 {
+			name = fmt.Sprintf("batch_depth_%d_plus", lo)
+		}
+		pairs = append(pairs, [2]string{name, u(s.batchHist[i].Load())})
 	}
 	// Value-block pool counters (ASCY4 on the serving path); zero when
 	// pooling is disabled.

@@ -240,8 +240,11 @@ func TestServerFlushAll(t *testing.T) {
 		t.Fatal("post-flush store is dead")
 	}
 
-	// Delayed flush: nothing dies until the epoch arrives.
-	s.Store().FlushAll(60)
+	// Delayed flush: nothing dies until the epoch arrives. The epoch
+	// anchors at the pin's timestamp, as it would for a wire flush_all.
+	fp := s.Store().Pin()
+	s.Store().FlushAll(fp, 60)
+	fp.Unpin()
 	if _, ok, _ := c.Get("b"); !ok {
 		t.Fatal("item died before the flush delay elapsed")
 	}

@@ -203,17 +203,18 @@ func TestStoreReapSurvivesPanic(t *testing.T) {
 	now := int64(1000)
 	st.now = func() int64 { return now }
 	p := st.Pin()
-	defer p.Unpin()
 	key := []byte("ttl")
 	st.Set(p, key, 0, 100, []byte("soon-dead"))
 	it, ok := st.Get(p, key)
 	if !ok {
 		t.Fatal("stored item invisible")
 	}
+	p.Unpin()
 	now += 200 // expire it
 
 	// Inject a panic into the reap path, after the reaper flag is taken.
-	st.now = func() int64 { panic("injected reap-path panic") }
+	st.reapHook = func() { panic("injected reap-path panic") }
+	p = st.Pin()
 	sh, h := st.sm.RouteBytes(key)
 	func() {
 		defer func() {
@@ -223,13 +224,18 @@ func TestStoreReapSurvivesPanic(t *testing.T) {
 		}()
 		st.reapDead(p, sh, h, key, it.CAS)
 	}()
+	p.Unpin()
 
 	// The corpse is still there (the reap died), but the reaper must not
-	// be: a later read has to win the flag and collect it.
-	st.now = func() int64 { return now }
+	// be: a later read has to win the flag and collect it. Re-pin so the
+	// read judges liveness at the advanced clock (pins fix their timestamp
+	// at creation).
+	st.reapHook = nil
 	if st.Items() != 1 {
 		t.Fatalf("items = %d, want the corpse still present", st.Items())
 	}
+	p = st.Pin()
+	defer p.Unpin()
 	if _, ok := st.Get(p, key); ok {
 		t.Fatal("expired item visible")
 	}

@@ -92,6 +92,11 @@ type Store struct {
 	// per shard at a time; readers that lose the flag skip, never wait.
 	// Padded: the flags are written on the read path of distinct shards.
 	reaping []reapFlag
+	// reapHook, when non-nil, runs on the reap path after the reaper flag
+	// is taken — the test seam for the panic-survival regression test (the
+	// real panic sources, like the facade's arena-exhaustion panic inside
+	// UpdateBytes, cannot be triggered deterministically from out here).
+	reapHook func()
 	// flush_all bookkeeping, the analog of memcached's oldest_live rule
 	// with CAS tokens as the store-order clock (tokens are unique and
 	// monotonic store-wide, so "existing at flush time" is exact even
@@ -139,6 +144,7 @@ func NewStore(algo string, capacity int, poolValues bool, shards int) (*Store, e
 		return &pinFrame{
 			as:      make([]*ssmem.BufAllocator, shards),
 			touched: make([]int, 0, shards),
+			counts:  make([]int32, shards),
 		}
 	}
 	return s, nil
@@ -160,13 +166,40 @@ func (s *Store) BufStats() ssmem.Stats {
 	return agg
 }
 
-// pinFrame carries one Pin's per-shard allocator leases; frames are pooled
-// so the request loop never allocates one. touched lists the shards holding
-// a lease, so Unpin's cost scales with the shards a request used, not with
-// the store's shard count.
+// pinFrame carries one Pin's per-shard allocator leases plus the batched-get
+// scratch tables; frames are pooled so the request loop never allocates one.
+// touched lists the shards holding a lease, so Unpin's cost scales with the
+// shards a request used, not with the store's shard count.
 type pinFrame struct {
 	as      []*ssmem.BufAllocator // indexed by shard; nil until the shard is touched
 	touched []int
+	// Batched-get scratch (see GetBatch): per-key routes, the shard-grouped
+	// index permutation, and the result staging that restores request order.
+	// counts is the per-shard counting-sort workspace, sized to the store's
+	// shard count at frame construction; the rest grow to the largest batch
+	// the frame has served.
+	counts []int32
+	shOf   []int32
+	hashes []uint64
+	perm   []int32
+	items  []Item
+	hits   []bool
+}
+
+// ensureBatch sizes the per-key tables for an n-key batch.
+func (f *pinFrame) ensureBatch(n int) {
+	if cap(f.shOf) < n {
+		f.shOf = make([]int32, n)
+		f.hashes = make([]uint64, n)
+		f.perm = make([]int32, n)
+		f.items = make([]Item, n)
+		f.hits = make([]bool, n)
+	}
+	f.shOf = f.shOf[:n]
+	f.hashes = f.hashes[:n]
+	f.perm = f.perm[:n]
+	f.items = f.items[:n]
+	f.hits = f.hits[:n]
 }
 
 // Pin leases the calling goroutine into the store's epochs, shard by shard
@@ -174,18 +207,25 @@ type pinFrame struct {
 // Unpin. Pins are cheap (a pooled frame, plus a pool get and one atomic
 // increment per distinct shard touched) and must not be held across
 // blocking waits longer than a request's lifetime.
+//
+// A Pin also fixes the request's clock: s.now() is read once at Pin() and
+// every operation under the pin shares that timestamp — expiry checks,
+// relative-expiry conversion, and the opportunistic reaper all see one
+// instant. The server pins per batch, so a pipelined burst of n commands
+// costs one clock read, not n (and within one command, Get → live →
+// reapDead no longer re-read the clock either). The staleness bound is the
+// pin's lifetime — microseconds on the request path, against one-second
+// expiry resolution.
 type Pin struct {
-	s *Store
-	f *pinFrame
+	s   *Store
+	f   *pinFrame
+	now int64
 }
 
-// Pin opens an epoch lease. The zero Pin is valid and inert (for a store
-// without pooling).
+// Pin opens an epoch lease and captures the request timestamp. The zero Pin
+// is invalid; pins always come from this method.
 func (s *Store) Pin() Pin {
-	if s.bufs == nil {
-		return Pin{s: s}
-	}
-	return Pin{s: s, f: s.pins.Get().(*pinFrame)}
+	return Pin{s: s, f: s.pins.Get().(*pinFrame), now: s.now()}
 }
 
 // Unpin closes the lease: every shard epoch the pin opened ends, and the
@@ -210,7 +250,7 @@ func (p Pin) Unpin() {
 // including one read inside a speculative update callback — from being
 // recycled under the request.
 func (p Pin) enter(sh int) *ssmem.BufAllocator {
-	if p.f == nil {
+	if p.s.bufs == nil {
 		return nil
 	}
 	if a := p.f.as[sh]; a != nil {
@@ -243,7 +283,7 @@ func (p Pin) alloc(sh int, data []byte) []byte {
 // free returns a retired block to shard sh's pool (no-op without pooling,
 // or for nil blocks).
 func (p Pin) free(sh int, b []byte) {
-	if p.f == nil || b == nil {
+	if p.s.bufs == nil || b == nil {
 		return
 	}
 	p.enter(sh).Free(b)
@@ -252,7 +292,7 @@ func (p Pin) free(sh int, b []byte) {
 // absExpiry converts a protocol exptime to an absolute unix time: 0 never
 // expires, negative is already expired, values up to 30 days are relative
 // to now, larger values are absolute.
-func (s *Store) absExpiry(exptime int64) int64 {
+func absExpiry(now, exptime int64) int64 {
 	const thirtyDays = 60 * 60 * 24 * 30
 	switch {
 	case exptime == 0:
@@ -260,7 +300,7 @@ func (s *Store) absExpiry(exptime int64) int64 {
 	case exptime < 0:
 		return 1 // the epoch: expired since long ago
 	case exptime <= thirtyDays:
-		return s.now() + exptime
+		return now + exptime
 	default:
 		return exptime
 	}
@@ -271,13 +311,13 @@ func (s *Store) absExpiry(exptime int64) int64 {
 func (s *Store) nextCAS() uint64 { return s.cas.Add(1) }
 
 // newItem builds a fresh item whose Data is an owned copy of data in shard
-// sh's pool.
+// sh's pool; the pin's timestamp anchors a relative expiry.
 func (s *Store) newItem(p Pin, sh int, flags uint32, exptime int64, data []byte) Item {
 	return Item{
 		Flags:    flags,
 		Data:     p.alloc(sh, data),
 		CAS:      s.nextCAS(),
-		ExpireAt: s.absExpiry(exptime),
+		ExpireAt: absExpiry(p.now, exptime),
 	}
 }
 
@@ -294,7 +334,9 @@ func (s *Store) live(it Item, now int64) bool {
 }
 
 // Get returns the live item under key. The Data block is valid while p is
-// pinned. A dead item observed here is reaped opportunistically.
+// pinned. A dead item observed here is reaped opportunistically. Liveness is
+// judged at the pin's timestamp: one clock read covers the lookup, the
+// liveness check, and the reap (which used to each read the clock).
 func (s *Store) Get(p Pin, key []byte) (Item, bool) {
 	sh, h := s.sm.RouteBytes(key)
 	p.enter(sh)
@@ -302,11 +344,77 @@ func (s *Store) Get(p Pin, key []byte) (Item, bool) {
 	if !ok {
 		return Item{}, false
 	}
-	if s.live(it, s.now()) {
+	if s.live(it, p.now) {
 		return it, true
 	}
 	s.reapDead(p, sh, h, key, it.CAS)
 	return Item{}, false
+}
+
+// GetBatch looks up every keys[i] under one pin, one clock read, and one
+// epoch enter per distinct shard: all keys are routed first, then grouped by
+// shard through a counting-sort index permutation staged in the pooled pin
+// frame, and each shard's keys are walked consecutively (the shard's bucket
+// lines stay warm across its group). fn is invoked once per key in request
+// order — the permutation is only the walk order; the staged items restore
+// the response order the protocol requires. Item Data blocks obey the usual
+// pin contract: valid until p unpins. Dead items observed on the walk are
+// reaped opportunistically, exactly as Get does.
+func (s *Store) GetBatch(p Pin, keys [][]byte, fn func(i int, it Item, ok bool)) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		it, ok := s.Get(p, keys[0])
+		fn(0, it, ok)
+		return
+	}
+	f := p.f
+	f.ensureBatch(n)
+	for i := range f.counts {
+		f.counts[i] = 0
+	}
+	for i, k := range keys {
+		sh, h := s.sm.RouteBytes(k)
+		f.shOf[i] = int32(sh)
+		f.hashes[i] = h
+		f.counts[sh]++
+	}
+	// Counting sort: counts become group start offsets, then the keys'
+	// indices are scattered into their shard's slot range.
+	off := int32(0)
+	for sh, c := range f.counts {
+		f.counts[sh] = off
+		off += c
+	}
+	for i := 0; i < n; i++ {
+		sh := f.shOf[i]
+		f.perm[f.counts[sh]] = int32(i)
+		f.counts[sh]++
+	}
+	for j := 0; j < n; j++ {
+		i := f.perm[j]
+		sh := int(f.shOf[i])
+		if j == 0 || sh != int(f.shOf[f.perm[j-1]]) {
+			p.enter(sh) // one epoch bracket per shard group
+		}
+		it, ok := s.sm.GetBytesHashed(sh, f.hashes[i], keys[i])
+		if ok && !s.live(it, p.now) {
+			s.reapDead(p, sh, f.hashes[i], keys[i], it.CAS)
+			it, ok = Item{}, false
+		}
+		f.items[i], f.hits[i] = it, ok
+	}
+	for i := 0; i < n; i++ {
+		fn(i, f.items[i], f.hits[i])
+	}
+	// Drop the staged Data references: the frame outlives the pin in the
+	// pool, and (with value pooling off) retained blocks would otherwise
+	// stay GC-reachable until the frame serves another batch this large.
+	for i := range f.items {
+		f.items[i] = Item{}
+	}
 }
 
 // reapDead removes the corpse under key if it still carries token cas and
@@ -321,7 +429,10 @@ func (s *Store) reapDead(p Pin, sh int, h uint64, key []byte, cas uint64) {
 		return
 	}
 	defer s.reaping[sh].flag.Store(false)
-	now := s.now()
+	if s.reapHook != nil {
+		s.reapHook()
+	}
+	now := p.now
 	var retired []byte
 	s.sm.UpdateBytesHashed(sh, h, key, func(old Item, present bool) (Item, bool) {
 		retired = nil
@@ -356,7 +467,7 @@ func (s *Store) Set(p Pin, key []byte, flags uint32, exptime int64, data []byte)
 // Add stores the value only if the key holds no live item.
 func (s *Store) Add(p Pin, key []byte, flags uint32, exptime int64, data []byte) bool {
 	sh, h := s.sm.RouteBytes(key)
-	now := s.now()
+	now := p.now
 	it := s.newItem(p, sh, flags, exptime, data)
 	stored := false
 	var retired []byte
@@ -383,7 +494,7 @@ func (s *Store) Add(p Pin, key []byte, flags uint32, exptime int64, data []byte)
 // Replace stores the value only if the key holds a live item.
 func (s *Store) Replace(p Pin, key []byte, flags uint32, exptime int64, data []byte) bool {
 	sh, h := s.sm.RouteBytes(key)
-	now := s.now()
+	now := p.now
 	it := s.newItem(p, sh, flags, exptime, data)
 	stored := false
 	var retired []byte
@@ -412,7 +523,7 @@ func (s *Store) Replace(p Pin, key []byte, flags uint32, exptime int64, data []b
 // the token casid.
 func (s *Store) CompareAndSwap(p Pin, key []byte, flags uint32, exptime int64, data []byte, casid uint64) CasStatus {
 	sh, h := s.sm.RouteBytes(key)
-	now := s.now()
+	now := p.now
 	it := s.newItem(p, sh, flags, exptime, data)
 	status := CasNotFound
 	var retired []byte
@@ -446,7 +557,7 @@ func (s *Store) CompareAndSwap(p Pin, key []byte, flags uint32, exptime int64, d
 func (s *Store) Delete(p Pin, key []byte) bool {
 	sh, h := s.sm.RouteBytes(key)
 	p.enter(sh)
-	now := s.now()
+	now := p.now
 	deleted := false
 	var retired []byte
 	s.sm.UpdateBytesHashed(sh, h, key, func(old Item, present bool) (Item, bool) {
@@ -467,7 +578,7 @@ func (s *Store) Delete(p Pin, key []byte) bool {
 func (s *Store) IncrDecr(p Pin, key []byte, delta uint64, incr bool) (uint64, IncrStatus) {
 	sh, h := s.sm.RouteBytes(key)
 	p.enter(sh)
-	now := s.now()
+	now := p.now
 	var newVal uint64
 	status := IncrNotFound
 	var retired []byte
@@ -524,8 +635,13 @@ func (s *Store) IncrDecr(p Pin, key []byte, delta uint64, incr bool) (uint64, In
 // call stay live — and an immediate flush additionally sweeps the
 // structures, shard by shard, so the memory is released. A later FlushAll
 // supersedes a pending one.
-func (s *Store) FlushAll(delay int64) {
-	now := s.now()
+//
+// The flush epoch anchors at p.now, the same timestamp every other command
+// under the pin judges liveness with: a batch that pipelines flush_all
+// followed by a get must miss on the flushed item exactly as the serial
+// path would, even if the wall clock ticks mid-batch.
+func (s *Store) FlushAll(p Pin, delay int64) {
+	now := p.now
 	if delay < 0 {
 		delay = 0
 	}
@@ -540,19 +656,21 @@ func (s *Store) FlushAll(delay int64) {
 	// cross-shard coupling the per-shard pools exist to avoid. Not atomic:
 	// items stored while the sweep runs are (correctly) kept.
 	for sh := 0; sh < s.sm.NumShards(); sh++ {
-		s.flushShard(sh, now)
+		s.flushShard(sh)
 	}
 }
 
-// flushShard collects shard sh's epoch-killed items under a shard-local pin.
-func (s *Store) flushShard(sh int, now int64) {
+// flushShard collects shard sh's epoch-killed items under a shard-local pin,
+// judging liveness at that pin's single timestamp (one clock per pin, as
+// everywhere).
+func (s *Store) flushShard(sh int) {
 	p := s.Pin()
 	defer p.Unpin()
 	p.enter(sh)
 	shard := s.sm.Shard(sh)
 	var keys []string
 	shard.ForEach(func(k string, it Item) bool {
-		if !s.live(it, now) {
+		if !s.live(it, p.now) {
 			keys = append(keys, k)
 		}
 		return true
@@ -561,7 +679,7 @@ func (s *Store) flushShard(sh int, now int64) {
 		var retired []byte
 		shard.Update(k, func(old Item, present bool) (Item, bool) {
 			retired = nil
-			keep := present && s.live(old, s.now())
+			keep := present && s.live(old, p.now)
 			if present && !keep {
 				retired = old.Data
 			}

@@ -1,9 +1,13 @@
 // Wire-path microbenchmarks: the parse→store→respond loop in isolation,
 // with -benchmem as the allocation ledger (the alloc gates in alloc_test.go
-// assert the get path at exactly zero).
+// assert the get path at exactly zero). The Batched variants measure the
+// amortized path — one pin, one clock read, and one dispatch round per
+// burst — against the per-command baseline; b.N counts commands in both, so
+// ns/op is directly comparable.
 package server
 
 import (
+	"bytes"
 	"testing"
 )
 
@@ -20,7 +24,31 @@ func BenchmarkWireGetPath(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ReadCommandInto(br, DefaultMaxItemSize, &cmd, &sc)
-		s.execute(&cmd, bw)
+		p := s.store.Pin()
+		s.execute(p, &cmd, bw)
+		p.Unpin()
+	}
+}
+
+// BenchmarkWireGetPathBatched drives the batch path at a fixed depth: one
+// ReadBatchInto + executeBatch round per `depth` commands.
+func BenchmarkWireGetPathBatched(b *testing.B) {
+	const depth = 64
+	s, _ := New(Config{Algo: "ht-clht-lb"})
+	p := s.store.Pin()
+	s.store.Set(p, []byte("hotkey"), 7, 0, []byte("0123456789"))
+	p.Unpin()
+	frame := bytes.Repeat([]byte("get hotkey\r\n"), depth)
+	br := newReader(&repeatReader{frame: frame}, 1<<16)
+	bw := newWriter(devNull{}, 0)
+	var batch Batch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += depth {
+		if _, err := ReadBatchInto(br, DefaultMaxItemSize, depth, &batch); err != nil {
+			b.Fatal(err)
+		}
+		s.executeBatch(&batch, bw)
 	}
 }
 
@@ -34,7 +62,9 @@ func BenchmarkWireSetPath(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ReadCommandInto(br, DefaultMaxItemSize, &cmd, &sc)
-		s.execute(&cmd, bw)
+		p := s.store.Pin()
+		s.execute(p, &cmd, bw)
+		p.Unpin()
 	}
 }
 

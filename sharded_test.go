@@ -352,6 +352,67 @@ func TestShardedStringMapGetBytesZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestShardedStringMapGetBytesBatch: the shard-grouped batch read must
+// agree with per-key GetBytes for every key — hits and misses, duplicate
+// keys, every shard touched — and report results in request order.
+func TestShardedStringMapGetBytesBatch(t *testing.T) {
+	for _, algo := range []string{"ht-clht-lb", "ll-lazy", "sl-fraser-opt"} {
+		t.Run(algo, func(t *testing.T) {
+			m := MustNewShardedStringMap[int](algo, 8, Capacity(256))
+			for i := 0; i < 64; i += 2 { // evens present, odds missing
+				m.Put(fmt.Sprintf("key-%d", i), i)
+			}
+			keys := make([][]byte, 0, 40)
+			for i := 0; i < 39; i++ {
+				keys = append(keys, []byte(fmt.Sprintf("key-%d", i)))
+			}
+			keys = append(keys, []byte("key-0")) // duplicate
+			var out []BatchGet[int]
+			out = m.GetBytesBatch(keys, out)
+			if len(out) != len(keys) {
+				t.Fatalf("len(out) = %d, want %d", len(out), len(keys))
+			}
+			for i, k := range keys {
+				wantV, wantOK := m.GetBytes(k)
+				if out[i].OK != wantOK || out[i].Val != wantV {
+					t.Fatalf("out[%d] (%s) = (%d, %v), want (%d, %v)",
+						i, k, out[i].Val, out[i].OK, wantV, wantOK)
+				}
+			}
+			// Reuse: a second, smaller batch over the same slice.
+			out = m.GetBytesBatch(keys[:3], out)
+			if len(out) != 3 || !out[0].OK || out[1].OK || !out[2].OK {
+				t.Fatalf("reused batch wrong: %+v", out)
+			}
+		})
+	}
+}
+
+// TestShardedStringMapGetBytesBatchZeroAlloc: once the result slice has
+// grown, the shard-grouped batch read allocates nothing per call.
+func TestShardedStringMapGetBytesBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gates are meaningless under race instrumentation")
+	}
+	m := MustNewShardedStringMap[uint64]("ht-clht-lb", 8, Capacity(256))
+	keys := make([][]byte, 16)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bkey-%d", i))
+		m.UpdateBytes(keys[i], func(_ uint64, _ bool) (uint64, bool) { return uint64(i), true })
+	}
+	out := m.GetBytesBatch(keys, nil) // size the backing array
+	if avg := testing.AllocsPerRun(200, func() {
+		out = m.GetBytesBatch(keys, out)
+	}); avg != 0 {
+		t.Fatalf("GetBytesBatch allocates %.1f/op, want 0", avg)
+	}
+	for i := range keys {
+		if !out[i].OK || out[i].Val != uint64(i) {
+			t.Fatalf("out[%d] = %+v", i, out[i])
+		}
+	}
+}
+
 // TestShardedRecycleStatsAggregate: the facade-level RecycleStats must sum
 // shard domains (and stay zero without recycling).
 func TestShardedRecycleStatsAggregate(t *testing.T) {

@@ -129,6 +129,51 @@ func (s *ShardedStringMap[V]) UpdateBytesHashed(shard int, hash uint64, k []byte
 	return updateChain(s.shards[shard], hash, k, f)
 }
 
+// BatchGet is one result slot of GetBytesBatch: the value found for the
+// corresponding key (OK false on a miss).
+type BatchGet[V any] struct {
+	Val V
+	OK  bool
+
+	shard int32
+	done  bool
+	hash  uint64
+}
+
+// GetBytesBatch looks up every keys[i] with one hash computation per key and
+// the lookups grouped by shard, so each shard's buckets are walked
+// consecutively instead of ping-ponging between shards — the batched analog
+// of GetBytes, built on the same StringMap.GetBytesHashed single-hash path.
+// Results land in request order: out (reused across calls; pass the previous
+// return value) is resized to len(keys) and out[i] reports key i, whatever
+// shard it routed to. Like GetBytes, the steady state allocates nothing once
+// out's backing array has grown to the caller's batch size.
+func (s *ShardedStringMap[V]) GetBytesBatch(keys [][]byte, out []BatchGet[V]) []BatchGet[V] {
+	out = out[:0]
+	for _, k := range keys {
+		h := strHash(k)
+		out = append(out, BatchGet[V]{shard: int32(s.shardFromHash(h)), hash: h})
+	}
+	// Shard-grouped walk without a side table: each outer pass takes the
+	// first unresolved key's shard and resolves every key routed to it, so
+	// the number of passes is the number of distinct shards touched.
+	for i := range out {
+		if out[i].done {
+			continue
+		}
+		sh := out[i].shard
+		m := s.shards[sh]
+		for j := i; j < len(out); j++ {
+			if out[j].shard != sh {
+				continue
+			}
+			out[j].Val, out[j].OK = m.GetBytesHashed(out[j].hash, keys[j])
+			out[j].done = true
+		}
+	}
+	return out
+}
+
 // Get returns the value stored under k.
 func (s *ShardedStringMap[V]) Get(k string) (V, bool) {
 	h := strHash(k)

@@ -113,6 +113,17 @@ func (m *StringMap[V]) GetBytes(k []byte) (V, bool) {
 	return getChain(m, strHash(k), k)
 }
 
+// GetBytesHashed is GetBytes under a hash the caller already computed (it
+// must be strHash of k, e.g. via HashBytes): batch and routing layers hash
+// each key exactly once and look up with the same value.
+func (m *StringMap[V]) GetBytesHashed(h uint64, k []byte) (V, bool) {
+	return getChain(m, h, k)
+}
+
+// HashBytes returns the key hash GetBytesHashed expects — one hash
+// computation shared between routing, grouping, and lookup.
+func HashBytes(k []byte) uint64 { return strHash(k) }
+
 // chainUpd carries one updateChain call's mutable state in a single heap
 // object (see Map's updState for the allocation rationale). The staging
 // chain is allocated once per call and reused across speculative
