@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -22,6 +23,15 @@ import (
 //   - -algo <name>|all boots ascyserve in-process on a loopback ephemeral
 //     port and drives that; "all" sweeps every servable registry entry,
 //     producing one BENCH run per algorithm.
+//
+// A third mode scales out: -cluster addr1,addr2,... drives N already-running
+// servers as one consistent-hashed keyspace (see internal/cluster) — each
+// generator connection opens one pipelined connection per node and routes
+// keys by rendezvous hashing, so no server knows the cluster exists.
+// Semicolon-separated groups (e.g. "-cluster a;a,b;a,b,c,d") run one
+// measurement per group: the 1→N process scale-out sweep in a single
+// invocation. Cluster runs report per-node served requests and achieved
+// batch depth alongside the aggregate.
 //
 // In self-serve mode, -shards takes a comma-separated list of keyspace
 // partition counts (e.g. -shards 1,2,4,8) and produces one run per
@@ -46,6 +56,9 @@ func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	var (
 		addr       = fs.String("addr", "", "target server address; empty boots an in-process server")
+		clusterArg = fs.String("cluster", "", "comma-separated node addresses to drive as one consistent-hashed cluster; semicolon-separated groups sweep (e.g. \"a;a,b;a,b,c,d\")")
+		flush      = fs.Bool("flush", false, "flush_all before each run (start every run from an empty store)")
+		dialWait   = fs.Duration("dialtimeout", 5*time.Second, "connect retry window (booting servers are retried with backoff until this elapses)")
 		algo       = fs.String("algo", "ht-clht-lb", "self-serve algorithm(s), comma-separated, or \"all\" for the sweep (ignored with -addr)")
 		shardList  = fs.String("shards", "1", "comma-separated self-serve shard counts, one run each (ignored with -addr)")
 		pipeList   = fs.String("pipeline", "8", "comma-separated pipeline depths (requests in flight per connection), one run each")
@@ -78,6 +91,11 @@ func runLoadgen(args []string) error {
 		MultiGet:    *multiGet,
 		SampleEvery: *sample,
 		Seed:        *seed,
+		FlushBefore: *flush,
+		DialTimeout: *dialWait,
+	}
+	if *clusterArg != "" && *addr != "" {
+		return fmt.Errorf("-cluster and -addr are mutually exclusive")
 	}
 
 	if *cpuProfile != "" {
@@ -106,7 +124,32 @@ func runLoadgen(args []string) error {
 	}
 
 	var runs []server.LoadgenResult
-	if *addr != "" {
+	if *clusterArg != "" {
+		for _, group := range strings.Split(*clusterArg, ";") {
+			var nodes []string
+			for _, a := range strings.Split(group, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					nodes = append(nodes, a)
+				}
+			}
+			if len(nodes) == 0 {
+				continue
+			}
+			cfg.Addr = strings.Join(nodes, ",")
+			cfg.Dial = func() (server.Conn, error) {
+				return cluster.DialRetry(*dialWait, nodes...)
+			}
+			for _, depth := range pipelines {
+				cfg.Pipeline = depth
+				res, err := server.RunLoadgen(cfg)
+				if err != nil {
+					return fmt.Errorf("cluster %s: %w", cfg.Addr, err)
+				}
+				printLoadgen(res)
+				runs = append(runs, res)
+			}
+		}
+	} else if *addr != "" {
 		cfg.Addr = *addr
 		for _, depth := range pipelines {
 			cfg.Pipeline = depth
@@ -220,6 +263,9 @@ func printLoadgen(r server.LoadgenResult) {
 	fmt.Println()
 	if r.BatchDepthAvg > 0 {
 		fmt.Printf("  server batch depth: %.2f avg (achieved, from stats)\n", r.BatchDepthAvg)
+	}
+	for i, nl := range r.NodeLoads {
+		fmt.Printf("  node %d (%s): %d reqs, batch depth %.2f\n", i, nl.Addr, nl.Reqs, nl.BatchDepthAvg)
 	}
 	if all, ok := r.Latency["all"]; ok && all.N > 0 {
 		j := all.JSON()

@@ -1,0 +1,631 @@
+// Package cluster scales the server horizontally: a client-side router that
+// hash-partitions a string keyspace across N independent ascyserve processes,
+// the same decomposition the sharded facade applies inside one process taken
+// one level up. The design goal is the ASCY thesis at cluster scale — no
+// coordination on the data path: nodes never talk to each other, the server
+// binary does not know clusters exist, and the only shared state is the
+// client's routing function. Per-key operations touch exactly one node;
+// multi-key gets split group-by-node and fan out; only flush_all and stats
+// are deliberately broadcast.
+//
+// Routing is rendezvous (highest-random-weight) hashing over the same
+// xorshift-multiply finalized FNV-1a hash the sharded facade routes with: for
+// a key hash h, every node i scores mix(h ^ seed_i) and the highest score
+// wins. Rendezvous rather than a ring: no token tables to build or rebalance,
+// placement is a pure function of (key, node count), and growing N→N+1 moves
+// exactly the keys the new node wins — an expected 1/(N+1) fraction — while
+// every other key stays put. Node identity is the position in the address
+// list, so a cluster restarted with the same ordered list routes identically
+// across restarts.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	ascylib "repro"
+	"repro/internal/server"
+)
+
+// Router maps key hashes onto node indices by rendezvous hashing. A Router
+// is immutable and safe for concurrent use.
+type Router struct {
+	seeds []uint64
+}
+
+// NewRouter builds a router over n nodes (n < 1 is treated as 1). Node i's
+// score stream is seeded from its position, so the mapping is a pure,
+// restart-stable function of (key, n).
+func NewRouter(n int) *Router {
+	if n < 1 {
+		n = 1
+	}
+	r := &Router{seeds: make([]uint64, n)}
+	x := uint64(0xA5C1_5E4D)
+	for i := range r.seeds {
+		r.seeds[i] = splitmix64(&x)
+	}
+	return r
+}
+
+// Nodes returns the node count.
+func (r *Router) Nodes() int { return len(r.seeds) }
+
+// splitmix64 is the standard seed sequencer (same as the xrand package's).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// NodeOf returns the node index key routes to.
+func (r *Router) NodeOf(key string) int { return r.NodeOfHash(ascylib.HashString(key)) }
+
+// NodeOfBytes is NodeOf for a []byte key (zero-alloc, same placement).
+func (r *Router) NodeOfBytes(key []byte) int { return r.NodeOfHash(ascylib.HashBytes(key)) }
+
+// NodeOfHash routes a raw key hash (ascylib.HashString/HashBytes): the
+// xorshift-multiply finalizer the sharded facade scrambles FNV with — raw
+// FNV's top bits are too weak to route on — then the highest-random-weight
+// draw across the nodes. With one node it degenerates to 0 at no cost.
+func (r *Router) NodeOfHash(h uint64) int {
+	h ^= h >> 33
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	best, bestScore := 0, hrwScore(h, r.seeds[0])
+	for i := 1; i < len(r.seeds); i++ {
+		if s := hrwScore(h, r.seeds[i]); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// hrwScore mixes a finalized key hash with a node seed into that node's
+// weight for the key. The mix must decorrelate nodes per key (the finalized
+// hash alone orders every key the same way for every node); splitmix64's
+// finalizer does, cheaply.
+func hrwScore(h, seed uint64) uint64 {
+	z := h ^ seed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// routeMore tags a route-ring entry whose logical request continues in the
+// next entry (a multi-key get split across nodes pushes one entry per
+// touched node; all but the last carry the tag).
+const routeMore = 1 << 31
+
+// routeRing is a FIFO of pending response routes: which node (and, for split
+// gets, nodes) each queued request went to, so the receive half can replay
+// the send half's routing decisions in order. Power-of-two ring, grow-on-full
+// — steady state allocates nothing.
+//
+// The mutex covers the one sanctioned concurrency in the client: a pipelined
+// caller may run the send half and the receive half on two goroutines (the
+// load generator does), which makes the ring a single-producer single-
+// consumer queue. Each request's push happens-before its own pop (the caller
+// must sequence a request's send before its receive to mean anything), but
+// the indices are shared between a later push and an earlier concurrent pop;
+// an uncontended mutex is nanoseconds and allocation-free.
+type routeRing struct {
+	mu   sync.Mutex
+	buf  []uint32
+	head int
+	n    int
+}
+
+func (r *routeRing) push(v uint32) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		grown := make([]uint32, max(64, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *routeRing) pop() (uint32, bool) {
+	r.mu.Lock()
+	if r.n == 0 {
+		r.mu.Unlock()
+		return 0, false
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	r.mu.Unlock()
+	return v, true
+}
+
+// errNoRoute means a Recv* was called with no queued request to receive —
+// the send and receive halves fell out of step.
+var errNoRoute = errors.New("cluster: receive with no pending request")
+
+// errNoKeys mirrors the single-node client's rejection of a keyless get.
+var errNoKeys = errors.New("cluster: get requires at least one key")
+
+// Client routes memcached-protocol requests across the nodes of a cluster,
+// one pipelined server.Client connection per node. It mirrors the
+// single-node client's surface — synchronous conveniences plus explicit
+// Send*/Recv* pipelining halves — and keeps its contract: not safe for
+// general concurrent use, open one per goroutine (the connection pool a
+// concurrent caller wants is a pool of Clients). The one sanctioned split,
+// matching how the load generator drives the single-node client: ONE
+// goroutine running the send half (Send*, Flush) while ONE other runs the
+// receive half (Recv*), each request's send sequenced before its receive.
+// The route ring is the only state both halves touch; it locks internally.
+//
+// The heart is batch-aware routing. Per-key requests route to one node and
+// push that node onto a route FIFO; the receive half pops the FIFO and reads
+// from the same node, so responses come back in request order without any
+// cross-node coordination. A multi-key get is split group-by-node with a
+// pooled counting-sort permutation — exactly the shape Store.GetBatch uses
+// to group keys by shard — and one sub-get per touched node goes out; all
+// touched nodes then serve their slices concurrently. The steady-state send
+// and discard-receive paths allocate nothing, so the load generator's
+// zero-alloc discipline survives the hop to cluster mode.
+type Client struct {
+	router *Router
+	addrs  []string
+	nodes  []*server.Client
+
+	routes routeRing
+	reqs   []uint64 // requests routed per node, lifetime of the client
+
+	// Pooled group-by-node scratch for multi-key gets (see SendGet): the
+	// counting-sort workspace, per-key routes, the permutation, and the
+	// gathered per-node key batch.
+	counts []int32
+	nodeOf []int32
+	perm   []int32
+	sub    []string
+}
+
+// Dial connects one pipelined connection to every node. The address list
+// order is the cluster's identity: the same ordered list routes the same
+// keys to the same nodes, across clients and across restarts.
+func Dial(addrs ...string) (*Client, error) {
+	return dial(addrs, func(a string) (*server.Client, error) { return server.Dial(a) })
+}
+
+// DialRetry is Dial with per-node bounded-backoff retry (server.DialRetry):
+// the form launcher scripts and CI smokes want, where the cluster's
+// processes are still booting when the client starts.
+func DialRetry(timeout time.Duration, addrs ...string) (*Client, error) {
+	return dial(addrs, func(a string) (*server.Client, error) { return server.DialRetry(a, timeout) })
+}
+
+func dial(addrs []string, connect func(string) (*server.Client, error)) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no node addresses")
+	}
+	c := &Client{
+		router: NewRouter(len(addrs)),
+		addrs:  append([]string(nil), addrs...),
+		nodes:  make([]*server.Client, len(addrs)),
+		reqs:   make([]uint64, len(addrs)),
+		counts: make([]int32, len(addrs)),
+	}
+	for i, a := range c.addrs {
+		nc, err := connect(a)
+		if err != nil {
+			for _, open := range c.nodes[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, a, err)
+		}
+		c.nodes[i] = nc
+	}
+	return c, nil
+}
+
+// Nodes returns the node count.
+func (c *Client) Nodes() int { return len(c.nodes) }
+
+// Addrs returns the node address list (the cluster identity, in routing
+// order). The returned slice is the client's own; do not mutate it.
+func (c *Client) Addrs() []string { return c.addrs }
+
+// NodeReqs returns how many requests this client has routed to each node —
+// the client-side view of load balance (a broadcast counts once per node).
+func (c *Client) NodeReqs() []uint64 { return append([]uint64(nil), c.reqs...) }
+
+// Router returns the routing function, shared and immutable.
+func (c *Client) Router() *Router { return c.router }
+
+// Close sends quit to every node and closes the connections, returning the
+// first error.
+func (c *Client) Close() error {
+	var first error
+	for _, nc := range c.nodes {
+		if err := nc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Abort closes every node transport without touching buffers; like the
+// single-node Abort it may be called from another goroutine to unblock the
+// owner.
+func (c *Client) Abort() error {
+	var first error
+	for _, nc := range c.nodes {
+		if err := nc.Abort(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Flush pushes every node's queued requests to the wire. Flushing a node
+// with an empty buffer is a no-op, so this costs only the touched nodes
+// anything.
+func (c *Client) Flush() error {
+	var first error
+	for _, nc := range c.nodes {
+		if err := nc.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- pipelined send half ---
+
+// SendGet1 queues a single-key get on the key's node. The loadgen hot path:
+// one route, one node write, one ring push, no allocation.
+func (c *Client) SendGet1(withCAS bool, key string) error {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	c.routes.push(uint32(n))
+	return c.nodes[n].SendGet1(withCAS, key)
+}
+
+// SendGet queues a get (or gets) for the given keys, split group-by-node:
+// keys are routed, a counting-sort permutation groups them (request order
+// preserved within each group — the property response reassembly relies on),
+// and each touched node receives one sub-get for its group. The touched
+// nodes all hold their slice after the next Flush, so they serve the batch
+// concurrently. Zero allocations once the scratch has grown to the caller's
+// batch size.
+func (c *Client) SendGet(withCAS bool, keys ...string) error {
+	switch len(keys) {
+	case 0:
+		return errNoKeys
+	case 1:
+		return c.SendGet1(withCAS, keys[0])
+	}
+	n := len(keys)
+	if cap(c.nodeOf) < n {
+		c.nodeOf = make([]int32, n)
+		c.perm = make([]int32, n)
+	}
+	c.nodeOf = c.nodeOf[:n]
+	c.perm = c.perm[:n]
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+	for i, k := range keys {
+		nd := c.router.NodeOf(k)
+		c.nodeOf[i] = int32(nd)
+		c.counts[nd]++
+	}
+	// Counting sort: counts become group start offsets, then each key's
+	// index is scattered into its node's slot range (identical in shape to
+	// Store.GetBatch's group-by-shard).
+	off := int32(0)
+	for nd, cnt := range c.counts {
+		c.counts[nd] = off
+		off += cnt
+	}
+	for i := 0; i < n; i++ {
+		nd := c.nodeOf[i]
+		c.perm[c.counts[nd]] = int32(i)
+		c.counts[nd]++
+	}
+	for j := 0; j < n; {
+		nd := c.nodeOf[c.perm[j]]
+		c.sub = c.sub[:0]
+		for ; j < n && c.nodeOf[c.perm[j]] == nd; j++ {
+			c.sub = append(c.sub, keys[c.perm[j]])
+		}
+		c.reqs[nd]++
+		tag := uint32(nd)
+		if j < n { // more groups follow for this logical request
+			tag |= routeMore
+		}
+		c.routes.push(tag)
+		if err := c.nodes[nd].SendGet(withCAS, c.sub...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendStore queues a storage command on the key's node (verb as in the
+// single-node client; casid only used for "cas").
+func (c *Client) SendStore(verb, key string, flags uint32, exptime int64, data []byte, casid uint64) error {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	c.routes.push(uint32(n))
+	return c.nodes[n].SendStore(verb, key, flags, exptime, data, casid)
+}
+
+// SendDelete queues a delete on the key's node.
+func (c *Client) SendDelete(key string) error {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	c.routes.push(uint32(n))
+	return c.nodes[n].SendDelete(key)
+}
+
+// SendIncrDecr queues an incr or decr on the key's node.
+func (c *Client) SendIncrDecr(key string, delta uint64, incr bool) error {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	c.routes.push(uint32(n))
+	return c.nodes[n].SendIncrDecr(key, delta, incr)
+}
+
+// --- pipelined receive half ---
+
+// RecvGetN consumes the response of one SendGet1/SendGet, discarding
+// payloads and returning entry and byte counts — the allocation-free
+// accounting receive the load generator drives. For a split get it sums the
+// touched nodes' sub-responses.
+func (c *Client) RecvGetN() (entries int, dataBytes int64, err error) {
+	for {
+		tag, ok := c.routes.pop()
+		if !ok {
+			return entries, dataBytes, errNoRoute
+		}
+		e, b, err := c.nodes[tag&^routeMore].RecvGetN()
+		entries += e
+		dataBytes += b
+		if err != nil {
+			return entries, dataBytes, err
+		}
+		if tag&routeMore == 0 {
+			return entries, dataBytes, nil
+		}
+	}
+}
+
+// RecvGet consumes the response of one SendGet1/SendGet, materializing the
+// entries. For a split get the entries come back grouped by node (each
+// group in request order) — callers that need exact request order across
+// nodes get it from ServeStream's reassembly, or key the results (GetMulti).
+func (c *Client) RecvGet() ([]server.Entry, error) {
+	var out []server.Entry
+	for {
+		tag, ok := c.routes.pop()
+		if !ok {
+			return out, errNoRoute
+		}
+		es, err := c.nodes[tag&^routeMore].RecvGet()
+		out = append(out, es...)
+		if err != nil {
+			return out, err
+		}
+		if tag&routeMore == 0 {
+			return out, nil
+		}
+	}
+}
+
+// RecvStored consumes one storage response (see server.Client.RecvStored).
+func (c *Client) RecvStored() (bool, error) {
+	tag, ok := c.routes.pop()
+	if !ok {
+		return false, errNoRoute
+	}
+	return c.nodes[tag&^routeMore].RecvStored()
+}
+
+// RecvDeleted consumes one delete response.
+func (c *Client) RecvDeleted() (bool, error) {
+	tag, ok := c.routes.pop()
+	if !ok {
+		return false, errNoRoute
+	}
+	return c.nodes[tag&^routeMore].RecvDeleted()
+}
+
+// RecvLine consumes one single-line response.
+func (c *Client) RecvLine() (string, error) {
+	tag, ok := c.routes.pop()
+	if !ok {
+		return "", errNoRoute
+	}
+	return c.nodes[tag&^routeMore].RecvLine()
+}
+
+// --- synchronous conveniences ---
+
+// Get retrieves one key from its node.
+func (c *Client) Get(key string) (server.Entry, bool, error) {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	return c.nodes[n].Get(key)
+}
+
+// GetMulti retrieves several keys in one fan-out round trip: sub-gets to
+// every touched node, served concurrently, results keyed.
+func (c *Client) GetMulti(keys ...string) (map[string]server.Entry, error) {
+	if err := c.SendGet(false, keys...); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	es, err := c.RecvGet()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]server.Entry, len(es))
+	for _, e := range es {
+		out[e.Key] = e
+	}
+	return out, nil
+}
+
+// Set stores unconditionally on the key's node.
+func (c *Client) Set(key string, flags uint32, exptime int64, data []byte) error {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	return c.nodes[n].Set(key, flags, exptime, data)
+}
+
+// Add stores only if absent; reports whether it stored.
+func (c *Client) Add(key string, flags uint32, exptime int64, data []byte) (bool, error) {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	return c.nodes[n].Add(key, flags, exptime, data)
+}
+
+// Delete removes a key from its node.
+func (c *Client) Delete(key string) (bool, error) {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	return c.nodes[n].Delete(key)
+}
+
+// Incr adjusts the decimal value under key upward on its node.
+func (c *Client) Incr(key string, delta uint64) (uint64, bool, error) {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	return c.nodes[n].Incr(key, delta)
+}
+
+// Decr adjusts the decimal value under key downward on its node.
+func (c *Client) Decr(key string, delta uint64) (uint64, bool, error) {
+	n := c.router.NodeOf(key)
+	c.reqs[n]++
+	return c.nodes[n].Decr(key, delta)
+}
+
+// FlushAll empties every node's store — the one mutating broadcast in the
+// protocol. The requests pipeline to all nodes before any response is read.
+func (c *Client) FlushAll() error {
+	for n, nc := range c.nodes {
+		c.reqs[n]++
+		if err := nc.SendFlushAll(0); err != nil {
+			return err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	for _, nc := range c.nodes {
+		line, err := nc.RecvLine()
+		if err != nil {
+			return err
+		}
+		if line != "OK" {
+			return fmt.Errorf("cluster: unexpected flush_all response %q", line)
+		}
+	}
+	return nil
+}
+
+// NodeStats retrieves every node's statistics, pipelined (one fan-out round
+// trip), indexed like Addrs.
+func (c *Client) NodeStats() ([]map[string]string, error) {
+	for _, nc := range c.nodes {
+		if err := nc.SendStats(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]map[string]string, len(c.nodes))
+	for i, nc := range c.nodes {
+		st, err := nc.RecvStats()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stats from node %d (%s): %w", i, c.addrs[i], err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// Stats fans out to every node and aggregates: additive counters (command
+// and hit/miss counts, byte counts, batch and value-pool counters, item and
+// connection counts, shard totals) are summed, batch_depth_avg is recomputed
+// from the summed counters, and identity fields (algo, version, …) are taken
+// from node 0. Cluster-level fields are added on top: cluster_nodes, and
+// node<i>_reqs — each node's served-command count, so uneven routing is
+// visible in one place.
+func (c *Client) Stats() (map[string]string, error) {
+	per, err := c.NodeStats()
+	if err != nil {
+		return nil, err
+	}
+	return c.aggregateStats(per), nil
+}
+
+// aggregateStats folds per-node stats maps (indexed like Addrs) into the
+// cluster view Stats documents.
+func (c *Client) aggregateStats(per []map[string]string) map[string]string {
+	agg := make(map[string]string, len(per[0])+len(per)+1)
+	for k, v := range per[0] {
+		agg[k] = v
+	}
+	for _, st := range per[1:] {
+		for k, v := range st {
+			if !statSummable(k) {
+				continue
+			}
+			a, err1 := strconv.ParseUint(agg[k], 10, 64)
+			b, err2 := strconv.ParseUint(v, 10, 64)
+			if err1 == nil && err2 == nil {
+				agg[k] = strconv.FormatUint(a+b, 10)
+			}
+		}
+	}
+	// The summed batches/cmd_batched make node 0's quotient stale.
+	if batches, err := strconv.ParseUint(agg["batches"], 10, 64); err == nil && batches > 0 {
+		if batched, err := strconv.ParseUint(agg["cmd_batched"], 10, 64); err == nil {
+			agg["batch_depth_avg"] = strconv.FormatFloat(float64(batched)/float64(batches), 'f', 2, 64)
+		}
+	}
+	agg["cluster_nodes"] = strconv.Itoa(len(c.nodes))
+	for i, st := range per {
+		agg["node"+strconv.Itoa(i)+"_reqs"] = strconv.FormatUint(server.ReqsServed(st), 10)
+	}
+	return agg
+}
+
+// statSummable reports whether a stats field aggregates across nodes by
+// summation. batch_depth_avg is a quotient (recomputed after summing);
+// uptime/time/version/algo and the like are identity fields (node 0 wins).
+func statSummable(name string) bool {
+	switch name {
+	case "curr_connections", "total_connections", "curr_items",
+		"batches", "cmd_batched", "protocol_errors", "shards", "threads":
+		return true
+	case "batch_depth_avg":
+		return false
+	}
+	for _, p := range [...]string{"cmd_", "get_", "delete_", "incr_", "decr_",
+		"cas_", "bytes_", "value_pool_", "batch_depth_"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

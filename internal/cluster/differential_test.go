@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/xrand"
+)
+
+// This file is the cluster's differential gate: for randomized pipelined
+// command streams, an N-node cluster fronted by Client.ServeStream must
+// answer byte-identically to one big server holding the whole keyspace —
+// same hit/miss pattern, same error lines, same noreply suppression, same
+// truncation on fatal frames. The proxy parses with the server's own
+// ReadBatchInto, so every protocol decision (limits, error spelling,
+// fatal-vs-recoverable) has exactly one implementation to diverge from.
+//
+// Two command families are deliberately absent from the generated streams:
+//
+//   - gets/cas: CAS tokens are per-node counters, so an N-node cluster
+//     hands out different tokens than one server would. Real memcached
+//     clusters behave the same way (tokens are only comparable against the
+//     node that issued them); byte equality is the wrong spec for them.
+//   - stats: aggregated values include wall-clock and per-process fields.
+//
+// Everything else — including flush_all, which the proxy broadcasts — must
+// match to the byte.
+
+// genClusterStream mirrors the server package's genStream minus gets/cas.
+func genClusterStream(rng *xrand.State, n int, withFatal bool) []byte {
+	var b strings.Builder
+	key := func() string { return fmt.Sprintf("k%d", rng.Uint64n(24)) }
+	noreply := func() string {
+		if rng.Uint64n(4) == 0 {
+			return " noreply"
+		}
+		return ""
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Uint64n(10) {
+		case 0, 1, 2:
+			fmt.Fprintf(&b, "get %s\r\n", key())
+		case 3:
+			// Multi-key get: almost always spans nodes, exercising the
+			// split/reassemble path (duplicates included).
+			fmt.Fprintf(&b, "get %s %s %s\r\n", key(), key(), key())
+		case 4, 5:
+			val := strings.Repeat("v", int(rng.Uint64n(80)))
+			fmt.Fprintf(&b, "set %s %d 0 %d%s\r\n%s\r\n", key(), rng.Uint64n(100), len(val), noreply(), val)
+		case 6:
+			fmt.Fprintf(&b, "add %s 0 0 2%s\r\nhi\r\n", key(), noreply())
+		case 7:
+			fmt.Fprintf(&b, "replace %s 0 -1 2\r\nxx\r\n", key()) // stored already expired
+		case 8:
+			switch rng.Uint64n(3) {
+			case 0:
+				fmt.Fprintf(&b, "delete %s%s\r\n", key(), noreply())
+			case 1:
+				fmt.Fprintf(&b, "incr %s %d\r\n", key(), rng.Uint64n(1000))
+			case 2:
+				fmt.Fprintf(&b, "decr %s 1%s\r\n", key(), noreply())
+			}
+		case 9:
+			// Protocol noise, recoverable: an unknown verb, a keyless get,
+			// a malformed storage line whose block must be swallowed, a
+			// flush_all broadcast, or a version check.
+			switch rng.Uint64n(5) {
+			case 0:
+				b.WriteString("bogus line\r\n")
+			case 1:
+				b.WriteString("get\r\n")
+			case 2:
+				fmt.Fprintf(&b, "set %s 0 notanumber 3%s\r\nxyz\r\n", key(), noreply())
+			case 3:
+				b.WriteString("flush_all 0\r\n")
+			case 4:
+				b.WriteString("version\r\n")
+			}
+		}
+	}
+	if withFatal {
+		// A storage line whose size field cannot be parsed is fatal: both
+		// sides must answer the error and truncate at exactly this point.
+		b.WriteString("set k 0 0 nosize\r\n")
+	}
+	b.WriteString("quit\r\n")
+	return []byte(b.String())
+}
+
+// collectSingle feeds the stream over TCP to one server holding the whole
+// keyspace and returns every response byte, written in `chunk`-sized pieces
+// to exercise partial-frame reads.
+func collectSingle(t *testing.T, algo string, stream []byte, chunk int) []byte {
+	t.Helper()
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { s.Serve(); close(done) }()
+	defer func() { s.Close(); <-done }()
+
+	c, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go func() {
+		for off := 0; off < len(stream); off += chunk {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			if _, err := c.Write(stream[off:end]); err != nil {
+				return
+			}
+		}
+	}()
+	out, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatalf("reading responses: %v", err)
+	}
+	return out
+}
+
+// chunkReader yields at most `chunk` bytes per Read, forcing the proxy's
+// parser through the same partial-frame regime the TCP side sees.
+type chunkReader struct {
+	rest  []byte
+	chunk int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.rest) == 0 {
+		return 0, io.EOF
+	}
+	n := r.chunk
+	if n > len(r.rest) {
+		n = len(r.rest)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.rest[:n])
+	r.rest = r.rest[n:]
+	return n, nil
+}
+
+// collectCluster feeds the stream to a fresh 4-node cluster through
+// ServeStream and returns every response byte.
+func collectCluster(t *testing.T, algo string, stream []byte, chunk int) []byte {
+	t.Helper()
+	addrs := startNodes(t, algo, 4)
+	c, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out bytes.Buffer
+	if err := c.ServeStream(&chunkReader{rest: stream, chunk: chunk}, &out); err != nil {
+		t.Fatalf("ServeStream: %v", err)
+	}
+	return out.Bytes()
+}
+
+// TestClusterMatchesSingleServer is the differential gate proper.
+func TestClusterMatchesSingleServer(t *testing.T) {
+	for _, algo := range []string{"ht-clht-lb", "ll-lazy"} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			for _, chunk := range []int{1 << 20, 257} {
+				name := fmt.Sprintf("%s/seed%d/chunk%d", algo, seed, chunk)
+				t.Run(name, func(t *testing.T) {
+					rng := xrand.New(seed)
+					stream := genClusterStream(rng, 400, seed%2 == 0)
+					single := collectSingle(t, algo, stream, chunk)
+					clustered := collectCluster(t, algo, stream, chunk)
+					if !bytes.Equal(single, clustered) {
+						i := 0
+						for i < len(single) && i < len(clustered) && single[i] == clustered[i] {
+							i++
+						}
+						lo := i - 120
+						if lo < 0 {
+							lo = 0
+						}
+						t.Fatalf("responses diverge at byte %d\nsingle:  %q\ncluster: %q",
+							i, tail(single, lo, i+120), tail(clustered, lo, i+120))
+					}
+				})
+			}
+		}
+	}
+}
+
+func tail(b []byte, lo, hi int) []byte {
+	if hi > len(b) {
+		hi = len(b)
+	}
+	if lo > len(b) {
+		lo = len(b)
+	}
+	return b[lo:hi]
+}

@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/server"
+)
+
+// ServeStream serves one memcached-protocol request stream through the
+// cluster: requests are parsed from r with the server's own batched framing
+// (server.ReadBatchInto — same parser, same limits, same error and
+// resynchronization behavior), routed and executed across the nodes, and the
+// responses written to w exactly as a single server would write them. It is
+// the differential-testing vehicle: for any stream avoiding the operations
+// that are inherently per-node (gets/cas tokens are issued independently by
+// each node, stats is aggregated), the bytes written here are identical to
+// the bytes a single big server produces for the same stream — including
+// noreply suppression, in-order error responses for malformed frames,
+// flush_all broadcast, and fatal-error truncation.
+//
+// Execution is two-phase per batch, the cluster analog of the server's
+// pin-amortized batch: every command in the batch is first forwarded to its
+// node (multi-key gets split group-by-node), then all touched nodes are
+// flushed at once, then responses are collected in request order — so a
+// pipelined burst reaches all nodes concurrently instead of serializing one
+// round trip per command.
+//
+// noreply commands are forwarded *without* noreply and their node responses
+// are read and discarded: the proxy must consume exactly one response per
+// forwarded request to keep its per-node pipelines aligned, and suppression
+// is applied locally, where the single server applies it too.
+//
+// ServeStream owns the client's node connections while it runs; do not
+// interleave it with other Send*/Recv* calls on the same Client. It returns
+// when the stream ends (EOF, quit, or a fatal protocol error — all normal,
+// nil-error endings, as for a server connection) or on a node I/O failure.
+func (c *Client) ServeStream(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	defer bw.Flush()
+	var batch server.Batch
+	var plans []streamPlan
+	cursors := make([]int, len(c.nodes))
+	groups := make([][]server.Entry, len(c.nodes))
+	for {
+		n, err := server.ReadBatchInto(br, server.DefaultMaxItemSize, server.DefaultMaxBatch, &batch)
+		if n == 0 {
+			// Transport end (clean EOF or a mid-frame cut): the server closes
+			// without a response either way.
+			return nil
+		}
+		plans = plans[:0]
+		closing := false
+		for i := range batch.Entries {
+			p, stop, perr := c.planEntry(&batch.Entries[i])
+			if perr != nil {
+				return perr
+			}
+			plans = append(plans, p)
+			if stop {
+				closing = true
+				break
+			}
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		for i := range plans {
+			if err := c.deliver(bw, &plans[i], cursors, groups); err != nil {
+				return err
+			}
+		}
+		if closing || err != nil {
+			return bw.Flush()
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// planKind discriminates the receive action a planned batch entry needs.
+type planKind uint8
+
+const (
+	planLocal planKind = iota // respond from the proxy itself (errors, version, quit)
+	planLine                  // one single-line response from one node
+	planGet                   // a (possibly split) get: per-node sub-responses reassembled
+	planBcast                 // flush_all: one line from every node, one line out
+	planStats                 // stats: fan-out, aggregate, emit
+)
+
+// streamPlan is one batch entry's routing decision, recorded during the send
+// phase and consumed in order by the receive phase.
+type streamPlan struct {
+	kind    planKind
+	node    int32
+	noreply bool
+	close   bool   // close the stream after responding (quit, fatal error)
+	line    string // planLocal's literal response ("" = respond with nothing)
+
+	// planGet reassembly state: the request-order keys, each key's node, and
+	// the ascending list of nodes holding an outstanding sub-response.
+	withCAS bool
+	keys    []string
+	nodeOf  []int32
+	touched []int32
+}
+
+// planEntry forwards one parsed batch entry to its node(s) and returns the
+// receive-phase plan. stop reports that the stream must close after this
+// entry's response (quit or a fatal protocol error — both are always the
+// batch's last entry).
+func (c *Client) planEntry(e *server.BatchEntry) (p streamPlan, stop bool, err error) {
+	if e.Err != nil {
+		// The proxy runs the same parser as the server, so protocol errors
+		// surface here, in order, and are answered locally — never forwarded.
+		p = streamPlan{kind: planLocal, noreply: e.Err.NoReply, line: e.Err.Resp, close: e.Err.Fatal}
+		return p, e.Err.Fatal, nil
+	}
+	cmd := &e.Cmd
+	switch cmd.Op {
+	case server.OpQuit:
+		return streamPlan{kind: planLocal, noreply: true, close: true}, true, nil
+
+	case server.OpGet, server.OpGets:
+		p = streamPlan{
+			kind:    planGet,
+			withCAS: cmd.Op == server.OpGets,
+			keys:    make([]string, len(cmd.Keys)),
+			nodeOf:  make([]int32, len(cmd.Keys)),
+		}
+		for i, k := range cmd.Keys {
+			p.keys[i] = string(k)
+			p.nodeOf[i] = int32(c.router.NodeOf(p.keys[i]))
+		}
+		// One sub-get per touched node, nodes ascending, each group in
+		// request order — the order reassembly (deliverGet) replays.
+		for nd := range c.nodes {
+			c.sub = c.sub[:0]
+			for i, key := range p.keys {
+				if p.nodeOf[i] == int32(nd) {
+					c.sub = append(c.sub, key)
+				}
+			}
+			if len(c.sub) == 0 {
+				continue
+			}
+			c.reqs[nd]++
+			p.touched = append(p.touched, int32(nd))
+			if err := c.nodes[nd].SendGet(p.withCAS, c.sub...); err != nil {
+				return p, false, err
+			}
+		}
+		return p, false, nil
+
+	case server.OpSet, server.OpAdd, server.OpReplace, server.OpCas:
+		nd := c.router.NodeOfBytes(cmd.Key)
+		c.reqs[nd]++
+		err = c.nodes[nd].SendStore(cmd.Op.String(), string(cmd.Key), cmd.Flags, cmd.Exptime, cmd.Data, cmd.CasID)
+		return streamPlan{kind: planLine, node: int32(nd), noreply: cmd.NoReply}, false, err
+
+	case server.OpDelete:
+		nd := c.router.NodeOfBytes(cmd.Key)
+		c.reqs[nd]++
+		err = c.nodes[nd].SendDelete(string(cmd.Key))
+		return streamPlan{kind: planLine, node: int32(nd), noreply: cmd.NoReply}, false, err
+
+	case server.OpIncr, server.OpDecr:
+		nd := c.router.NodeOfBytes(cmd.Key)
+		c.reqs[nd]++
+		err = c.nodes[nd].SendIncrDecr(string(cmd.Key), cmd.Delta, cmd.Op == server.OpIncr)
+		return streamPlan{kind: planLine, node: int32(nd), noreply: cmd.NoReply}, false, err
+
+	case server.OpFlushAll:
+		// The one mutating broadcast: every node flushes, one response line
+		// comes back to the client (the parser already rejected negative
+		// delays, matching the server's only local error path for flush_all).
+		for nd, nc := range c.nodes {
+			c.reqs[nd]++
+			if err := nc.SendFlushAll(cmd.Exptime); err != nil {
+				return p, false, err
+			}
+		}
+		return streamPlan{kind: planBcast, noreply: cmd.NoReply}, false, nil
+
+	case server.OpStats:
+		for _, nc := range c.nodes {
+			if err := nc.SendStats(); err != nil {
+				return p, false, err
+			}
+		}
+		return streamPlan{kind: planStats}, false, nil
+
+	case server.OpVersion:
+		// Identical on every node by construction; answered locally.
+		return streamPlan{kind: planLocal, line: "VERSION " + server.Version}, false, nil
+	}
+	return p, false, fmt.Errorf("cluster: unhandled op %v", cmd.Op)
+}
+
+// deliver collects one plan's node responses and writes the client-facing
+// response bytes.
+func (c *Client) deliver(bw *bufio.Writer, p *streamPlan, cursors []int, groups [][]server.Entry) error {
+	switch p.kind {
+	case planLocal:
+		if !p.noreply && p.line != "" {
+			bw.WriteString(p.line)
+			bw.WriteString("\r\n")
+		}
+		return nil
+
+	case planLine:
+		line, err := c.nodes[p.node].RecvLine()
+		if err != nil {
+			return err
+		}
+		if !p.noreply {
+			bw.WriteString(line)
+			bw.WriteString("\r\n")
+		}
+		return nil
+
+	case planGet:
+		return c.deliverGet(bw, p, cursors, groups)
+
+	case planBcast:
+		first := ""
+		for i, nc := range c.nodes {
+			line, err := nc.RecvLine()
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				first = line
+			}
+		}
+		if !p.noreply {
+			bw.WriteString(first)
+			bw.WriteString("\r\n")
+		}
+		return nil
+
+	case planStats:
+		per := make([]map[string]string, len(c.nodes))
+		for i, nc := range c.nodes {
+			st, err := nc.RecvStats()
+			if err != nil {
+				return err
+			}
+			per[i] = st
+		}
+		agg := c.aggregateStats(per)
+		keys := make([]string, 0, len(agg))
+		for k := range agg {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bw.WriteString("STAT " + k + " " + agg[k] + "\r\n")
+		}
+		bw.WriteString("END\r\n")
+		return nil
+	}
+	return fmt.Errorf("cluster: unhandled plan kind %d", p.kind)
+}
+
+// deliverGet reassembles a split get into the single server's response: each
+// touched node returns its hits in sub-request order, and since the
+// sub-requests were carved from the request order, a per-node cursor walk
+// over the request-order keys restores it — each key occurrence either
+// matches its node's next pending entry (a hit: emit the VALUE stanza) or
+// does not (a miss, or a duplicate the node answered once: emit nothing),
+// byte-identical either way.
+func (c *Client) deliverGet(bw *bufio.Writer, p *streamPlan, cursors []int, groups [][]server.Entry) error {
+	for _, nd := range p.touched {
+		es, err := c.nodes[nd].RecvGet()
+		if err != nil {
+			return err
+		}
+		groups[nd] = es
+		cursors[nd] = 0
+	}
+	for i, key := range p.keys {
+		nd := p.nodeOf[i]
+		cur := cursors[nd]
+		if cur < len(groups[nd]) && groups[nd][cur].Key == key {
+			writeValue(bw, &groups[nd][cur], p.withCAS)
+			cursors[nd] = cur + 1
+		}
+	}
+	_, err := bw.WriteString("END\r\n")
+	return err
+}
+
+// writeValue renders one VALUE stanza exactly as the server does.
+func writeValue(bw *bufio.Writer, e *server.Entry, withCAS bool) {
+	fmt.Fprintf(bw, "VALUE %s %d %d", e.Key, e.Flags, len(e.Data))
+	if withCAS {
+		fmt.Fprintf(bw, " %d", e.CAS)
+	}
+	bw.WriteString("\r\n")
+	bw.Write(e.Data)
+	bw.WriteString("\r\n")
+}

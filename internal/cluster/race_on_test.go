@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled: the allocation gates are skipped under the race detector —
+// its instrumentation (and race-mode sync.Pool, which drops Puts at
+// random) introduces allocations the production build does not have.
+const raceEnabled = true

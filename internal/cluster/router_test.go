@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"strconv"
+	"testing"
+
+	ascylib "repro"
+)
+
+// testHashes precomputes the key hashes of a keyspace once; every router
+// property below is a pure function of these.
+func testHashes(n int) []uint64 {
+	hs := make([]uint64, n)
+	for i := range hs {
+		hs[i] = ascylib.HashString("key:" + strconv.Itoa(i))
+	}
+	return hs
+}
+
+// TestRouterDeterministic: placement is a pure function of (key, node
+// count) — two routers over the same node count route every key
+// identically (this is what makes the mapping stable across client and
+// cluster restarts: there is no per-process randomness to disagree about),
+// and string and byte forms of a key agree.
+func TestRouterDeterministic(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		a, b := NewRouter(n), NewRouter(n)
+		for i := 0; i < 10000; i++ {
+			key := "key:" + strconv.Itoa(i)
+			na, nb := a.NodeOf(key), b.NodeOf(key)
+			if na != nb {
+				t.Fatalf("n=%d key %q: %d vs %d across router instances", n, key, na, nb)
+			}
+			if nByte := a.NodeOfBytes([]byte(key)); nByte != na {
+				t.Fatalf("n=%d key %q: string routes to %d, bytes to %d", n, key, na, nByte)
+			}
+			if na < 0 || na >= n {
+				t.Fatalf("n=%d key %q: node %d out of range", n, key, na)
+			}
+		}
+	}
+}
+
+// TestRouterBalance: at 1M keys the per-node key counts stay within 15% of
+// uniform for every cluster size 2..8. Rendezvous over a well-mixed score is
+// a balls-into-bins process; the observed deviation should be a small
+// fraction of a percent, so 15% also guards against a silently broken mix
+// (raw FNV top bits, a constant seed) that still "works".
+func TestRouterBalance(t *testing.T) {
+	const keys = 1_000_000
+	hs := testHashes(keys)
+	for n := 2; n <= 8; n++ {
+		r := NewRouter(n)
+		counts := make([]int, n)
+		for _, h := range hs {
+			counts[r.NodeOfHash(h)]++
+		}
+		want := float64(keys) / float64(n)
+		for nd, got := range counts {
+			dev := (float64(got) - want) / want
+			if dev < -0.15 || dev > 0.15 {
+				t.Fatalf("n=%d node %d holds %d keys, %.1f%% off uniform (%.0f)",
+					n, nd, got, 100*dev, want)
+			}
+		}
+	}
+}
+
+// TestRouterRemap: growing the cluster N→N+1 must move about 1/(N+1) of the
+// keys — the minimal disruption rendezvous hashing promises — and every key
+// that moves must move TO the new node (node identity is the position in the
+// address list, so existing nodes keep their positions and can only lose
+// keys to the newcomer, never trade among themselves).
+func TestRouterRemap(t *testing.T) {
+	const keys = 1_000_000
+	hs := testHashes(keys)
+	for n := 1; n <= 7; n++ {
+		before, after := NewRouter(n), NewRouter(n+1)
+		moved := 0
+		for _, h := range hs {
+			a, b := before.NodeOfHash(h), after.NodeOfHash(h)
+			if a == b {
+				continue
+			}
+			if b != n {
+				t.Fatalf("n=%d→%d: a key moved from node %d to old node %d", n, n+1, a, b)
+			}
+			moved++
+		}
+		frac := float64(moved) / float64(keys)
+		want := 1 / float64(n+1)
+		if frac < want-0.02 || frac > want+0.02 {
+			t.Fatalf("n=%d→%d: remapped fraction %.4f, want ≈ %.4f (±0.02)", n, n+1, frac, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // errNoKeys rejects a keyless retrieval before it reaches the wire: a bare
@@ -42,6 +43,37 @@ func Dial(addr string) (*Client, error) {
 		br: newReader(c, 64<<10),
 		bw: bufio.NewWriterSize(c, 64<<10),
 	}, nil
+}
+
+// DialRetry dials addr, retrying failed connection attempts with bounded,
+// jittered exponential backoff until timeout elapses. A freshly exec'd
+// server loses the race against its first client all the time (multi-process
+// cluster boots make it a certainty), and connection refused during that
+// window is a scheduling artifact, not an error — so the client absorbs it
+// here instead of every launcher script growing its own sleep loop. A
+// timeout <= 0 degenerates to a single attempt.
+func DialRetry(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 5 * time.Millisecond
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if timeout <= 0 || !time.Now().Before(deadline) {
+			return nil, err
+		}
+		// Full jitter over the current backoff window, so N clients racing
+		// one booting server spread out instead of stampeding in lockstep.
+		sleep := time.Duration(uint64(time.Now().UnixNano()) % uint64(backoff))
+		if remain := time.Until(deadline); sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep + time.Millisecond)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
 }
 
 // Close sends quit and closes the connection.
@@ -457,14 +489,36 @@ func (c *Client) incrDecr(key string, delta uint64, incr bool) (uint64, bool, er
 	return v, true, nil
 }
 
+// SendStats queues a stats request; pair with RecvStats. The split halves
+// exist for fan-out callers (the cluster client pipelines one stats request
+// to every node, then collects) — synchronous use wants Stats.
+func (c *Client) SendStats() error {
+	_, err := c.bw.WriteString("stats\r\n")
+	return err
+}
+
+// SendFlushAll queues a flush_all with the given delay (0 flushes
+// immediately); the response is one "OK" line (RecvLine).
+func (c *Client) SendFlushAll(delay int64) error {
+	c.bw.WriteString("flush_all")
+	c.writeInt(delay)
+	_, err := c.bw.Write(crlf)
+	return err
+}
+
 // Stats retrieves the server's statistics.
 func (c *Client) Stats() (map[string]string, error) {
-	if _, err := fmt.Fprintf(c.bw, "stats\r\n"); err != nil {
+	if err := c.SendStats(); err != nil {
 		return nil, err
 	}
 	if err := c.Flush(); err != nil {
 		return nil, err
 	}
+	return c.RecvStats()
+}
+
+// RecvStats receives the response of one SendStats.
+func (c *Client) RecvStats() (map[string]string, error) {
 	out := map[string]string{}
 	for {
 		line, err := c.readLine()
@@ -504,7 +558,7 @@ func (c *Client) Version() (string, error) {
 
 // FlushAll empties the server's store.
 func (c *Client) FlushAll() error {
-	if _, err := fmt.Fprintf(c.bw, "flush_all\r\n"); err != nil {
+	if err := c.SendFlushAll(0); err != nil {
 		return err
 	}
 	if err := c.Flush(); err != nil {

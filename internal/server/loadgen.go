@@ -15,11 +15,54 @@ import (
 	"repro/internal/xrand"
 )
 
+// Conn is the endpoint surface the load generator drives: the pipelined
+// send/receive halves plus the handful of synchronous calls the harness
+// phases (preload, stats snapshots) need. *Client implements it for a single
+// server; the cluster package's client implements it for N-node scale-out —
+// the generator itself cannot import that package (it lives above this one),
+// so the seam is this interface plus the Dial factory on LoadgenConfig.
+type Conn interface {
+	SendGet(withCAS bool, keys ...string) error
+	SendGet1(withCAS bool, key string) error
+	SendStore(verb, key string, flags uint32, exptime int64, data []byte, casid uint64) error
+	SendDelete(key string) error
+	Flush() error
+	RecvGetN() (entries int, dataBytes int64, err error)
+	RecvStored() (bool, error)
+	RecvDeleted() (bool, error)
+	Add(key string, flags uint32, exptime int64, data []byte) (bool, error)
+	Stats() (map[string]string, error)
+	FlushAll() error
+	Close() error
+	Abort() error
+}
+
+// nodeView is the optional per-node side of a Conn: a cluster client exposes
+// its node list and per-node statistics so the run can report per-node load
+// and achieved batch depth. Single-server connections simply don't.
+type nodeView interface {
+	Addrs() []string
+	NodeStats() ([]map[string]string, error)
+}
+
 // LoadgenConfig configures one load-generation run against a
 // memcached-protocol endpoint.
 type LoadgenConfig struct {
 	// Addr is the target server.
 	Addr string
+	// Dial overrides the connection factory. nil dials Addr directly (with
+	// DialTimeout retry); cluster mode passes a factory that opens one
+	// cluster client (its own connection per node) per generator connection.
+	Dial func() (Conn, error)
+	// DialTimeout bounds the connect retry window of the default factory
+	// (see DialRetry); 0 falls back to the fill() default. Freshly exec'd
+	// servers lose the boot race against their first client routinely, so
+	// the generator absorbs that window instead of failing the run.
+	DialTimeout time.Duration
+	// FlushBefore issues a flush_all before preloading, so back-to-back
+	// sweep runs against reused server processes start from an empty store
+	// instead of inheriting the previous run's keys.
+	FlushBefore bool
 	// Conns is the number of client connections (each driven by its own
 	// sender/receiver goroutine pair).
 	Conns int
@@ -70,6 +113,18 @@ func (c *LoadgenConfig) fill() {
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = 4
 	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+}
+
+// connect opens one endpoint connection per the config: the Dial factory
+// when set, otherwise a retrying dial of Addr.
+func (c *LoadgenConfig) connect() (Conn, error) {
+	if c.Dial != nil {
+		return c.Dial()
+	}
+	return DialRetry(c.Addr, c.DialTimeout)
 }
 
 // Latency classes of the load generator.
@@ -101,8 +156,17 @@ type LoadgenResult struct {
 	// (Δcmd_batched / Δbatches from the server's stats): how many pipelined
 	// commands the server actually executed per pin/epoch/clock/dispatch
 	// round. 0 when the server does not report batch stats; 1.0 means no
-	// amortization happened.
+	// amortization happened. For a cluster run the deltas are summed across
+	// nodes, so this is the traffic-weighted average; NodeLoads has the
+	// per-node values.
 	BatchDepthAvg float64
+
+	// NodeLoads is the per-node server-side accounting of a cluster run,
+	// indexed like the cluster's address list (empty for single-server
+	// runs): each node's served requests and achieved batch depth over the
+	// run window, so uneven routing or per-node amortization loss is visible
+	// instead of averaged away.
+	NodeLoads []NodeLoad
 
 	Ops        uint64 // requests completed (a multi-get counts once)
 	Gets       uint64
@@ -127,6 +191,41 @@ type LoadgenResult struct {
 	ClientAllocsPerOp float64
 	ClientGCPause     time.Duration
 	ClientNumGC       uint32
+}
+
+// NodeLoad is one cluster node's share of a run: the requests it served and
+// the batch depth it achieved over the run window (deltas of its own stats).
+type NodeLoad struct {
+	Addr          string
+	Reqs          uint64
+	BatchDepthAvg float64
+}
+
+// ReqsServed sums a server's served-command counters from a stats map — the
+// per-node load measure the cluster's aggregated stats and the load
+// generator's per-node reporting share.
+func ReqsServed(st map[string]string) uint64 {
+	var n uint64
+	for _, k := range [...]string{"cmd_get", "cmd_set", "cmd_delete", "cmd_incr", "cmd_decr", "cmd_flush"} {
+		v, _ := strconv.ParseUint(st[k], 10, 64)
+		n += v
+	}
+	return n
+}
+
+// nodeSnap is one node's cumulative counters at a phase boundary.
+type nodeSnap struct {
+	reqs, batches, batched uint64
+}
+
+func snapNodes(per []map[string]string) []nodeSnap {
+	out := make([]nodeSnap, len(per))
+	for i, st := range per {
+		out[i].reqs = ReqsServed(st)
+		out[i].batches, _ = strconv.ParseUint(st["batches"], 10, 64)
+		out[i].batched, _ = strconv.ParseUint(st["cmd_batched"], 10, 64)
+	}
+	return out
 }
 
 // Throughput returns completed requests per second.
@@ -178,9 +277,15 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	}
 
 	// Preload N distinct random keys.
-	pre, err := Dial(cfg.Addr)
+	pre, err := cfg.connect()
 	if err != nil {
 		return res, fmt.Errorf("loadgen: dial %s: %w", cfg.Addr, err)
+	}
+	if cfg.FlushBefore {
+		if err := pre.FlushAll(); err != nil {
+			pre.Close()
+			return res, fmt.Errorf("loadgen: flush_all: %w", err)
+		}
 	}
 	// Walk the whole key domain in a seeded random order, stopping at N
 	// stored. A bounded sweep rather than rejection sampling: against a
@@ -216,10 +321,20 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		batches0, _ = strconv.ParseUint(st["batches"], 10, 64)
 		batched0, _ = strconv.ParseUint(st["cmd_batched"], 10, 64)
 	}
+	// Cluster endpoints also expose per-node stats; snapshot those too so
+	// the run can report each node's own load and batch depth.
+	var nodeAddrs []string
+	var nodes0 []nodeSnap
+	if nv, ok := pre.(nodeView); ok {
+		nodeAddrs = append([]string(nil), nv.Addrs()...)
+		if per, err := nv.NodeStats(); err == nil {
+			nodes0 = snapNodes(per)
+		}
+	}
 	pre.Close()
 
 	states := make([]*lgConn, cfg.Conns)
-	clients := make([]*Client, 0, cfg.Conns)
+	clients := make([]Conn, 0, cfg.Conns)
 	var wg sync.WaitGroup
 	deadline := time.Now().Add(cfg.Duration)
 	var mem0 runtime.MemStats
@@ -228,7 +343,7 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	for i := 0; i < cfg.Conns; i++ {
 		cs := &lgConn{}
 		states[i] = cs
-		cl, err := Dial(cfg.Addr)
+		cl, err := cfg.connect()
 		if err != nil {
 			// Stop and join the connections already running before
 			// reporting: leaving them loading the server after the call
@@ -244,7 +359,7 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		}
 		clients = append(clients, cl)
 		wg.Add(1)
-		go func(i int, cl *Client, cs *lgConn) {
+		go func(i int, cl Conn, cs *lgConn) {
 			defer wg.Done()
 			defer cl.Close()
 			window := make(chan pending, cfg.Pipeline)
@@ -298,13 +413,27 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	if res.Ops > 0 {
 		res.ClientAllocsPerOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(res.Ops)
 	}
-	// Achieved server-side batch depth over the run window.
-	if post, err := Dial(cfg.Addr); err == nil {
+	// Achieved server-side batch depth over the run window — global, and
+	// per node when the endpoint exposes a node view.
+	if post, err := cfg.connect(); err == nil {
 		if st, err := post.Stats(); err == nil {
 			batches1, _ := strconv.ParseUint(st["batches"], 10, 64)
 			batched1, _ := strconv.ParseUint(st["cmd_batched"], 10, 64)
 			if batches1 > batches0 {
 				res.BatchDepthAvg = float64(batched1-batched0) / float64(batches1-batches0)
+			}
+		}
+		if nv, ok := post.(nodeView); ok && len(nodes0) > 0 {
+			if per, err := nv.NodeStats(); err == nil && len(per) == len(nodes0) {
+				nodes1 := snapNodes(per)
+				res.NodeLoads = make([]NodeLoad, len(nodes1))
+				for i := range nodes1 {
+					nl := NodeLoad{Addr: nodeAddrs[i], Reqs: nodes1[i].reqs - nodes0[i].reqs}
+					if db := nodes1[i].batches - nodes0[i].batches; db > 0 {
+						nl.BatchDepthAvg = float64(nodes1[i].batched-nodes0[i].batched) / float64(db)
+					}
+					res.NodeLoads[i] = nl
+				}
 			}
 		}
 		post.Close()
@@ -323,7 +452,7 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 // The loop body allocates nothing: keys come from the prebuilt table, the
 // multi-get batch is a reused scratch slice, and the send paths format
 // numbers into retained buffers.
-func lgSend(cl *Client, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, value []byte, deadline time.Time, window chan pending) error {
+func lgSend(cl Conn, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, value []byte, deadline time.Time, window chan pending) error {
 	rng := xrand.New(cfg.Seed + uint64(conn) + 1)
 	kr := uint64(2 * cfg.Keys)
 	var countdown [numLgClasses]int
@@ -377,7 +506,7 @@ func lgSend(cl *Client, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, 
 // never blocks against a gone receiver. Responses are consumed through the
 // discarding receive paths, so the steady-state loop allocates nothing and
 // the latency samples never include client GC work.
-func lgReceive(cl *Client, cs *lgConn, window chan pending) {
+func lgReceive(cl Conn, cs *lgConn, window chan pending) {
 	fail := func(err error) {
 		cs.recvErr = err
 		cs.dead.Store(true)
@@ -436,10 +565,12 @@ func lgReceive(cl *Client, cs *lgConn, window chan pending) {
 
 // --- BENCH_server.json ---
 
-// BenchSchema identifies the BENCH_server.json layout. v2 adds the per-run
-// client pipeline depth and the server-side achieved batch depth, so the
-// pipeline-depth sweep is first-class in the document.
-const BenchSchema = "ascylib/bench-server/v2"
+// BenchSchema identifies the BENCH_server.json layout. v2 added the per-run
+// client pipeline depth and the server-side achieved batch depth; v3 adds
+// cluster scale-out (per-run node count, per-node request and batch-depth
+// arrays) and records the client machine's gomaxprocs/numcpu in the shared
+// config, so scale-out and multi-core sweeps carry their context.
+const BenchSchema = "ascylib/bench-server/v3"
 
 // BenchRun is one load-generation run in machine-readable form.
 type BenchRun struct {
@@ -452,19 +583,26 @@ type BenchRun struct {
 	Pipeline int `json:"pipeline"`
 	// BatchDepthAvg is the server-side achieved batch depth over the run
 	// (see LoadgenResult.BatchDepthAvg).
-	BatchDepthAvg  float64                      `json:"batch_depth_avg"`
-	Ops            uint64                       `json:"ops"`
-	DurationS      float64                      `json:"duration_s"`
-	ThroughputOpsS float64                      `json:"throughput_ops_s"`
-	MissRate       float64                      `json:"miss_rate"`
-	Gets           uint64                       `json:"gets"`
-	GetHits        uint64                       `json:"get_hits"`
-	GetMisses      uint64                       `json:"get_misses"`
-	Sets           uint64                       `json:"sets"`
-	Deletes        uint64                       `json:"deletes"`
-	MultiGets      uint64                       `json:"multi_gets"`
-	MultiGetKeys   uint64                       `json:"multi_get_keys"`
-	LatencyUS      map[string]stats.SummaryJSON `json:"latency_us"`
+	BatchDepthAvg float64 `json:"batch_depth_avg"`
+	// Nodes is how many server processes served the run (1 = single
+	// server); NodeReqs and NodeBatchDepthAvg are that many entries, in
+	// cluster address order, for cluster runs — per-node served requests
+	// and achieved batch depth, so uneven load is visible in the artifact.
+	Nodes             int                          `json:"nodes"`
+	NodeReqs          []uint64                     `json:"node_reqs,omitempty"`
+	NodeBatchDepthAvg []float64                    `json:"node_batch_depth_avg,omitempty"`
+	Ops               uint64                       `json:"ops"`
+	DurationS         float64                      `json:"duration_s"`
+	ThroughputOpsS    float64                      `json:"throughput_ops_s"`
+	MissRate          float64                      `json:"miss_rate"`
+	Gets              uint64                       `json:"gets"`
+	GetHits           uint64                       `json:"get_hits"`
+	GetMisses         uint64                       `json:"get_misses"`
+	Sets              uint64                       `json:"sets"`
+	Deletes           uint64                       `json:"deletes"`
+	MultiGets         uint64                       `json:"multi_gets"`
+	MultiGetKeys      uint64                       `json:"multi_get_keys"`
+	LatencyUS         map[string]stats.SummaryJSON `json:"latency_us"`
 	// Generator hygiene (see LoadgenResult): client-side allocations per
 	// request and GC pause totals over the driving window.
 	ClientAllocsPerOp float64 `json:"client_allocs_per_op"`
@@ -487,6 +625,10 @@ type BenchFile struct {
 		MultiGet    int     `json:"multi_get"`
 		SampleEvery int     `json:"sample_every"`
 		Seed        uint64  `json:"seed"`
+		// The generator machine's parallelism at run time (v3): scale-out
+		// and multi-core results are meaningless without them.
+		GOMAXPROCS int `json:"gomaxprocs"`
+		NumCPU     int `json:"numcpu"`
 	} `json:"config"`
 	Runs []BenchRun `json:"runs"`
 }
@@ -498,6 +640,7 @@ func BenchRunOf(r LoadgenResult) BenchRun {
 		Shards:         r.Shards,
 		Pipeline:       r.Cfg.Pipeline,
 		BatchDepthAvg:  r.BatchDepthAvg,
+		Nodes:          1,
 		Ops:            r.Ops,
 		DurationS:      r.Elapsed.Seconds(),
 		ThroughputOpsS: r.Throughput(),
@@ -514,6 +657,13 @@ func BenchRunOf(r LoadgenResult) BenchRun {
 		ClientAllocsPerOp: r.ClientAllocsPerOp,
 		ClientGCPauseUS:   float64(r.ClientGCPause) / 1e3,
 		ClientNumGC:       r.ClientNumGC,
+	}
+	if len(r.NodeLoads) > 0 {
+		b.Nodes = len(r.NodeLoads)
+		for _, nl := range r.NodeLoads {
+			b.NodeReqs = append(b.NodeReqs, nl.Reqs)
+			b.NodeBatchDepthAvg = append(b.NodeBatchDepthAvg, nl.BatchDepthAvg)
+		}
 	}
 	for name, s := range r.Latency {
 		b.LatencyUS[name] = s.JSON()
@@ -536,6 +686,8 @@ func WriteBench(path string, cfg LoadgenConfig, runs []LoadgenResult) error {
 	f.Config.MultiGet = cfg.MultiGet
 	f.Config.SampleEvery = cfg.SampleEvery
 	f.Config.Seed = cfg.Seed
+	f.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	f.Config.NumCPU = runtime.NumCPU()
 	f.Runs = []BenchRun{}
 	for _, r := range runs {
 		f.Runs = append(f.Runs, BenchRunOf(r))

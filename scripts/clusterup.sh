@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# clusterup.sh — boot N independent ascyserve processes on ephemeral
+# loopback ports and print the comma-joined address list on stdout, in boot
+# order (the order IS the cluster's node identity: clients must pass the
+# same list, in the same order, to -cluster).
+#
+# Usage: scripts/clusterup.sh N [ascyserve flags...]
+#   N                 number of server processes to boot
+#   remaining args    passed through to every ascyserve (e.g. -algo ll-lazy)
+#
+# Environment:
+#   ASCYSERVE  path to the ascyserve binary   (default: bin/ascyserve)
+#   RUNDIR     scratch dir for addr/pid files (default: mktemp -d)
+#
+# Each process writes its bound address to $RUNDIR/node<i>.addr via
+# -addrfile; PIDs land in $RUNDIR/pids (one per line) so a caller can
+# `kill $(cat "$RUNDIR/pids")` to tear the cluster down. The script waits
+# until every node has bound before printing, so the output is usable the
+# moment it appears — though ascybench's -dialtimeout retry loop tolerates
+# racing it anyway.
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+  echo "usage: $0 N [ascyserve flags...]" >&2
+  exit 2
+fi
+N=$1
+shift
+
+ASCYSERVE=${ASCYSERVE:-bin/ascyserve}
+RUNDIR=${RUNDIR:-$(mktemp -d)}
+mkdir -p "$RUNDIR"
+: > "$RUNDIR/pids"
+
+for i in $(seq 0 $((N - 1))); do
+  rm -f "$RUNDIR/node$i.addr"
+  # The servers must NOT inherit our stdout: callers capture it with
+  # $(clusterup.sh ...), and command substitution only returns once every
+  # process holding the pipe's write end exits. Logs go to per-node files.
+  "$ASCYSERVE" -addr 127.0.0.1:0 -addrfile "$RUNDIR/node$i.addr" "$@" \
+    > "$RUNDIR/node$i.log" 2>&1 &
+  echo $! >> "$RUNDIR/pids"
+done
+
+ADDRS=""
+for i in $(seq 0 $((N - 1))); do
+  for _ in $(seq 100); do
+    [ -s "$RUNDIR/node$i.addr" ] && break
+    sleep 0.1
+  done
+  if [ ! -s "$RUNDIR/node$i.addr" ]; then
+    echo "node $i failed to bind within 10s" >&2
+    kill "$(cat "$RUNDIR/pids")" 2>/dev/null || true
+    exit 1
+  fi
+  ADDRS="$ADDRS${ADDRS:+,}$(cat "$RUNDIR/node$i.addr")"
+done
+
+echo "cluster up: $N node(s), pids in $RUNDIR/pids" >&2
+echo "$ADDRS"

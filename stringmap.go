@@ -124,6 +124,12 @@ func (m *StringMap[V]) GetBytesHashed(h uint64, k []byte) (V, bool) {
 // computation shared between routing, grouping, and lookup.
 func HashBytes(k []byte) uint64 { return strHash(k) }
 
+// HashString is HashBytes for a string key: the same FNV-1a hash every
+// string-keyed layer (StringMap chains, shard routing, cluster routing)
+// derives its placement from, so a key routes identically whether it arrives
+// as a string or as bytes off the wire.
+func HashString(k string) uint64 { return strHash(k) }
+
 // chainUpd carries one updateChain call's mutable state in a single heap
 // object (see Map's updState for the allocation rationale). The staging
 // chain is allocated once per call and reused across speculative
