@@ -10,6 +10,7 @@
 package ascylib
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -79,6 +80,57 @@ func TestSearchZeroAlloc(t *testing.T) {
 				k = k%200 + 1
 			}); avg != 0 {
 				t.Fatalf("%s: Search allocates %.2f/op, want 0", name, avg)
+			}
+			_ = sink
+		})
+	}
+}
+
+// TestSearchZeroAllocStripedPools: the per-P striped pool fast path must
+// keep the recycling search hit at zero allocations even after the pool has
+// been churned from many goroutines — the regime where allocators have been
+// parked across every stripe slot and the sync.Pool has been cleared by GC,
+// so a Get that fell back to adoption (which allocates a lease scan) instead
+// of its stripe slot would show up here as a nonzero allocs/op.
+func TestSearchZeroAllocStripedPools(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gates are meaningless under race instrumentation")
+	}
+	for _, algo := range []string{"ll-lazy", "sl-fraser-opt"} {
+		t.Run(algo, func(t *testing.T) {
+			s := core.MustNew(algo, core.Capacity(128), core.RecycleNodes(true))
+			for k := core.Key(1); k <= 128; k++ {
+				s.Insert(k, core.Value(k))
+			}
+			// Churn from many goroutines: registers several allocators with
+			// the structure's pool and scatters them across stripe slots.
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						k := core.Key(i%128 + 1)
+						s.Search(k)
+						if i%16 == w {
+							s.Remove(k)
+							s.Insert(k, core.Value(k))
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			var sink core.Value
+			k := core.Key(1)
+			for i := 0; i < 64; i++ { // park this goroutine's allocator in its slot
+				s.Search(k)
+			}
+			if avg := testing.AllocsPerRun(400, func() {
+				v, _ := s.Search(k)
+				sink += v
+				k = k%200 + 1
+			}); avg != 0 {
+				t.Fatalf("%s: striped-pool Search allocates %.2f/op, want 0", algo, avg)
 			}
 			_ = sink
 		})

@@ -60,6 +60,7 @@ func runLoadgen(args []string) error {
 		flush      = fs.Bool("flush", false, "flush_all before each run (start every run from an empty store)")
 		dialWait   = fs.Duration("dialtimeout", 5*time.Second, "connect retry window (booting servers are retried with backoff until this elapses)")
 		algo       = fs.String("algo", "ht-clht-lb", "self-serve algorithm(s), comma-separated, or \"all\" for the sweep (ignored with -addr)")
+		cpuList    = fs.String("cpu", "", "comma-separated GOMAXPROCS values, one full sweep each (e.g. 1,2,4; empty keeps the current setting) — the multi-core scaling axis")
 		shardList  = fs.String("shards", "1", "comma-separated self-serve shard counts, one run each (ignored with -addr)")
 		pipeList   = fs.String("pipeline", "8", "comma-separated pipeline depths (requests in flight per connection), one run each")
 		conns      = fs.Int("conns", 4, "client connections")
@@ -124,76 +125,96 @@ func runLoadgen(args []string) error {
 	}
 
 	var runs []server.LoadgenResult
-	if *clusterArg != "" {
-		for _, group := range strings.Split(*clusterArg, ";") {
-			var nodes []string
-			for _, a := range strings.Split(group, ",") {
-				if a = strings.TrimSpace(a); a != "" {
-					nodes = append(nodes, a)
+	// runSweep drives every configured (mode, algo, shards, pipeline)
+	// combination once at the current GOMAXPROCS, appending to runs. The
+	// -cpu flag wraps it: one full sweep per core count, outermost, so the
+	// BENCH document groups cleanly into scaling curves.
+	runSweep := func() error {
+		if *clusterArg != "" {
+			for _, group := range strings.Split(*clusterArg, ";") {
+				var nodes []string
+				for _, a := range strings.Split(group, ",") {
+					if a = strings.TrimSpace(a); a != "" {
+						nodes = append(nodes, a)
+					}
 				}
-			}
-			if len(nodes) == 0 {
-				continue
-			}
-			cfg.Addr = strings.Join(nodes, ",")
-			cfg.Dial = func() (server.Conn, error) {
-				return cluster.DialRetry(*dialWait, nodes...)
-			}
-			for _, depth := range pipelines {
-				cfg.Pipeline = depth
-				res, err := server.RunLoadgen(cfg)
-				if err != nil {
-					return fmt.Errorf("cluster %s: %w", cfg.Addr, err)
+				if len(nodes) == 0 {
+					continue
 				}
-				printLoadgen(res)
-				runs = append(runs, res)
-			}
-		}
-	} else if *addr != "" {
-		cfg.Addr = *addr
-		for _, depth := range pipelines {
-			cfg.Pipeline = depth
-			res, err := server.RunLoadgen(cfg)
-			if err != nil {
-				return err
-			}
-			printLoadgen(res)
-			runs = append(runs, res)
-		}
-	} else {
-		shardCounts, err := parseIntList("-shards", *shardList)
-		if err != nil {
-			return err
-		}
-		var algos []string
-		if *algo == "all" {
-			for _, a := range core.All() {
-				if a.Safe {
-					algos = append(algos, a.Name)
+				cfg.Addr = strings.Join(nodes, ",")
+				cfg.Dial = func() (server.Conn, error) {
+					return cluster.DialRetry(*dialWait, nodes...)
 				}
-			}
-		} else {
-			for _, name := range strings.Split(*algo, ",") {
-				if name = strings.TrimSpace(name); name != "" {
-					algos = append(algos, name)
-				}
-			}
-			if len(algos) == 0 {
-				return fmt.Errorf("-algo %q names no algorithms", *algo)
-			}
-		}
-		for _, name := range algos {
-			for _, shards := range shardCounts {
 				for _, depth := range pipelines {
 					cfg.Pipeline = depth
-					res, err := selfServe(name, shards, cfg)
+					res, err := server.RunLoadgen(cfg)
 					if err != nil {
-						return fmt.Errorf("%s (shards=%d, pipeline=%d): %w", name, shards, depth, err)
+						return fmt.Errorf("cluster %s: %w", cfg.Addr, err)
 					}
 					printLoadgen(res)
 					runs = append(runs, res)
 				}
 			}
+		} else if *addr != "" {
+			cfg.Addr = *addr
+			for _, depth := range pipelines {
+				cfg.Pipeline = depth
+				res, err := server.RunLoadgen(cfg)
+				if err != nil {
+					return err
+				}
+				printLoadgen(res)
+				runs = append(runs, res)
+			}
+		} else {
+			shardCounts, err := parseIntList("-shards", *shardList)
+			if err != nil {
+				return err
+			}
+			var algos []string
+			if *algo == "all" {
+				for _, a := range core.All() {
+					if a.Safe {
+						algos = append(algos, a.Name)
+					}
+				}
+			} else {
+				for _, name := range strings.Split(*algo, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						algos = append(algos, name)
+					}
+				}
+				if len(algos) == 0 {
+					return fmt.Errorf("-algo %q names no algorithms", *algo)
+				}
+			}
+			for _, name := range algos {
+				for _, shards := range shardCounts {
+					for _, depth := range pipelines {
+						cfg.Pipeline = depth
+						res, err := selfServe(name, shards, cfg)
+						if err != nil {
+							return fmt.Errorf("%s (shards=%d, pipeline=%d): %w", name, shards, depth, err)
+						}
+						printLoadgen(res)
+						runs = append(runs, res)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if *cpuList == "" {
+		if err := runSweep(); err != nil {
+			return err
+		}
+	} else {
+		cpuCounts, err := parseIntList("-cpu", *cpuList)
+		if err != nil {
+			return err
+		}
+		if err := server.RunCPUSweep(cpuCounts, func(int) error { return runSweep() }); err != nil {
+			return err
 		}
 	}
 	if *out != "" {
@@ -254,7 +275,7 @@ func printLoadgen(r server.LoadgenResult) {
 	if r.Shards > 0 {
 		algo += fmt.Sprintf(" [%d shard(s)]", r.Shards)
 	}
-	fmt.Printf("%s: %d conns x %d deep, %v\n", algo, r.Cfg.Conns, r.Cfg.Pipeline, r.Elapsed.Round(time.Millisecond))
+	fmt.Printf("%s: %d conns x %d deep, cpus=%d, %v\n", algo, r.Cfg.Conns, r.Cfg.Pipeline, r.CPUs, r.Elapsed.Round(time.Millisecond))
 	fmt.Printf("  throughput: %.0f req/s (%d requests)\n", r.Throughput(), r.Ops)
 	fmt.Printf("  gets: %d (%.1f%% miss), sets: %d, deletes: %d", r.Gets, 100*r.MissRate(), r.Sets, r.Deletes)
 	if r.MGets > 0 {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/ascy"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/server"
 	"repro/internal/workload"
 
 	_ "repro" // register all implementations via the facade package
@@ -85,6 +86,7 @@ func main() {
 		rangePct = flag.Int("rangepct", 0, "ad-hoc: range-scan percentage")
 		rangeSp  = flag.Uint64("rangespan", 100, "ad-hoc: keys per range scan")
 		seed     = flag.Uint64("seed", 0, "workload seed")
+		cpuList  = flag.String("cpu", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4): run the requested experiment(s) once per value — the multi-core scaling axis")
 	)
 	flag.Parse()
 
@@ -95,33 +97,55 @@ func main() {
 	case *compl:
 		printCompliance()
 		return
-	case *bench != "":
-		runAdhoc(*bench, *initial, *update, *rangePct, *rangeSp, *threads, *duration, *seed)
-		return
-	case *fig == "" && !*all:
+	case *bench == "" && *fig == "" && !*all:
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	opts := harness.Quick(os.Stdout)
-	if *paper {
-		opts = harness.Paper(os.Stdout)
-	}
-	if *duration != 0 {
-		opts.Duration = *duration
-	}
-	if *reps != 0 {
-		opts.Reps = *reps
-	}
-	opts.Threads = *threads
-	opts.MaxThreads = *maxThr
-	opts.Seed = *seed
+	// runOnce executes the requested experiment(s) at the current
+	// GOMAXPROCS; -cpu wraps it into a sweep, one full pass per core count.
+	runOnce := func() error {
+		if *bench != "" {
+			runAdhoc(*bench, *initial, *update, *rangePct, *rangeSp, *threads, *duration, *seed)
+			return nil
+		}
+		opts := harness.Quick(os.Stdout)
+		if *paper {
+			opts = harness.Paper(os.Stdout)
+		}
+		if *duration != 0 {
+			opts.Duration = *duration
+		}
+		if *reps != 0 {
+			opts.Reps = *reps
+		}
+		opts.Threads = *threads
+		opts.MaxThreads = *maxThr
+		opts.Seed = *seed
 
-	if *all {
-		harness.RunAll(opts)
+		if *all {
+			harness.RunAll(opts)
+			return nil
+		}
+		return harness.RunExperiment(*fig, opts)
+	}
+
+	if *cpuList == "" {
+		if err := runOnce(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
-	if err := harness.RunExperiment(*fig, opts); err != nil {
+	cpus, err := parseIntList("-cpu", *cpuList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := server.RunCPUSweep(cpus, func(c int) error {
+		fmt.Printf("=== GOMAXPROCS %d ===\n", c)
+		return runOnce()
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

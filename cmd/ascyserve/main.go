@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/core"
@@ -36,6 +37,8 @@ func main() {
 		capacity = flag.Int("capacity", 1<<16, "structure capacity (hash-table buckets, total across shards)")
 		shards   = flag.Int("shards", 1, "partition the keyspace across this many independent structure instances")
 		accept   = flag.Int("accept", 0, "sharded-accept workers (0 = GOMAXPROCS, capped at 8)")
+		reuse    = flag.Bool("reuseport", false, "bind one SO_REUSEPORT listener per accept worker (kernel-sharded accept queues; falls back to one shared listener where unsupported)")
+		cpu      = flag.Int("cpu", 0, "cap GOMAXPROCS for the whole process (0 keeps the runtime default) — pins the server's core budget for scaling experiments")
 		maxItem  = flag.Int("maxitem", server.DefaultMaxItemSize, "maximum value size in bytes")
 		maxBatch = flag.Int("maxbatch", server.DefaultMaxBatch, "max pipelined requests executed per store pin (1 disables batching)")
 		idle     = flag.Duration("idletimeout", 0, "reclaim connections silent for this long (0 = server default of 5m, negative disables)")
@@ -44,6 +47,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *cpu > 0 {
+		runtime.GOMAXPROCS(*cpu)
+	}
 	if _, ok := core.Get(*algo); !ok {
 		fmt.Fprintf(os.Stderr, "ascyserve: unknown algorithm %q; pick one of:\n", *algo)
 		for _, a := range core.All() {
@@ -60,6 +66,7 @@ func main() {
 		Capacity:      *capacity,
 		Shards:        *shards,
 		AcceptWorkers: *accept,
+		ReusePort:     *reuse,
 		MaxItemSize:   *maxItem,
 		MaxBatch:      *maxBatch,
 		IdleTimeout:   *idle,
@@ -76,7 +83,11 @@ func main() {
 		os.Exit(1)
 	}
 	if !*quiet {
-		fmt.Printf("ascyserve: %s serving %s (%d shard(s)) on %s\n", server.Version, *algo, s.Store().Shards(), s.Addr())
+		extra := ""
+		if s.ReusePortActive() {
+			extra = ", reuseport"
+		}
+		fmt.Printf("ascyserve: %s serving %s (%d shard(s)%s) on %s\n", server.Version, *algo, s.Store().Shards(), extra, s.Addr())
 	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(s.Addr().String()), 0o644); err != nil {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package scaletest
+
+const raceEnabled = false

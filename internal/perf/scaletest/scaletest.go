@@ -1,0 +1,158 @@
+// Package scaletest measures and gates the server's multi-core scaling
+// curve — the paper's headline claim (portable scalability of ASCY-compliant
+// designs, Figures 4–9) turned into a CI check.
+//
+// The harness boots a fresh in-process server per core count, drives it with
+// the wire load generator at GOMAXPROCS 1, then N, and reports the speedup
+// and scaling efficiency between the points. A change that reintroduces a
+// store-global hot line (a shared counter on the request path, a serialized
+// accept queue, an allocator that bounces between cores) flattens the curve
+// and fails the gate on multi-core runners; single-core machines skip with
+// an explicit reason rather than pretending to have measured scaling.
+package scaletest
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Config configures one scaling measurement.
+type Config struct {
+	// Algo is the served structure (default ht-clht-lb, the paper's
+	// fastest server backend).
+	Algo string
+	// Shards is the keyspace partition count (default 4 — sharding is
+	// what lets a single structure family use the extra cores at all).
+	Shards int
+	// CPUs are the GOMAXPROCS points, in measurement order (default
+	// [1, min(4, NumCPU)]). Each point gets its own freshly booted server:
+	// the curve compares cold-start-equal configurations, not a warmed
+	// server against a cold one.
+	CPUs []int
+	// Duration is the measured window per point (default 300ms — long
+	// enough to swamp setup, short enough for CI).
+	Duration time.Duration
+	// Conns / Pipeline / Keys / UpdatePct / Seed mirror LoadgenConfig
+	// (defaults: 4 conns, 8 deep, 2048 keys, 10% updates, seed 1).
+	Conns     int
+	Pipeline  int
+	Keys      int
+	UpdatePct int
+	Seed      uint64
+}
+
+func (c *Config) fill() {
+	if c.Algo == "" {
+		c.Algo = "ht-clht-lb"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if len(c.CPUs) == 0 {
+		n := runtime.NumCPU()
+		if n > 4 {
+			n = 4
+		}
+		c.CPUs = []int{1, n}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 300 * time.Millisecond
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 8
+	}
+	if c.Keys <= 0 {
+		c.Keys = 2048
+	}
+	if c.UpdatePct <= 0 {
+		c.UpdatePct = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Point is one measured core count.
+type Point struct {
+	CPUs       int
+	Throughput float64 // requests per second
+	Ops        uint64
+}
+
+// Result is one measured scaling curve.
+type Result struct {
+	Algo   string
+	Shards int
+	Points []Point
+}
+
+// Speedup is T(last)/T(first): how much faster the highest core count ran
+// than the lowest. 0 until two points exist.
+func (r Result) Speedup() float64 {
+	if len(r.Points) < 2 || r.Points[0].Throughput <= 0 {
+		return 0
+	}
+	return r.Points[len(r.Points)-1].Throughput / r.Points[0].Throughput
+}
+
+// Efficiency is the scaling efficiency between the first and last points:
+// Speedup divided by the core-count ratio — 1.0 is perfect linear scaling.
+func (r Result) Efficiency() float64 {
+	if len(r.Points) < 2 || r.Points[0].CPUs <= 0 {
+		return 0
+	}
+	ratio := float64(r.Points[len(r.Points)-1].CPUs) / float64(r.Points[0].CPUs)
+	if ratio <= 0 {
+		return 0
+	}
+	return r.Speedup() / ratio
+}
+
+// Run measures the curve: for each configured core count, boot a fresh
+// in-process server (its accept workers, shards, and stat slots sized for
+// that GOMAXPROCS), drive it with the wire load generator, tear it down.
+// GOMAXPROCS is restored before Run returns.
+func Run(cfg Config) (Result, error) {
+	cfg.fill()
+	res := Result{Algo: cfg.Algo, Shards: cfg.Shards}
+	err := server.RunCPUSweep(cfg.CPUs, func(c int) error {
+		s, err := server.New(server.Config{
+			Addr:   "127.0.0.1:0",
+			Algo:   cfg.Algo,
+			Shards: cfg.Shards,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.Listen(); err != nil {
+			return err
+		}
+		done := make(chan struct{})
+		go func() { s.Serve(); close(done) }()
+		lr, lerr := server.RunLoadgen(server.LoadgenConfig{
+			Addr:        s.Addr().String(),
+			Conns:       cfg.Conns,
+			Pipeline:    cfg.Pipeline,
+			Duration:    cfg.Duration,
+			Keys:        cfg.Keys,
+			Mix:         workload.Mix{UpdatePct: cfg.UpdatePct},
+			Seed:        cfg.Seed,
+			SampleEvery: 64, // latency is not the measurement here; sample thinly
+		})
+		s.Close()
+		<-done
+		if lerr != nil {
+			return fmt.Errorf("scaletest: cpus=%d: %w", c, lerr)
+		}
+		res.Points = append(res.Points, Point{CPUs: lr.CPUs, Throughput: lr.Throughput(), Ops: lr.Ops})
+		return nil
+	})
+	return res, err
+}

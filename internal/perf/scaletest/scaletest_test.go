@@ -1,0 +1,118 @@
+package scaletest
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestRunMeasuresConfiguredPoints: the harness itself must work everywhere,
+// single-core machines included — it measures whatever CPU points it is
+// given and restores GOMAXPROCS. (Whether the curve *scales* is the gate's
+// question, and that one needs real cores.)
+func TestRunMeasuresConfiguredPoints(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	res, err := Run(Config{
+		CPUs:     []int{1, 2},
+		Duration: 60 * time.Millisecond,
+		Conns:    2,
+		Keys:     256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.GOMAXPROCS(0); got != prev {
+		t.Fatalf("GOMAXPROCS left at %d, want restored %d", got, prev)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("measured %d points, want 2", len(res.Points))
+	}
+	for i, want := range []int{1, 2} {
+		p := res.Points[i]
+		if p.CPUs != want {
+			t.Fatalf("point %d ran at cpus=%d, want %d", i, p.CPUs, want)
+		}
+		if p.Ops == 0 || p.Throughput <= 0 {
+			t.Fatalf("point %d measured nothing: %+v", i, p)
+		}
+	}
+	if res.Speedup() <= 0 || res.Efficiency() <= 0 {
+		t.Fatalf("degenerate curve: speedup=%v efficiency=%v", res.Speedup(), res.Efficiency())
+	}
+}
+
+// TestResultMath pins the speedup/efficiency arithmetic the gate trusts.
+func TestResultMath(t *testing.T) {
+	r := Result{Points: []Point{
+		{CPUs: 1, Throughput: 100},
+		{CPUs: 4, Throughput: 300},
+	}}
+	if s := r.Speedup(); s != 3.0 {
+		t.Fatalf("Speedup = %v, want 3.0", s)
+	}
+	if e := r.Efficiency(); e != 0.75 {
+		t.Fatalf("Efficiency = %v, want 0.75", e)
+	}
+	if s := (Result{}).Speedup(); s != 0 {
+		t.Fatalf("empty Speedup = %v, want 0", s)
+	}
+}
+
+// TestServerScalingGate is the regression gate on the scaling curve: a
+// short 1-core vs N-core run of the served hash table must show a real
+// speedup. The floor is deliberately lenient (shared CI runners are noisy;
+// perfect scaling is the figure benches' business, not a pass/fail line) and
+// overridable via SCALETEST_MIN_SPEEDUP; a borderline first measurement is
+// retried once before failing. Machines that cannot measure scaling skip
+// loudly instead of vacuously passing.
+func TestServerScalingGate(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skipf("scaling gate needs >= 2 CPUs, have %d: cannot measure multi-core scaling on this machine", runtime.NumCPU())
+	}
+	if raceEnabled {
+		t.Skip("scaling gate is meaningless under race instrumentation (throughput ratios are distorted)")
+	}
+	if testing.Short() {
+		t.Skip("scaling gate measures wall-clock throughput; skipped in -short")
+	}
+	minSpeedup := 1.15
+	if env := os.Getenv("SCALETEST_MIN_SPEEDUP"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			t.Fatalf("bad SCALETEST_MIN_SPEEDUP %q: %v", env, err)
+		}
+		minSpeedup = v
+	}
+	n := runtime.NumCPU()
+	if n > 4 {
+		n = 4
+	}
+	cfg := Config{CPUs: []int{1, n}, Duration: 400 * time.Millisecond}
+
+	var last Result
+	for attempt := 0; attempt < 2; attempt++ {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+		t.Logf("attempt %d: %s", attempt+1, curveString(res))
+		if res.Speedup() >= minSpeedup {
+			return
+		}
+	}
+	t.Fatalf("scaling regression: %s — speedup %.2f < floor %.2f (1→%d cores); "+
+		"a store-global hot line is back on the request path, or this runner's cores are oversubscribed",
+		curveString(last), last.Speedup(), minSpeedup, n)
+}
+
+func curveString(r Result) string {
+	s := fmt.Sprintf("%s/%d-shard:", r.Algo, r.Shards)
+	for _, p := range r.Points {
+		s += fmt.Sprintf(" %d-core %.0f req/s", p.CPUs, p.Throughput)
+	}
+	return s + fmt.Sprintf(" (speedup %.2fx, efficiency %.2f)", r.Speedup(), r.Efficiency())
+}

@@ -55,6 +55,7 @@ func TestServerGetPathZeroAlloc(t *testing.T) {
 
 			br := bufio.NewReaderSize(&repeatReader{frame: []byte("get hotkey\r\n")}, 1<<16)
 			bw := newWriter(io.Discard, 0)
+			ws := s.acquireWireStats()
 			var cmd Command
 			var sc Scratch
 			step := func() {
@@ -62,7 +63,7 @@ func TestServerGetPathZeroAlloc(t *testing.T) {
 					t.Fatal(err)
 				}
 				p := s.store.Pin()
-				s.execute(p, &cmd, bw)
+				s.execute(p, &cmd, bw, ws)
 				p.Unpin()
 			}
 			for i := 0; i < 64; i++ {
@@ -71,9 +72,9 @@ func TestServerGetPathZeroAlloc(t *testing.T) {
 			if avg := testing.AllocsPerRun(512, step); avg != 0 {
 				t.Fatalf("pipelined get hit allocates %.2f/op, want 0", avg)
 			}
-			if s.getHits.Load() == 0 || s.getMisses.Load() != 0 {
+			if ws.getHits.Load() == 0 || ws.getMisses.Load() != 0 {
 				t.Fatalf("gate did not exercise hits: hits=%d misses=%d",
-					s.getHits.Load(), s.getMisses.Load())
+					ws.getHits.Load(), ws.getMisses.Load())
 			}
 		})
 	}
@@ -114,6 +115,7 @@ func TestServerBatchedGetPathZeroAlloc(t *testing.T) {
 			frame = append(frame, []byte("get key0 key1 key2 key3 key4 key5 key6 key7\r\n")...)
 			br := bufio.NewReaderSize(&repeatReader{frame: frame}, 1<<16)
 			bw := newWriter(io.Discard, 0)
+			ws := s.acquireWireStats()
 			var b Batch
 			step := func() {
 				n, err := ReadBatchInto(br, DefaultMaxItemSize, 63, &b)
@@ -123,7 +125,7 @@ func TestServerBatchedGetPathZeroAlloc(t *testing.T) {
 				if n == 0 {
 					t.Fatal("empty batch")
 				}
-				if s.executeBatch(&b, bw) {
+				if s.executeBatch(&b, bw, ws) {
 					t.Fatal("batch asked to close the connection")
 				}
 			}
@@ -133,10 +135,10 @@ func TestServerBatchedGetPathZeroAlloc(t *testing.T) {
 			if avg := testing.AllocsPerRun(256, step); avg != 0 {
 				t.Fatalf("batched get burst allocates %.2f/batch, want 0", avg)
 			}
-			if s.getMisses.Load() != 0 {
-				t.Fatalf("gate keys missed: misses=%d", s.getMisses.Load())
+			if ws.getMisses.Load() != 0 {
+				t.Fatalf("gate keys missed: misses=%d", ws.getMisses.Load())
 			}
-			if got := s.cmdBatched.Load() / s.batches.Load(); got < 32 {
+			if got := ws.cmdBatched.Load() / ws.batches.Load(); got < 32 {
 				t.Fatalf("achieved batch depth %d, want >= 32 (batching not engaged)", got)
 			}
 		})

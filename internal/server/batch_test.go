@@ -404,7 +404,7 @@ func TestBatchSingleClockRead(t *testing.T) {
 		t.Fatalf("batch = %d, %v; want 45", n, err)
 	}
 	bw := newWriter(io.Discard, 0)
-	s.executeBatch(&b, bw)
+	s.executeBatch(&b, bw, s.acquireWireStats())
 	if got := reads.Load(); got != 1 {
 		t.Fatalf("a %d-command batch read the clock %d times, want exactly 1", n, got)
 	}
@@ -445,7 +445,7 @@ func TestClientSendGetNoKeys(t *testing.T) {
 	if e, ok, err := c.Get("k"); err != nil || !ok || string(e.Data) != "v" {
 		t.Fatalf("connection unusable after rejected SendGet: %v %v %q", ok, err, e.Data)
 	}
-	if s.protoErrors.Load() != 0 {
-		t.Fatalf("server saw %d protocol errors", s.protoErrors.Load())
+	if t0 := s.wireTotals(); t0.protoErrors != 0 {
+		t.Fatalf("server saw %d protocol errors", t0.protoErrors)
 	}
 }

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestRunCPUSweepSetsGOMAXPROCS: the -cpu sweep engine must actually vary
+// GOMAXPROCS per entry — each callback observes its own requested value —
+// and restore the previous setting when the sweep ends (or fails).
+func TestRunCPUSweepSetsGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	var seen []int
+	if err := RunCPUSweep([]int{1, 2, 3}, func(c int) error {
+		got := runtime.GOMAXPROCS(0)
+		if got != c {
+			t.Errorf("sweep entry %d ran at GOMAXPROCS %d", c, got)
+		}
+		seen = append(seen, got)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("sweep ran %d entries, want 3", len(seen))
+	}
+	if got := runtime.GOMAXPROCS(0); got != prev {
+		t.Fatalf("GOMAXPROCS left at %d after sweep, want restored %d", got, prev)
+	}
+	if err := RunCPUSweep([]int{0}, func(int) error { return nil }); err == nil {
+		t.Fatal("sweep accepted cpu count 0")
+	}
+}
+
+// TestBenchV4CPUSweepSchema drives a real (tiny) -cpu sweep through
+// RunLoadgen + WriteBench and asserts the v4 contract on the artifact:
+// every run records the GOMAXPROCS it was driven at, runs in a sweep group
+// carry a scaling efficiency anchored at the fewest-cpus baseline, and the
+// schema string advertises v4.
+func TestBenchV4CPUSweepSchema(t *testing.T) {
+	s := startServerCfg(t, Config{Algo: "ht-clht-lb"})
+	cfg := LoadgenConfig{
+		Addr:     s.Addr().String(),
+		Conns:    2,
+		Pipeline: 4,
+		Duration: 50 * time.Millisecond,
+		Keys:     256,
+		Mix:      workload.Mix{UpdatePct: 10},
+		Seed:     7,
+	}
+	var runs []LoadgenResult
+	sweep := []int{1, 2}
+	if err := RunCPUSweep(sweep, func(c int) error {
+		r, err := RunLoadgen(cfg)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runs {
+		if r.CPUs != sweep[i] {
+			t.Fatalf("run %d recorded cpus=%d, want %d (GOMAXPROCS not threaded through)", i, r.CPUs, sweep[i])
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+	if err := WriteBench(path, cfg, runs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != "ascylib/bench-server/v4" {
+		t.Fatalf("schema = %q, want ascylib/bench-server/v4", f.Schema)
+	}
+	if f.Schema != BenchSchema {
+		t.Fatalf("schema = %q but BenchSchema = %q", f.Schema, BenchSchema)
+	}
+	if len(f.Runs) != len(sweep) {
+		t.Fatalf("artifact has %d runs, want %d", len(f.Runs), len(sweep))
+	}
+	for i, r := range f.Runs {
+		if r.CPUs != sweep[i] {
+			t.Fatalf("artifact run %d cpus=%d, want %d", i, r.CPUs, sweep[i])
+		}
+		if r.ScalingEfficiency <= 0 {
+			t.Fatalf("artifact run %d (cpus=%d) has no scaling efficiency; sweep groups must anchor at the cpus=%d baseline", i, r.CPUs, sweep[0])
+		}
+	}
+	if e := f.Runs[0].ScalingEfficiency; e != 1.0 {
+		t.Fatalf("baseline run efficiency = %v, want exactly 1.0", e)
+	}
+
+	// A single-point group (no sweep) must NOT claim an efficiency.
+	single := []BenchRun{{Algo: "x", CPUs: 2, ThroughputOpsS: 100, Nodes: 1}}
+	fillScalingEfficiency(single)
+	if single[0].ScalingEfficiency != 0 {
+		t.Fatalf("single-point run got efficiency %v, want 0 (no baseline measured)", single[0].ScalingEfficiency)
+	}
+	// Groups split on (algo, shards, pipeline, nodes): a 2-cpu run of a
+	// different algo must not borrow another group's baseline.
+	mixed := []BenchRun{
+		{Algo: "a", CPUs: 1, ThroughputOpsS: 100, Nodes: 1},
+		{Algo: "a", CPUs: 2, ThroughputOpsS: 150, Nodes: 1},
+		{Algo: "b", CPUs: 2, ThroughputOpsS: 999, Nodes: 1},
+	}
+	fillScalingEfficiency(mixed)
+	if mixed[1].ScalingEfficiency != 0.75 {
+		t.Fatalf("2-cpu run efficiency = %v, want 0.75", mixed[1].ScalingEfficiency)
+	}
+	if mixed[2].ScalingEfficiency != 0 {
+		t.Fatalf("algo-b run borrowed a baseline: efficiency %v, want 0", mixed[2].ScalingEfficiency)
+	}
+}

@@ -152,6 +152,12 @@ type LoadgenResult struct {
 	Shards  int    // from the server's stats ("shards"); 0 when not reported
 	Elapsed time.Duration
 
+	// CPUs is GOMAXPROCS at the time the run was driven — the multi-core
+	// sweep's independent variable (see RunCPUSweep). For self-served runs
+	// it bounds server and generator together, matching the paper's
+	// n-thread configurations.
+	CPUs int
+
 	// BatchDepthAvg is the server-side achieved batch depth over the run
 	// (Δcmd_batched / Δbatches from the server's stats): how many pipelined
 	// commands the server actually executed per pin/epoch/clock/dispatch
@@ -264,7 +270,7 @@ type lgConn struct {
 // every request the receiver is waiting on.
 func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	cfg.fill()
-	res := LoadgenResult{Cfg: cfg}
+	res := LoadgenResult{Cfg: cfg, CPUs: runtime.GOMAXPROCS(0)}
 
 	// Key table: draws index [1..2N] like the paper's key range.
 	keys := make([]string, 2*cfg.Keys+1)
@@ -566,11 +572,14 @@ func lgReceive(cl Conn, cs *lgConn, window chan pending) {
 // --- BENCH_server.json ---
 
 // BenchSchema identifies the BENCH_server.json layout. v2 added the per-run
-// client pipeline depth and the server-side achieved batch depth; v3 adds
+// client pipeline depth and the server-side achieved batch depth; v3 added
 // cluster scale-out (per-run node count, per-node request and batch-depth
-// arrays) and records the client machine's gomaxprocs/numcpu in the shared
-// config, so scale-out and multi-core sweeps carry their context.
-const BenchSchema = "ascylib/bench-server/v3"
+// arrays) and the client machine's gomaxprocs/numcpu in the shared config;
+// v4 makes the core count a per-run variable — each run records the
+// GOMAXPROCS it was driven at ("cpus") plus its scaling efficiency against
+// the matching single-core run, so the multi-core sweep (the paper's
+// x-axis) lives in one artifact instead of one file per core count.
+const BenchSchema = "ascylib/bench-server/v4"
 
 // BenchRun is one load-generation run in machine-readable form.
 type BenchRun struct {
@@ -581,6 +590,14 @@ type BenchRun struct {
 	// Pipeline is the client-side closed-loop window of this run; the
 	// sweep varies it per run, so it lives here rather than in Config.
 	Pipeline int `json:"pipeline"`
+	// CPUs is the GOMAXPROCS this run was driven at (v4): the multi-core
+	// sweep's independent variable.
+	CPUs int `json:"cpus"`
+	// ScalingEfficiency is T(c)/(c·T(1)) against the run with the fewest
+	// cpus in the same (algo, shards, pipeline, nodes) group — 1.0 is
+	// perfect linear scaling, computed by WriteBench across the sweep's
+	// runs. 0 when the file holds no matching baseline (single-point runs).
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 	// BatchDepthAvg is the server-side achieved batch depth over the run
 	// (see LoadgenResult.BatchDepthAvg).
 	BatchDepthAvg float64 `json:"batch_depth_avg"`
@@ -639,6 +656,7 @@ func BenchRunOf(r LoadgenResult) BenchRun {
 		Algo:           r.Algo,
 		Shards:         r.Shards,
 		Pipeline:       r.Cfg.Pipeline,
+		CPUs:           r.CPUs,
 		BatchDepthAvg:  r.BatchDepthAvg,
 		Nodes:          1,
 		Ops:            r.Ops,
@@ -692,9 +710,74 @@ func WriteBench(path string, cfg LoadgenConfig, runs []LoadgenResult) error {
 	for _, r := range runs {
 		f.Runs = append(f.Runs, BenchRunOf(r))
 	}
+	fillScalingEfficiency(f.Runs)
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// fillScalingEfficiency stamps each run's scaling efficiency against the
+// fewest-cpus run of its own (algo, shards, pipeline, nodes) group:
+// eff(c) = (T(c)/c) / (T(c0)/c0), the per-core throughput relative to the
+// baseline — exactly T(c)/(c·T(1)) when the sweep includes cpus=1. A group
+// with a single core count (no sweep) gets no efficiency figures: a 1.0
+// there would claim a measurement that was never taken.
+func fillScalingEfficiency(runs []BenchRun) {
+	type groupKey struct {
+		algo                    string
+		shards, pipeline, nodes int
+	}
+	base := map[groupKey]*BenchRun{}
+	multi := map[groupKey]bool{}
+	for i := range runs {
+		r := &runs[i]
+		if r.CPUs <= 0 || r.ThroughputOpsS <= 0 {
+			continue
+		}
+		k := groupKey{r.Algo, r.Shards, r.Pipeline, r.Nodes}
+		if b, ok := base[k]; !ok {
+			base[k] = r
+		} else if r.CPUs < b.CPUs {
+			base[k] = r
+			multi[k] = true
+		} else if r.CPUs > b.CPUs {
+			multi[k] = true
+		}
+	}
+	for i := range runs {
+		r := &runs[i]
+		if r.CPUs <= 0 || r.ThroughputOpsS <= 0 {
+			continue
+		}
+		k := groupKey{r.Algo, r.Shards, r.Pipeline, r.Nodes}
+		if b := base[k]; multi[k] && b != nil {
+			perCore := r.ThroughputOpsS / float64(r.CPUs)
+			basePerCore := b.ThroughputOpsS / float64(b.CPUs)
+			r.ScalingEfficiency = perCore / basePerCore
+		}
+	}
+}
+
+// RunCPUSweep runs fn once per requested core count, setting GOMAXPROCS
+// for the duration of each call and restoring the previous value after the
+// sweep — the -cpu flag's engine, shared by the wire loadgen and the
+// in-process figure benches. Entries above NumCPU still run (GOMAXPROCS
+// accepts them; the kernel just has fewer cores to offer), so a committed
+// sweep records what the machine could actually deliver rather than
+// silently truncating the axis.
+func RunCPUSweep(cpus []int, fn func(cpus int) error) error {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, c := range cpus {
+		if c <= 0 {
+			return fmt.Errorf("loadgen: invalid cpu count %d in sweep", c)
+		}
+		runtime.GOMAXPROCS(c)
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }

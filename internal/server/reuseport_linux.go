@@ -1,0 +1,38 @@
+//go:build linux
+
+package server
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT's option number on Linux (asm-generic
+// sockets). The frozen syscall package predates the constant, so it is
+// spelled out here rather than imported.
+const soReusePort = 0xf
+
+// reusePortAvailable reports whether this platform can bind multiple
+// listeners to one port and have the kernel shard connections across them.
+const reusePortAvailable = true
+
+// listenReusePort binds addr with SO_REUSEPORT set before bind(2). Several
+// such listeners can share one port; the kernel hashes each incoming
+// 4-tuple to exactly one of their accept queues, so connection setup under
+// a connect storm spreads across accept workers in the kernel — no thundering
+// herd on a shared queue, no cross-core bouncing of one listener's lock.
+func listenReusePort(addr string) (net.Listener, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.Listen(context.Background(), "tcp", addr)
+}

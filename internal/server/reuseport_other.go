@@ -1,0 +1,16 @@
+//go:build !linux
+
+package server
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortAvailable: non-Linux builds fall back to one shared listener —
+// Listen degrades gracefully rather than failing the server.
+const reusePortAvailable = false
+
+func listenReusePort(addr string) (net.Listener, error) {
+	return nil, errors.New("server: SO_REUSEPORT unsupported on this platform")
+}

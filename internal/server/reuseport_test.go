@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestReusePortShardedAccept: with ReusePort on, Listen must bind one
+// listener per accept worker on the same resolved port (on Linux), every
+// connection must land on a working request loop regardless of which
+// kernel queue it hashed to, and stats must aggregate across all of them.
+// On platforms without SO_REUSEPORT the same config must degrade to the
+// single shared listener and still serve.
+func TestReusePortShardedAccept(t *testing.T) {
+	s := startServerCfg(t, Config{Algo: "ht-clht-lb", ReusePort: true, AcceptWorkers: 4})
+	if runtime.GOOS == "linux" {
+		if !s.ReusePortActive() || len(s.lns) != 4 {
+			t.Fatalf("ReusePortActive=%v listeners=%d, want sharded 4-way on linux",
+				s.ReusePortActive(), len(s.lns))
+		}
+		for _, ln := range s.lns[1:] {
+			if ln.Addr().String() != s.Addr().String() {
+				t.Fatalf("sibling listener bound %v, primary %v", ln.Addr(), s.Addr())
+			}
+		}
+	} else if s.ReusePortActive() {
+		t.Fatalf("ReusePortActive on %s, expected shared-listener fallback", runtime.GOOS)
+	}
+
+	// Enough connections that the kernel's 4-tuple hash spreads them over
+	// multiple accept queues (which queue each lands on is not ours to
+	// pick — correctness is that every one serves).
+	const conns, opsPer = 16, 25
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr().String())
+			if err != nil {
+				t.Errorf("conn %d: dial: %v", w, err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < opsPer; i++ {
+				k := fmt.Sprintf("rp-%d-%d", w, i)
+				if err := c.Set(k, 0, 0, []byte(k)); err != nil {
+					t.Errorf("conn %d: set: %v", w, err)
+					return
+				}
+				if e, ok, err := c.Get(k); err != nil || !ok || string(e.Data) != k {
+					t.Errorf("conn %d: get = %v %v %q", w, err, ok, e.Data)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	m := s.StatsMap()
+	if got := m["cmd_set"]; got != fmt.Sprint(conns*opsPer) {
+		t.Fatalf("cmd_set = %s across sharded listeners, want %d", got, conns*opsPer)
+	}
+	if got := m["get_hits"]; got != fmt.Sprint(conns*opsPer) {
+		t.Fatalf("get_hits = %s across sharded listeners, want %d", got, conns*opsPer)
+	}
+}

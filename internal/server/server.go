@@ -36,6 +36,13 @@ type Config struct {
 	// a connect storm spreads across cores instead of serializing on one
 	// accept loop. <= 0 means GOMAXPROCS, capped at 8.
 	AcceptWorkers int
+	// ReusePort shards the listener itself: every accept worker gets its
+	// own SO_REUSEPORT socket bound to the same address, so the kernel
+	// hash-distributes incoming connections across per-worker accept
+	// queues instead of all workers contending on one queue's lock. On
+	// platforms without SO_REUSEPORT support this degrades gracefully to
+	// the single shared listener (ReusePortActive reports which).
+	ReusePort bool
 	// MaxItemSize bounds value blocks; <= 0 means DefaultMaxItemSize.
 	MaxItemSize int
 	// MaxBatch bounds how many pipelined requests one batch executes under
@@ -73,6 +80,14 @@ type Config struct {
 	IdleTimeout time.Duration
 	// Logf, when set, receives connection-level error logs.
 	Logf func(format string, args ...any)
+
+	// globalWireStats reverts the per-connection wire counters (see
+	// wirestats.go) to one shared slot that every connection writes —
+	// the pre-sharding behavior, where each request's bookkeeping bounced
+	// cache lines between every core serving traffic. It exists only as
+	// the reference side of the stats differential test; production paths
+	// never set it.
+	globalWireStats bool
 }
 
 func (c *Config) fill() {
@@ -117,6 +132,9 @@ type Server struct {
 	cfg   Config
 	store *Store
 	ln    net.Listener
+	// lns holds every bound listener: just ln normally, one per accept
+	// worker when SO_REUSEPORT sharding engaged (see Config.ReusePort).
+	lns   []net.Listener
 	start time.Time
 
 	mu     sync.Mutex
@@ -124,36 +142,17 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	// Wire statistics, exposed by the stats command.
-	totalConns   atomic.Uint64
-	currConns    atomic.Int64
-	bytesRead    atomic.Uint64
-	bytesWritten atomic.Uint64
-	cmdGet       atomic.Uint64
-	cmdSet       atomic.Uint64
-	cmdDelete    atomic.Uint64
-	cmdIncr      atomic.Uint64
-	cmdDecr      atomic.Uint64
-	cmdFlush     atomic.Uint64
-	getHits      atomic.Uint64
-	getMisses    atomic.Uint64
-	deleteHits   atomic.Uint64
-	deleteMisses atomic.Uint64
-	incrHits     atomic.Uint64
-	incrMisses   atomic.Uint64
-	decrHits     atomic.Uint64
-	decrMisses   atomic.Uint64
-	casHits      atomic.Uint64
-	casMisses    atomic.Uint64
-	casBadval    atomic.Uint64
-	protoErrors  atomic.Uint64
-	// Batch accounting: batches counts ReadBatchInto rounds executed,
-	// cmdBatched the commands they carried (so cmdBatched/batches is the
-	// achieved server-side batch depth), and batchHist buckets the depth
-	// distribution in powers of two.
-	batches    atomic.Uint64
-	cmdBatched atomic.Uint64
-	batchHist  [batchHistBuckets]atomic.Uint64
+	// Connection accounting (accept-path only, so contention-free in the
+	// request loop). The per-request wire counters live in per-connection
+	// wireStats slots (see wirestats.go) and are aggregated on demand.
+	totalConns atomic.Uint64
+	currConns  atomic.Int64
+
+	// Wire-counter slot registry: statsAll is append-only (every slot ever
+	// leased, live or parked), statsFree the parked ones awaiting reuse.
+	statsMu   sync.Mutex
+	statsAll  []*wireStats
+	statsFree []*wireStats
 }
 
 // New builds a server (not yet listening) for cfg.
@@ -168,23 +167,64 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, store: st, conns: map[net.Conn]struct{}{}}, nil
+	// Seed one counter slot: the shared slot in globalWireStats mode, the
+	// first connection's otherwise.
+	ws0 := &wireStats{}
+	return &Server{
+		cfg:       cfg,
+		store:     st,
+		conns:     map[net.Conn]struct{}{},
+		statsAll:  []*wireStats{ws0},
+		statsFree: []*wireStats{ws0},
+	}, nil
 }
 
 // Store returns the backing store (for in-process inspection and tests).
 func (s *Server) Store() *Store { return s.store }
 
 // Listen binds the configured address. After Listen returns, Addr reports
-// the actual address (useful with port 0).
+// the actual address (useful with port 0). With ReusePort set on a capable
+// platform, one SO_REUSEPORT listener is bound per accept worker — the
+// first on the configured address, the rest on the concrete address it
+// resolved to (so ":0" sweeps work: every sibling binds the chosen port).
 func (s *Server) Listen() error {
+	if s.cfg.ReusePort && reusePortAvailable && s.cfg.AcceptWorkers > 1 {
+		ln, err := listenReusePort(s.cfg.Addr)
+		if err != nil {
+			return err
+		}
+		lns := []net.Listener{ln}
+		for i := 1; i < s.cfg.AcceptWorkers; i++ {
+			sib, err := listenReusePort(ln.Addr().String())
+			if err != nil {
+				for _, l := range lns {
+					l.Close()
+				}
+				return err
+			}
+			lns = append(lns, sib)
+		}
+		s.ln, s.lns = ln, lns
+		s.start = time.Now()
+		return nil
+	}
+	if s.cfg.ReusePort && !reusePortAvailable {
+		s.logf("server: SO_REUSEPORT unavailable on this platform; using one shared listener")
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
 	}
 	s.ln = ln
+	s.lns = []net.Listener{ln}
 	s.start = time.Now()
 	return nil
 }
+
+// ReusePortActive reports whether the accept path is running one
+// SO_REUSEPORT listener per worker (false before Listen, or when the
+// platform forced the shared-listener fallback).
+func (s *Server) ReusePortActive() bool { return len(s.lns) > 1 }
 
 // Addr returns the bound listen address; nil before Listen.
 func (s *Server) Addr() net.Addr {
@@ -204,10 +244,13 @@ func (s *Server) Serve() error {
 	}
 	var awg sync.WaitGroup
 	for i := 0; i < s.cfg.AcceptWorkers; i++ {
+		// With per-worker SO_REUSEPORT listeners each worker accepts on
+		// its own socket; otherwise every worker shares the one listener.
+		ln := s.lns[i%len(s.lns)]
 		awg.Add(1)
 		go func() {
 			defer awg.Done()
-			s.acceptLoop()
+			s.acceptLoop(ln)
 		}()
 	}
 	awg.Wait()
@@ -232,14 +275,16 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	ln := s.ln
+	lns := s.lns
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	var err error
-	if ln != nil {
-		err = ln.Close()
+	for _, ln := range lns {
+		if cerr := ln.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	s.wg.Wait()
 	return err
@@ -251,10 +296,11 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// acceptLoop is one worker of the sharded-accept pool.
-func (s *Server) acceptLoop() {
+// acceptLoop is one worker of the sharded-accept pool, accepting on its
+// assigned listener.
+func (s *Server) acceptLoop(ln net.Listener) {
 	for {
-		c, err := s.ln.Accept()
+		c, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
@@ -305,9 +351,11 @@ func (s *Server) handleConn(c net.Conn) {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	r := newConnReader(c, s)
+	ws := s.acquireWireStats()
+	defer s.releaseWireStats(ws)
+	r := newConnReader(c, s, ws)
 	br := newReader(r, s.cfg.ReadBufferSize)
-	bw := newWriter(&connWriter{c: c, s: s, timeout: s.cfg.WriteTimeout}, s.cfg.WriteBufferSize)
+	bw := newWriter(&connWriter{c: c, ws: ws, timeout: s.cfg.WriteTimeout}, s.cfg.WriteBufferSize)
 	var b Batch
 	for {
 		if br.Buffered() == 0 {
@@ -316,7 +364,7 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 		}
 		n, err := ReadBatchInto(br, s.cfg.MaxItemSize, s.cfg.MaxBatch, &b)
-		if n > 0 && s.executeBatch(&b, bw) {
+		if n > 0 && s.executeBatch(&b, bw, ws) {
 			bw.Flush()
 			return
 		}
@@ -335,17 +383,17 @@ func (s *Server) handleConn(c net.Conn) {
 // by Get cannot be recycled before its bytes are copied out, and a batch of
 // n commands costs one pin-frame round-trip and at most one epoch bracket
 // per touched shard instead of n.
-func (s *Server) executeBatch(b *Batch, w *respWriter) (closed bool) {
+func (s *Server) executeBatch(b *Batch, w *respWriter, ws *wireStats) (closed bool) {
 	n := len(b.Entries)
-	s.batches.Add(1)
-	s.cmdBatched.Add(uint64(n))
-	s.batchHist[batchBucket(n)].Add(1)
+	ws.batches.Add(1)
+	ws.cmdBatched.Add(uint64(n))
+	ws.batchHist[batchBucket(n)].Add(1)
 	p := s.store.Pin()
 	defer p.Unpin()
 	for i := range b.Entries {
 		e := &b.Entries[i]
 		if e.Err != nil {
-			s.protoErrors.Add(1)
+			ws.protoErrors.Add(1)
 			if !e.Err.NoReply {
 				w.line(e.Err.Resp)
 			}
@@ -357,7 +405,7 @@ func (s *Server) executeBatch(b *Batch, w *respWriter) (closed bool) {
 		if e.Cmd.Op == OpQuit {
 			return true
 		}
-		s.execute(p, &e.Cmd, w)
+		s.execute(p, &e.Cmd, w, ws)
 	}
 	return false
 }
@@ -373,12 +421,12 @@ func batchBucket(n int) int {
 	return b
 }
 
-// execute applies one command to the store under the batch's pin and writes
-// its response.
-func (s *Server) execute(p Pin, cmd *Command, w *respWriter) {
+// execute applies one command to the store under the batch's pin, counts it
+// into the connection's wireStats slot, and writes its response.
+func (s *Server) execute(p Pin, cmd *Command, w *respWriter, ws *wireStats) {
 	switch cmd.Op {
 	case OpGet, OpGets:
-		s.cmdGet.Add(1)
+		ws.cmdGet.Add(1)
 		withCAS := cmd.Op == OpGets
 		if len(cmd.Keys) > 1 {
 			// Multi-get: route, group by shard, and walk shard-grouped
@@ -386,32 +434,32 @@ func (s *Server) execute(p Pin, cmd *Command, w *respWriter) {
 			// order (see Store.GetBatch).
 			s.store.GetBatch(p, cmd.Keys, func(i int, it Item, ok bool) {
 				if !ok {
-					s.getMisses.Add(1)
+					ws.getMisses.Add(1)
 					return
 				}
-				s.getHits.Add(1)
+				ws.getHits.Add(1)
 				w.value(cmd.Keys[i], it, withCAS)
 			})
 		} else {
 			for _, k := range cmd.Keys {
 				it, ok := s.store.Get(p, k)
 				if !ok {
-					s.getMisses.Add(1)
+					ws.getMisses.Add(1)
 					continue
 				}
-				s.getHits.Add(1)
+				ws.getHits.Add(1)
 				w.value(k, it, withCAS)
 			}
 		}
 		w.line("END")
 
 	case OpSet:
-		s.cmdSet.Add(1)
+		ws.cmdSet.Add(1)
 		s.store.Set(p, cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data)
 		w.reply(cmd, "STORED")
 
 	case OpAdd:
-		s.cmdSet.Add(1)
+		ws.cmdSet.Add(1)
 		if s.store.Add(p, cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data) {
 			w.reply(cmd, "STORED")
 		} else {
@@ -419,7 +467,7 @@ func (s *Server) execute(p Pin, cmd *Command, w *respWriter) {
 		}
 
 	case OpReplace:
-		s.cmdSet.Add(1)
+		ws.cmdSet.Add(1)
 		if s.store.Replace(p, cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data) {
 			w.reply(cmd, "STORED")
 		} else {
@@ -427,34 +475,34 @@ func (s *Server) execute(p Pin, cmd *Command, w *respWriter) {
 		}
 
 	case OpCas:
-		s.cmdSet.Add(1)
+		ws.cmdSet.Add(1)
 		switch s.store.CompareAndSwap(p, cmd.Key, cmd.Flags, cmd.Exptime, cmd.Data, cmd.CasID) {
 		case CasStored:
-			s.casHits.Add(1)
+			ws.casHits.Add(1)
 			w.reply(cmd, "STORED")
 		case CasExists:
-			s.casBadval.Add(1)
+			ws.casBadval.Add(1)
 			w.reply(cmd, "EXISTS")
 		default:
-			s.casMisses.Add(1)
+			ws.casMisses.Add(1)
 			w.reply(cmd, "NOT_FOUND")
 		}
 
 	case OpDelete:
-		s.cmdDelete.Add(1)
+		ws.cmdDelete.Add(1)
 		if s.store.Delete(p, cmd.Key) {
-			s.deleteHits.Add(1)
+			ws.deleteHits.Add(1)
 			w.reply(cmd, "DELETED")
 		} else {
-			s.deleteMisses.Add(1)
+			ws.deleteMisses.Add(1)
 			w.reply(cmd, "NOT_FOUND")
 		}
 
 	case OpIncr, OpDecr:
 		incr := cmd.Op == OpIncr
-		cmds, hits, misses := &s.cmdIncr, &s.incrHits, &s.incrMisses
+		cmds, hits, misses := &ws.cmdIncr, &ws.incrHits, &ws.incrMisses
 		if !incr {
-			cmds, hits, misses = &s.cmdDecr, &s.decrHits, &s.decrMisses
+			cmds, hits, misses = &ws.cmdDecr, &ws.decrHits, &ws.decrMisses
 		}
 		cmds.Add(1)
 		nv, status := s.store.IncrDecr(p, cmd.Key, cmd.Delta, incr)
@@ -491,7 +539,7 @@ func (s *Server) execute(p Pin, cmd *Command, w *respWriter) {
 			w.reply(cmd, "CLIENT_ERROR invalid flush_all delay")
 			return
 		}
-		s.cmdFlush.Add(1)
+		ws.cmdFlush.Add(1)
 		s.store.FlushAll(p, cmd.Exptime)
 		w.reply(cmd, "OK")
 	}
@@ -502,6 +550,7 @@ func (s *Server) execute(p Pin, cmd *Command, w *respWriter) {
 // generator's BENCH output) can see which structure is serving.
 func (s *Server) Stats() [][2]string {
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	t := s.wireTotals()
 	pairs := [][2]string{
 		{"uptime", strconv.FormatInt(int64(time.Since(s.start)/time.Second), 10)},
 		{"time", strconv.FormatInt(time.Now().Unix(), 10)},
@@ -512,33 +561,33 @@ func (s *Server) Stats() [][2]string {
 		{"threads", strconv.Itoa(s.cfg.AcceptWorkers)},
 		{"curr_connections", strconv.FormatInt(s.currConns.Load(), 10)},
 		{"total_connections", u(s.totalConns.Load())},
-		{"bytes_read", u(s.bytesRead.Load())},
-		{"bytes_written", u(s.bytesWritten.Load())},
-		{"cmd_get", u(s.cmdGet.Load())},
-		{"cmd_set", u(s.cmdSet.Load())},
-		{"cmd_delete", u(s.cmdDelete.Load())},
-		{"cmd_incr", u(s.cmdIncr.Load())},
-		{"cmd_decr", u(s.cmdDecr.Load())},
-		{"cmd_flush", u(s.cmdFlush.Load())},
-		{"get_hits", u(s.getHits.Load())},
-		{"get_misses", u(s.getMisses.Load())},
-		{"delete_hits", u(s.deleteHits.Load())},
-		{"delete_misses", u(s.deleteMisses.Load())},
-		{"incr_hits", u(s.incrHits.Load())},
-		{"incr_misses", u(s.incrMisses.Load())},
-		{"decr_hits", u(s.decrHits.Load())},
-		{"decr_misses", u(s.decrMisses.Load())},
-		{"cas_hits", u(s.casHits.Load())},
-		{"cas_misses", u(s.casMisses.Load())},
-		{"cas_badval", u(s.casBadval.Load())},
-		{"protocol_errors", u(s.protoErrors.Load())},
+		{"bytes_read", u(t.bytesRead)},
+		{"bytes_written", u(t.bytesWritten)},
+		{"cmd_get", u(t.cmdGet)},
+		{"cmd_set", u(t.cmdSet)},
+		{"cmd_delete", u(t.cmdDelete)},
+		{"cmd_incr", u(t.cmdIncr)},
+		{"cmd_decr", u(t.cmdDecr)},
+		{"cmd_flush", u(t.cmdFlush)},
+		{"get_hits", u(t.getHits)},
+		{"get_misses", u(t.getMisses)},
+		{"delete_hits", u(t.deleteHits)},
+		{"delete_misses", u(t.deleteMisses)},
+		{"incr_hits", u(t.incrHits)},
+		{"incr_misses", u(t.incrMisses)},
+		{"decr_hits", u(t.decrHits)},
+		{"decr_misses", u(t.decrMisses)},
+		{"cas_hits", u(t.casHits)},
+		{"cas_misses", u(t.casMisses)},
+		{"cas_badval", u(t.casBadval)},
+		{"protocol_errors", u(t.protoErrors)},
 		{"curr_items", strconv.Itoa(s.store.Items())},
 	}
 	// Batch accounting: how well the pipelined bursts amortize. The depth
 	// histogram buckets are powers of two; batch_depth_avg is the achieved
 	// server-side batch depth (1.0 means no amortization — every command
 	// paid its own pin, epochs, and clock read).
-	batches, batched := s.batches.Load(), s.cmdBatched.Load()
+	batches, batched := t.batches, t.cmdBatched
 	avg := 0.0
 	if batches > 0 {
 		avg = float64(batched) / float64(batches)
@@ -548,7 +597,7 @@ func (s *Server) Stats() [][2]string {
 		[2]string{"cmd_batched", u(batched)},
 		[2]string{"batch_depth_avg", strconv.FormatFloat(avg, 'f', 2, 64)},
 	)
-	for i := range s.batchHist {
+	for i := range t.batchHist {
 		lo := 1 << i
 		name := fmt.Sprintf("batch_depth_%d_%d", lo, 2*lo-1)
 		if i == 0 {
@@ -556,7 +605,7 @@ func (s *Server) Stats() [][2]string {
 		} else if i == batchHistBuckets-1 {
 			name = fmt.Sprintf("batch_depth_%d_plus", lo)
 		}
-		pairs = append(pairs, [2]string{name, u(s.batchHist[i].Load())})
+		pairs = append(pairs, [2]string{name, u(t.batchHist[i])})
 	}
 	// Value-block pool counters (ASCY4 on the serving path); zero when
 	// pooling is disabled.
@@ -583,12 +632,12 @@ func (s *Server) StatsMap() map[string]string {
 // the connection open.
 type connReader struct {
 	c       net.Conn
-	s       *Server
+	ws      *wireStats
 	timeout time.Duration
 }
 
-func newConnReader(c net.Conn, s *Server) *connReader {
-	return &connReader{c: c, s: s, timeout: s.cfg.IdleTimeout}
+func newConnReader(c net.Conn, s *Server, ws *wireStats) *connReader {
+	return &connReader{c: c, ws: ws, timeout: s.cfg.IdleTimeout}
 }
 
 func (r *connReader) Read(p []byte) (int, error) {
@@ -597,7 +646,7 @@ func (r *connReader) Read(p []byte) (int, error) {
 	}
 	n, err := r.c.Read(p)
 	if n > 0 {
-		r.s.bytesRead.Add(uint64(n))
+		r.ws.bytesRead.Add(uint64(n))
 	}
 	return n, err
 }
@@ -605,7 +654,7 @@ func (r *connReader) Read(p []byte) (int, error) {
 // connWriter counts bytes out and enforces the per-write deadline.
 type connWriter struct {
 	c       net.Conn
-	s       *Server
+	ws      *wireStats
 	timeout time.Duration
 }
 
@@ -615,7 +664,7 @@ func (w *connWriter) Write(p []byte) (int, error) {
 	}
 	n, err := w.c.Write(p)
 	if n > 0 {
-		w.s.bytesWritten.Add(uint64(n))
+		w.ws.bytesWritten.Add(uint64(n))
 	}
 	return n, err
 }

@@ -18,6 +18,7 @@ func BenchmarkWireGetPath(b *testing.B) {
 	p.Unpin()
 	br := newReader(&repeatReader{frame: []byte("get hotkey\r\n")}, 1<<16)
 	bw := newWriter(devNull{}, 0)
+	ws := s.acquireWireStats()
 	var cmd Command
 	var sc Scratch
 	b.ReportAllocs()
@@ -25,7 +26,7 @@ func BenchmarkWireGetPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ReadCommandInto(br, DefaultMaxItemSize, &cmd, &sc)
 		p := s.store.Pin()
-		s.execute(p, &cmd, bw)
+		s.execute(p, &cmd, bw, ws)
 		p.Unpin()
 	}
 }
@@ -41,6 +42,7 @@ func BenchmarkWireGetPathBatched(b *testing.B) {
 	frame := bytes.Repeat([]byte("get hotkey\r\n"), depth)
 	br := newReader(&repeatReader{frame: frame}, 1<<16)
 	bw := newWriter(devNull{}, 0)
+	ws := s.acquireWireStats()
 	var batch Batch
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -48,7 +50,7 @@ func BenchmarkWireGetPathBatched(b *testing.B) {
 		if _, err := ReadBatchInto(br, DefaultMaxItemSize, depth, &batch); err != nil {
 			b.Fatal(err)
 		}
-		s.executeBatch(&batch, bw)
+		s.executeBatch(&batch, bw, ws)
 	}
 }
 
@@ -56,6 +58,7 @@ func BenchmarkWireSetPath(b *testing.B) {
 	s, _ := New(Config{Algo: "ht-clht-lb"})
 	br := newReader(&repeatReader{frame: []byte("set hotkey 0 0 10\r\n0123456789\r\n")}, 1<<16)
 	bw := newWriter(devNull{}, 0)
+	ws := s.acquireWireStats()
 	var cmd Command
 	var sc Scratch
 	b.ReportAllocs()
@@ -63,7 +66,7 @@ func BenchmarkWireSetPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ReadCommandInto(br, DefaultMaxItemSize, &cmd, &sc)
 		p := s.store.Pin()
-		s.execute(p, &cmd, bw)
+		s.execute(p, &cmd, bw, ws)
 		p.Unpin()
 	}
 }

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// wireStats is one connection's private share of the server's wire counters.
+//
+// Through PR 6 these counters were store-global atomics on the Server —
+// every get on every connection bumped cmd_get and get_hits on the same two
+// cache lines, so with N cores serving N connections the hottest stores in
+// the request loop were cross-core line transfers that grew linearly with
+// the request rate: a textbook serialization-by-bookkeeping bottleneck
+// (ASCY4's deferred-work tax, paid on every operation). The fix is the same
+// move the store made for value pools: shard by the natural unit of
+// parallelism. Each connection leases one wireStats slot for its lifetime;
+// all hot-path counter writes land in the slot, whose leading/trailing pads
+// keep it off every other connection's lines, and the rare readers (the
+// stats command, tests) aggregate across slots on demand.
+//
+// The fields are still atomics — each slot has exactly one writer, but
+// aggregation reads run concurrently with it, and uncontended atomic adds on
+// an exclusively-held line cost roughly a plain store. Slots are pooled:
+// released on connection close and reused by the next connection, so the
+// slot table is bounded by peak concurrent connections, and counters are
+// cumulative across the connections that shared a slot — exactly the
+// server-lifetime semantics the global counters had.
+type wireStats struct {
+	_ pad.CacheLinePad
+
+	cmdGet, cmdSet, cmdDelete, cmdIncr, cmdDecr, cmdFlush atomic.Uint64
+	getHits, getMisses                                    atomic.Uint64
+	deleteHits, deleteMisses                              atomic.Uint64
+	incrHits, incrMisses                                  atomic.Uint64
+	decrHits, decrMisses                                  atomic.Uint64
+	casHits, casMisses, casBadval                         atomic.Uint64
+	protoErrors                                           atomic.Uint64
+	bytesRead, bytesWritten                               atomic.Uint64
+	batches, cmdBatched                                   atomic.Uint64
+	batchHist                                             [batchHistBuckets]atomic.Uint64
+
+	_ pad.CacheLinePad
+}
+
+// wireTotals is the aggregated, plain-value form of the counters — what the
+// stats command renders.
+type wireTotals struct {
+	cmdGet, cmdSet, cmdDelete, cmdIncr, cmdDecr, cmdFlush uint64
+	getHits, getMisses                                    uint64
+	deleteHits, deleteMisses                              uint64
+	incrHits, incrMisses                                  uint64
+	decrHits, decrMisses                                  uint64
+	casHits, casMisses, casBadval                         uint64
+	protoErrors                                           uint64
+	bytesRead, bytesWritten                               uint64
+	batches, cmdBatched                                   uint64
+	batchHist                                             [batchHistBuckets]uint64
+}
+
+// addInto accumulates the slot's counters into t.
+func (w *wireStats) addInto(t *wireTotals) {
+	t.cmdGet += w.cmdGet.Load()
+	t.cmdSet += w.cmdSet.Load()
+	t.cmdDelete += w.cmdDelete.Load()
+	t.cmdIncr += w.cmdIncr.Load()
+	t.cmdDecr += w.cmdDecr.Load()
+	t.cmdFlush += w.cmdFlush.Load()
+	t.getHits += w.getHits.Load()
+	t.getMisses += w.getMisses.Load()
+	t.deleteHits += w.deleteHits.Load()
+	t.deleteMisses += w.deleteMisses.Load()
+	t.incrHits += w.incrHits.Load()
+	t.incrMisses += w.incrMisses.Load()
+	t.decrHits += w.decrHits.Load()
+	t.decrMisses += w.decrMisses.Load()
+	t.casHits += w.casHits.Load()
+	t.casMisses += w.casMisses.Load()
+	t.casBadval += w.casBadval.Load()
+	t.protoErrors += w.protoErrors.Load()
+	t.bytesRead += w.bytesRead.Load()
+	t.bytesWritten += w.bytesWritten.Load()
+	t.batches += w.batches.Load()
+	t.cmdBatched += w.cmdBatched.Load()
+	for i := range w.batchHist {
+		t.batchHist[i] += w.batchHist[i].Load()
+	}
+}
+
+// acquireWireStats leases a counter slot for one connection: a parked slot
+// when one is free, a fresh one otherwise (the registry is append-only, so
+// aggregation never misses counts from live or retired slots). With the
+// globalWireStats reference mode on, every connection shares slot 0 — the
+// exact pre-sharding behavior, kept as the differential-test baseline.
+func (s *Server) acquireWireStats() *wireStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if s.cfg.globalWireStats {
+		return s.statsAll[0]
+	}
+	if n := len(s.statsFree); n > 0 {
+		ws := s.statsFree[n-1]
+		s.statsFree[n-1] = nil
+		s.statsFree = s.statsFree[:n-1]
+		return ws
+	}
+	ws := &wireStats{}
+	s.statsAll = append(s.statsAll, ws)
+	return ws
+}
+
+// releaseWireStats parks a connection's slot for reuse. Counters are NOT
+// reset — they are the server's history, summed on aggregation.
+func (s *Server) releaseWireStats(ws *wireStats) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if s.cfg.globalWireStats {
+		return
+	}
+	s.statsFree = append(s.statsFree, ws)
+}
+
+// wireTotals sums every slot ever leased.
+func (s *Server) wireTotals() wireTotals {
+	s.statsMu.Lock()
+	all := s.statsAll
+	s.statsMu.Unlock()
+	var t wireTotals
+	for _, ws := range all {
+		ws.addInto(&t)
+	}
+	return t
+}

@@ -292,6 +292,7 @@ func (a *Allocator[T]) Stats() Stats { return a.stats.stats() }
 type Pool[T any] struct {
 	c         *Collector
 	threshold int
+	stripes   *stripes[Allocator[T]]
 	p         sync.Pool
 
 	mu  sync.Mutex
@@ -301,15 +302,28 @@ type Pool[T any] struct {
 // NewPool builds a pool with its own Collector. threshold is per allocator
 // (values < 1 use DefaultThreshold).
 func NewPool[T any](threshold int) *Pool[T] {
-	return &Pool[T]{c: NewCollector(), threshold: threshold}
+	return &Pool[T]{c: NewCollector(), threshold: threshold, stripes: newStripes[Allocator[T]]()}
 }
 
 // Collector returns the shared collector (tests use it to build cooperating
 // standalone allocators).
 func (p *Pool[T]) Collector() *Collector { return p.c }
 
-// Get leases an allocator for the calling goroutine.
+// Get leases an allocator for the calling goroutine. The fast path is the
+// caller's stripe slot (see stripe.go): one uncontended swap hands back the
+// allocator the same goroutine parked last, free lists still warm. Stripe
+// misses fall through to the sync.Pool + lease-and-adopt slow path.
 func (p *Pool[T]) Get() *Allocator[T] {
+	hint := stripeHint()
+	if a := p.stripes.take(hint); a != nil {
+		if a.leased.CompareAndSwap(false, true) {
+			p.stripes.hit(hint)
+			return a
+		}
+		// Stale: an adopter claimed this allocator straight from the
+		// table while it sat parked. Drop the reference and go slow.
+	}
+	p.stripes.miss()
 	for {
 		a, _ := p.p.Get().(*Allocator[T])
 		if a == nil {
@@ -341,11 +355,20 @@ func (p *Pool[T]) adoptOrCreate() *Allocator[T] {
 }
 
 // Put returns a leased allocator. The allocator must be quiescent (every
-// OpStart matched by OpEnd).
+// OpStart matched by OpEnd). It parks in the caller's stripe slot when that
+// is free, overflowing to the sync.Pool otherwise.
 func (p *Pool[T]) Put(a *Allocator[T]) {
 	a.leased.Store(false)
+	if p.stripes.park(stripeHint(), a) {
+		return
+	}
 	p.p.Put(a)
 }
+
+// StripeStats reports the striped fast path's hit/miss split: hits are Gets
+// served from the caller's own stripe slot (the per-P affinity path), misses
+// fell through to the shared sync.Pool + adopt path.
+func (p *Pool[T]) StripeStats() (hits, misses uint64) { return p.stripes.stats() }
 
 // Stats aggregates the counters of every allocator the pool created. The
 // per-allocator counters are read atomically, so the aggregate is safe (if
@@ -544,6 +567,7 @@ func (a *BufAllocator) Stats() Stats { return a.stats.stats() }
 type BufPool struct {
 	c         *Collector
 	threshold int
+	stripes   *stripes[BufAllocator]
 	p         sync.Pool
 
 	mu  sync.Mutex
@@ -552,11 +576,20 @@ type BufPool struct {
 
 // NewBufPool builds a buffer pool with its own Collector.
 func NewBufPool(threshold int) *BufPool {
-	return &BufPool{c: NewCollector(), threshold: threshold}
+	return &BufPool{c: NewCollector(), threshold: threshold, stripes: newStripes[BufAllocator]()}
 }
 
-// Get leases a buffer allocator for the calling goroutine.
+// Get leases a buffer allocator for the calling goroutine, trying the
+// caller's stripe slot first (see Pool.Get).
 func (p *BufPool) Get() *BufAllocator {
+	hint := stripeHint()
+	if a := p.stripes.take(hint); a != nil {
+		if a.leased.CompareAndSwap(false, true) {
+			p.stripes.hit(hint)
+			return a
+		}
+	}
+	p.stripes.miss()
 	for {
 		a, _ := p.p.Get().(*BufAllocator)
 		if a == nil {
@@ -582,11 +615,19 @@ func (p *BufPool) adoptOrCreate() *BufAllocator {
 	return a
 }
 
-// Put returns a leased allocator (must be quiescent).
+// Put returns a leased allocator (must be quiescent), parking it in the
+// caller's stripe slot when free.
 func (p *BufPool) Put(a *BufAllocator) {
 	a.leased.Store(false)
+	if p.stripes.park(stripeHint(), a) {
+		return
+	}
 	p.p.Put(a)
 }
+
+// StripeStats reports the striped fast path's hit/miss split (see
+// Pool.StripeStats).
+func (p *BufPool) StripeStats() (hits, misses uint64) { return p.stripes.stats() }
 
 // Stats aggregates across every allocator the pool created.
 func (p *BufPool) Stats() Stats {

@@ -18,6 +18,11 @@
 # until every node has bound before printing, so the output is usable the
 # moment it appears — though ascybench's -dialtimeout retry loop tolerates
 # racing it anyway.
+#
+# If any node fails to boot, every node already started is killed before the
+# script exits nonzero — a partial cluster must not outlive the script that
+# promised a whole one. (The EXIT trap covers set -e aborts and signals too,
+# not just the explicit bind-timeout path.)
 set -euo pipefail
 
 if [ $# -lt 1 ]; then
@@ -29,8 +34,29 @@ shift
 
 ASCYSERVE=${ASCYSERVE:-bin/ascyserve}
 RUNDIR=${RUNDIR:-$(mktemp -d)}
+# Bind-wait budget: retries x 0.1s per node (overridable for tests).
+BIND_RETRIES=${CLUSTERUP_BIND_RETRIES:-100}
 mkdir -p "$RUNDIR"
 : > "$RUNDIR/pids"
+
+# kill_started: tear down every PID recorded so far. One kill per PID (the
+# pids file is one per line; a single quoted $(cat) would hand kill all of
+# them glued into one unparseable argument).
+kill_started() {
+  while read -r pid; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done < "$RUNDIR/pids"
+}
+
+# Until the script succeeds, any exit — bind timeout, set -e abort, signal —
+# means a partial cluster: kill whatever was already started.
+cleanup_on_fail() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    kill_started
+  fi
+}
+trap cleanup_on_fail EXIT
 
 for i in $(seq 0 $((N - 1))); do
   rm -f "$RUNDIR/node$i.addr"
@@ -44,14 +70,15 @@ done
 
 ADDRS=""
 for i in $(seq 0 $((N - 1))); do
-  for _ in $(seq 100); do
+  for _ in $(seq "$BIND_RETRIES"); do
     [ -s "$RUNDIR/node$i.addr" ] && break
+    # A node that already died will never bind; stop waiting for it.
+    kill -0 "$(sed -n "$((i + 1))p" "$RUNDIR/pids")" 2>/dev/null || break
     sleep 0.1
   done
   if [ ! -s "$RUNDIR/node$i.addr" ]; then
-    echo "node $i failed to bind within 10s" >&2
-    kill "$(cat "$RUNDIR/pids")" 2>/dev/null || true
-    exit 1
+    echo "node $i failed to bind (see $RUNDIR/node$i.log)" >&2
+    exit 1 # EXIT trap kills the nodes already started
   fi
   ADDRS="$ADDRS${ADDRS:+,}$(cat "$RUNDIR/node$i.addr")"
 done

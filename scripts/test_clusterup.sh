@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# test_clusterup.sh — regression test for clusterup.sh process hygiene.
+#
+# The bug this pins down: when node i failed to boot, the old teardown ran
+# `kill "$(cat pids)"` — all PIDs newline-glued into ONE argument, which
+# kill rejects — so nodes 0..i-1 were orphaned, squatting their ports and
+# polluting every later run on the machine. The fix is an EXIT trap that
+# kills each already-started PID individually on any failing exit.
+#
+# The test uses a fake ascyserve (first invocation binds and parks, later
+# ones die before binding) so it needs no built binaries and no real ports:
+#   1. failure path: 2-node boot where node 1 dies -> nonzero exit AND
+#      node 0's process is dead afterwards;
+#   2. success path: 1-node boot -> exit 0, the address on stdout, and the
+#      node still running (the trap must NOT fire on success).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+FAKEPIDS=""
+cleanup() {
+  for p in $FAKEPIDS; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+FAKE="$TMP/fake-ascyserve"
+cat > "$FAKE" <<'EOF'
+#!/usr/bin/env bash
+# Fake ascyserve: the first boot in a RUNDIR writes its addr file and parks
+# like a healthy server; every later boot exits before binding.
+addrfile=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -addrfile) addrfile=$2; shift 2 ;;
+    *) shift ;;
+  esac
+done
+dir=$(dirname "$addrfile")
+count=$(cat "$dir/boot-count" 2>/dev/null || echo 0)
+echo $((count + 1)) > "$dir/boot-count"
+if [ "$count" -eq 0 ]; then
+  echo 127.0.0.1:19999 > "$addrfile"
+  sleep 300
+fi
+exit 1
+EOF
+chmod +x "$FAKE"
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# --- 1. failing boot must tear down the nodes already started -------------
+RUNDIR="$TMP/run-fail"
+set +e
+ASCYSERVE="$FAKE" RUNDIR="$RUNDIR" CLUSTERUP_BIND_RETRIES=20 \
+  bash scripts/clusterup.sh 2 >"$TMP/out-fail" 2>"$TMP/err-fail"
+status=$?
+set -e
+[ "$status" -ne 0 ] || fail "clusterup exited 0 although node 1 never bound"
+node0=$(head -n1 "$RUNDIR/pids")
+FAKEPIDS="$node0"
+for _ in $(seq 50); do
+  kill -0 "$node0" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$node0" 2>/dev/null; then
+  fail "node 0 (pid $node0) orphaned after failed cluster boot"
+fi
+FAKEPIDS=""
+
+# --- 2. successful boot must leave the cluster running --------------------
+RUNDIR="$TMP/run-ok"
+ASCYSERVE="$FAKE" RUNDIR="$RUNDIR" CLUSTERUP_BIND_RETRIES=20 \
+  bash scripts/clusterup.sh 1 >"$TMP/out-ok" 2>"$TMP/err-ok" \
+  || fail "single-node boot failed: $(cat "$TMP/err-ok")"
+[ "$(cat "$TMP/out-ok")" = "127.0.0.1:19999" ] \
+  || fail "stdout was '$(cat "$TMP/out-ok")', want the node address"
+node0=$(head -n1 "$RUNDIR/pids")
+FAKEPIDS="$node0"
+kill -0 "$node0" 2>/dev/null \
+  || fail "node 0 (pid $node0) not running after successful boot (trap fired on success?)"
+kill "$node0" 2>/dev/null || true
+FAKEPIDS=""
+
+echo "PASS: clusterup.sh kills started nodes on failure and leaves them on success"
