@@ -57,6 +57,8 @@ func runLoadgen(args []string) error {
 	var (
 		addr       = fs.String("addr", "", "target server address; empty boots an in-process server")
 		clusterArg = fs.String("cluster", "", "comma-separated node addresses to drive as one consistent-hashed cluster; semicolon-separated groups sweep (e.g. \"a;a,b;a,b,c,d\")")
+		degraded   = fs.String("degraded", "fail", "cluster degraded-mode policy when a node is down: \"fail\" answers SERVER_ERROR node down, \"miss\" treats reads as misses (writes always fail fast)")
+		tolerate   = fs.Bool("tolerate", false, "keep driving through degraded responses (node outages) instead of failing the run; counts them in the BENCH artifact (chaos runs)")
 		flush      = fs.Bool("flush", false, "flush_all before each run (start every run from an empty store)")
 		dialWait   = fs.Duration("dialtimeout", 5*time.Second, "connect retry window (booting servers are retried with backoff until this elapses)")
 		algo       = fs.String("algo", "ht-clht-lb", "self-serve algorithm(s), comma-separated, or \"all\" for the sweep (ignored with -addr)")
@@ -84,19 +86,29 @@ func runLoadgen(args []string) error {
 		return err
 	}
 	cfg := server.LoadgenConfig{
-		Conns:       *conns,
-		Duration:    *duration,
-		Keys:        *keys,
-		ValueSize:   *valueSize,
-		Mix:         workload.Mix{UpdatePct: *update, RangePct: *rangePct},
-		MultiGet:    *multiGet,
-		SampleEvery: *sample,
-		Seed:        *seed,
-		FlushBefore: *flush,
-		DialTimeout: *dialWait,
+		Conns:            *conns,
+		Duration:         *duration,
+		Keys:             *keys,
+		ValueSize:        *valueSize,
+		Mix:              workload.Mix{UpdatePct: *update, RangePct: *rangePct},
+		MultiGet:         *multiGet,
+		SampleEvery:      *sample,
+		Seed:             *seed,
+		FlushBefore:      *flush,
+		DialTimeout:      *dialWait,
+		TolerateDegraded: *tolerate,
 	}
 	if *clusterArg != "" && *addr != "" {
 		return fmt.Errorf("-cluster and -addr are mutually exclusive")
+	}
+	var policy cluster.DegradedPolicy
+	switch *degraded {
+	case "fail":
+		policy = cluster.DegradedFailFast
+	case "miss":
+		policy = cluster.DegradedMissReads
+	default:
+		return fmt.Errorf("-degraded %q: want \"fail\" or \"miss\"", *degraded)
 	}
 
 	if *cpuProfile != "" {
@@ -143,7 +155,10 @@ func runLoadgen(args []string) error {
 				}
 				cfg.Addr = strings.Join(nodes, ",")
 				cfg.Dial = func() (server.Conn, error) {
-					return cluster.DialRetry(*dialWait, nodes...)
+					return cluster.DialOptions(cluster.Options{
+						DialTimeout: *dialWait,
+						Policy:      policy,
+					}, nodes...)
 				}
 				for _, depth := range pipelines {
 					cfg.Pipeline = depth
@@ -287,6 +302,10 @@ func printLoadgen(r server.LoadgenResult) {
 	}
 	for i, nl := range r.NodeLoads {
 		fmt.Printf("  node %d (%s): %d reqs, batch depth %.2f\n", i, nl.Addr, nl.Reqs, nl.BatchDepthAvg)
+	}
+	if r.NodeFailovers > 0 || r.DegradedMisses+r.DegradedErrors > 0 {
+		fmt.Printf("  failover: %d failover(s), %d reconnect(s); degraded: %d miss(es), %d error(s)\n",
+			r.NodeFailovers, r.NodeReconnects, r.DegradedMisses, r.DegradedErrors)
 	}
 	if all, ok := r.Latency["all"]; ok && all.N > 0 {
 		j := all.JSON()

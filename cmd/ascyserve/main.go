@@ -19,12 +19,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/server"
@@ -42,6 +44,9 @@ func main() {
 		maxItem  = flag.Int("maxitem", server.DefaultMaxItemSize, "maximum value size in bytes")
 		maxBatch = flag.Int("maxbatch", server.DefaultMaxBatch, "max pipelined requests executed per store pin (1 disables batching)")
 		idle     = flag.Duration("idletimeout", 0, "reclaim connections silent for this long (0 = server default of 5m, negative disables)")
+		maxconns = flag.Int("maxconns", 0, "cap concurrently open connections; extra dialers get SERVER_ERROR busy and are closed (0 = unlimited)")
+		drain    = flag.Duration("drain", 5*time.Second, "on SIGINT/SIGTERM, let in-flight pipelined work finish for up to this long before closing (0 closes immediately)")
+		panicKey = flag.String("chaospanickey", "", "chaos harness: a get of exactly this key panics the handler, exercising per-connection panic isolation (never set in production)")
 		addrFile = flag.String("addrfile", "", "write the bound address to this file (for scripts)")
 		quiet    = flag.Bool("quiet", false, "suppress the startup banner and shutdown stats")
 	)
@@ -70,6 +75,8 @@ func main() {
 		MaxItemSize:   *maxItem,
 		MaxBatch:      *maxBatch,
 		IdleTimeout:   *idle,
+		MaxConns:      *maxconns,
+		ChaosPanicKey: *panicKey,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -108,9 +115,31 @@ func main() {
 			os.Exit(1)
 		}
 	case <-sig:
-		s.Close()
+		// Drain: stop accepting, let in-flight pipelined batches finish
+		// within the budget, then close whatever remains. A second signal
+		// during the drain closes immediately.
+		if *drain > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			go func() {
+				<-sig
+				cancel()
+			}()
+			s.Shutdown(ctx)
+			cancel()
+		} else {
+			s.Close()
+		}
 		<-done
 	}
+	// The final stats line always prints (stderr), -quiet included: a chaos
+	// harness killing and rebooting nodes needs each process's last word —
+	// requests served, panics isolated, connections shed — regardless of how
+	// chatty the run was configured.
+	st := s.StatsMap()
+	fmt.Fprintf(os.Stderr,
+		"ascyserve: final stats: conns=%s gets=%s sets=%s panics=%s shed=%s\n",
+		st["total_connections"], st["cmd_get"], st["cmd_set"],
+		st["handler_panics"], st["conns_shed"])
 	if !*quiet {
 		fmt.Println("ascyserve: shutdown stats:")
 		for _, kv := range s.Stats() {

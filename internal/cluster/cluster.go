@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ascylib "repro"
@@ -98,10 +99,23 @@ func hrwScore(h, seed uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// routeMore tags a route-ring entry whose logical request continues in the
-// next entry (a multi-key get split across nodes pushes one entry per
-// touched node; all but the last carry the tag).
-const routeMore = 1 << 31
+// Route-ring tag bits. The low bits are the node index; the high bits carry
+// per-entry routing facts the receive half replays:
+//
+//   - routeMore: the logical request continues in the next entry (a
+//     multi-key get split across nodes pushes one entry per touched node;
+//     all but the last carry the tag).
+//   - routeDegMiss: the request degraded at send time under the miss-reads
+//     policy — synthesize an empty (miss) response, touch no connection.
+//   - routeDegErr: the request degraded at send time under fail-fast (or it
+//     is a write, which always fails fast) — synthesize ErrNodeDown.
+const (
+	routeMore     = 1 << 31
+	routeDegMiss  = 1 << 30
+	routeDegErr   = 1 << 29
+	routeDeg      = routeDegMiss | routeDegErr
+	routeNodeMask = routeDegErr - 1
+)
 
 // routeRing is a FIFO of pending response routes: which node (and, for split
 // gets, nodes) each queued request went to, so the receive half can replay
@@ -179,7 +193,18 @@ var errNoKeys = errors.New("cluster: get requires at least one key")
 type Client struct {
 	router *Router
 	addrs  []string
-	nodes  []*server.Client
+	opts   Options
+
+	// nstates is the per-node failover machine: connection, health state,
+	// and the pending/poisoned pipeline accounting (see failover.go).
+	nstates []nodeState
+	stop    chan struct{} // closed once, on Close/Abort: stops reconnectors
+	stopped sync.Once
+
+	// Degraded-mode accounting: responses synthesized as misses and as
+	// errors, lifetime of the client.
+	degMisses atomic.Uint64
+	degErrors atomic.Uint64
 
 	routes routeRing
 	reqs   []uint64 // requests routed per node, lifetime of the client
@@ -197,42 +222,18 @@ type Client struct {
 // order is the cluster's identity: the same ordered list routes the same
 // keys to the same nodes, across clients and across restarts.
 func Dial(addrs ...string) (*Client, error) {
-	return dial(addrs, func(a string) (*server.Client, error) { return server.Dial(a) })
+	return DialOptions(Options{}, addrs...)
 }
 
 // DialRetry is Dial with per-node bounded-backoff retry (server.DialRetry):
 // the form launcher scripts and CI smokes want, where the cluster's
 // processes are still booting when the client starts.
 func DialRetry(timeout time.Duration, addrs ...string) (*Client, error) {
-	return dial(addrs, func(a string) (*server.Client, error) { return server.DialRetry(a, timeout) })
-}
-
-func dial(addrs []string, connect func(string) (*server.Client, error)) (*Client, error) {
-	if len(addrs) == 0 {
-		return nil, errors.New("cluster: no node addresses")
-	}
-	c := &Client{
-		router: NewRouter(len(addrs)),
-		addrs:  append([]string(nil), addrs...),
-		nodes:  make([]*server.Client, len(addrs)),
-		reqs:   make([]uint64, len(addrs)),
-		counts: make([]int32, len(addrs)),
-	}
-	for i, a := range c.addrs {
-		nc, err := connect(a)
-		if err != nil {
-			for _, open := range c.nodes[:i] {
-				open.Close()
-			}
-			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, a, err)
-		}
-		c.nodes[i] = nc
-	}
-	return c, nil
+	return DialOptions(Options{DialTimeout: timeout}, addrs...)
 }
 
 // Nodes returns the node count.
-func (c *Client) Nodes() int { return len(c.nodes) }
+func (c *Client) Nodes() int { return len(c.nstates) }
 
 // Addrs returns the node address list (the cluster identity, in routing
 // order). The returned slice is the client's own; do not mutate it.
@@ -245,53 +246,86 @@ func (c *Client) NodeReqs() []uint64 { return append([]uint64(nil), c.reqs...) }
 // Router returns the routing function, shared and immutable.
 func (c *Client) Router() *Router { return c.router }
 
-// Close sends quit to every node and closes the connections, returning the
-// first error.
+// Close stops the reconnectors, sends quit to every live node, and closes
+// the connections, returning the first error.
 func (c *Client) Close() error {
-	var first error
-	for _, nc := range c.nodes {
-		if err := nc.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return c.shutdown(func(nc *server.Client) error { return nc.Close() })
 }
 
 // Abort closes every node transport without touching buffers; like the
 // single-node Abort it may be called from another goroutine to unblock the
 // owner.
 func (c *Client) Abort() error {
+	return c.shutdown(func(nc *server.Client) error { return nc.Abort() })
+}
+
+func (c *Client) shutdown(closeConn func(*server.Client) error) error {
+	c.stopped.Do(func() { close(c.stop) })
 	var first error
-	for _, nc := range c.nodes {
-		if err := nc.Abort(); err != nil && first == nil {
+	for i := range c.nstates {
+		ns := &c.nstates[i]
+		ns.mu.Lock()
+		nc := ns.conn
+		ns.conn = nil
+		ns.state = NodeDown
+		ns.mu.Unlock()
+		if nc == nil {
+			continue
+		}
+		if err := closeConn(nc); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
 }
 
-// Flush pushes every node's queued requests to the wire. Flushing a node
-// with an empty buffer is a no-op, so this costs only the touched nodes
-// anything.
+// Flush pushes every live node's queued requests to the wire. Flushing a
+// node with an empty buffer is a no-op, so this costs only the touched
+// nodes anything. A node whose flush fails fails over (its in-flight
+// pipeline is poisoned and will be synthesized); Flush itself reports
+// nothing — degradation surfaces per request, on the receive side.
 func (c *Client) Flush() error {
-	var first error
-	for _, nc := range c.nodes {
-		if err := nc.Flush(); err != nil && first == nil {
-			first = err
+	for n := range c.nstates {
+		ns := &c.nstates[n]
+		ns.mu.Lock()
+		nc := ns.conn
+		if ns.state != NodeUp {
+			nc = nil
+		}
+		ns.mu.Unlock()
+		if nc == nil {
+			continue
+		}
+		if err := nc.Flush(); err != nil {
+			ns.mu.Lock()
+			if ns.conn == nc && ns.state == NodeUp {
+				failLocked(ns, nc)
+			}
+			ns.mu.Unlock()
 		}
 	}
-	return first
+	return nil
 }
 
 // --- pipelined send half ---
 
 // SendGet1 queues a single-key get on the key's node. The loadgen hot path:
-// one route, one node write, one ring push, no allocation.
+// one route, one node write, one ring push, no allocation. A key owned by a
+// non-up node (or whose node fails under the write) degrades per policy:
+// the ring entry carries the degraded tag and the receive half synthesizes,
+// so the pipeline never misaligns and the caller sees no send-side error.
 func (c *Client) SendGet1(withCAS bool, key string) error {
 	n := c.router.NodeOf(key)
 	c.reqs[n]++
-	c.routes.push(uint32(n))
-	return c.nodes[n].SendGet1(withCAS, key)
+	if nc := c.sendEnter(n); nc != nil {
+		err := nc.SendGet1(withCAS, key)
+		if c.sendExit(n, nc, err) {
+			c.routes.push(uint32(n))
+			return nil
+		}
+	}
+	c.routes.push(uint32(n) | c.degTagRead())
+	return nil
 }
 
 // SendGet queues a get (or gets) for the given keys, split group-by-node:
@@ -347,59 +381,127 @@ func (c *Client) SendGet(withCAS bool, keys ...string) error {
 		if j < n { // more groups follow for this logical request
 			tag |= routeMore
 		}
-		c.routes.push(tag)
-		if err := c.nodes[nd].SendGet(withCAS, c.sub...); err != nil {
-			return err
+		queued := false
+		if nc := c.sendEnter(int(nd)); nc != nil {
+			err := nc.SendGet(withCAS, c.sub...)
+			queued = c.sendExit(int(nd), nc, err)
 		}
+		if !queued {
+			tag |= c.degTagRead()
+		}
+		c.routes.push(tag)
 	}
 	return nil
 }
 
 // SendStore queues a storage command on the key's node (verb as in the
-// single-node client; casid only used for "cas").
+// single-node client; casid only used for "cas"). Writes to a non-up node
+// always fail fast — the receive half answers ErrNodeDown — never a
+// silently dropped acknowledged write.
 func (c *Client) SendStore(verb, key string, flags uint32, exptime int64, data []byte, casid uint64) error {
 	n := c.router.NodeOf(key)
 	c.reqs[n]++
-	c.routes.push(uint32(n))
-	return c.nodes[n].SendStore(verb, key, flags, exptime, data, casid)
+	if nc := c.sendEnter(n); nc != nil {
+		err := nc.SendStore(verb, key, flags, exptime, data, casid)
+		if c.sendExit(n, nc, err) {
+			c.routes.push(uint32(n))
+			return nil
+		}
+	}
+	c.routes.push(uint32(n) | routeDegErr)
+	return nil
 }
 
-// SendDelete queues a delete on the key's node.
+// SendDelete queues a delete on the key's node (fails fast when the node is
+// not up, as all writes do).
 func (c *Client) SendDelete(key string) error {
 	n := c.router.NodeOf(key)
 	c.reqs[n]++
-	c.routes.push(uint32(n))
-	return c.nodes[n].SendDelete(key)
+	if nc := c.sendEnter(n); nc != nil {
+		err := nc.SendDelete(key)
+		if c.sendExit(n, nc, err) {
+			c.routes.push(uint32(n))
+			return nil
+		}
+	}
+	c.routes.push(uint32(n) | routeDegErr)
+	return nil
 }
 
-// SendIncrDecr queues an incr or decr on the key's node.
+// SendIncrDecr queues an incr or decr on the key's node (fails fast when
+// the node is not up, as all writes do).
 func (c *Client) SendIncrDecr(key string, delta uint64, incr bool) error {
 	n := c.router.NodeOf(key)
 	c.reqs[n]++
-	c.routes.push(uint32(n))
-	return c.nodes[n].SendIncrDecr(key, delta, incr)
+	if nc := c.sendEnter(n); nc != nil {
+		err := nc.SendIncrDecr(key, delta, incr)
+		if c.sendExit(n, nc, err) {
+			c.routes.push(uint32(n))
+			return nil
+		}
+	}
+	c.routes.push(uint32(n) | routeDegErr)
+	return nil
 }
 
 // --- pipelined receive half ---
 
+// degradeRead counts one synthesized read response and folds it into the
+// running first-error per the policy: a miss-reads degrade is a clean miss
+// (no error), a fail-fast degrade is ErrNodeDown.
+func (c *Client) degradeRead(firstErr error) error {
+	if c.opts.Policy == DegradedMissReads {
+		c.degMisses.Add(1)
+		return firstErr
+	}
+	c.degErrors.Add(1)
+	if firstErr == nil {
+		firstErr = ErrNodeDown
+	}
+	return firstErr
+}
+
 // RecvGetN consumes the response of one SendGet1/SendGet, discarding
 // payloads and returning entry and byte counts — the allocation-free
 // accounting receive the load generator drives. For a split get it sums the
-// touched nodes' sub-responses.
+// touched nodes' sub-responses; a degraded group (its node down at send
+// time, or failed while the response was in flight) is synthesized per
+// policy, and the remaining groups are still consumed so the pipeline stays
+// aligned.
 func (c *Client) RecvGetN() (entries int, dataBytes int64, err error) {
+	var firstErr error
 	for {
 		tag, ok := c.routes.pop()
 		if !ok {
 			return entries, dataBytes, errNoRoute
 		}
-		e, b, err := c.nodes[tag&^routeMore].RecvGetN()
-		entries += e
-		dataBytes += b
-		if err != nil {
-			return entries, dataBytes, err
+		switch {
+		case tag&routeDegMiss != 0:
+			c.degMisses.Add(1)
+		case tag&routeDegErr != 0:
+			c.degErrors.Add(1)
+			if firstErr == nil {
+				firstErr = ErrNodeDown
+			}
+		default:
+			n := int(tag & routeNodeMask)
+			nc, synth := c.recvEnter(n)
+			if !synth {
+				e, b, rerr := nc.RecvGetN()
+				entries += e
+				dataBytes += b
+				var out error
+				synth, out = c.recvExit(n, nc, rerr)
+				if out != nil && firstErr == nil {
+					firstErr = out
+				}
+			}
+			if synth {
+				firstErr = c.degradeRead(firstErr)
+			}
 		}
 		if tag&routeMore == 0 {
-			return entries, dataBytes, nil
+			return entries, dataBytes, firstErr
 		}
 	}
 }
@@ -408,58 +510,127 @@ func (c *Client) RecvGetN() (entries int, dataBytes int64, err error) {
 // entries. For a split get the entries come back grouped by node (each
 // group in request order) — callers that need exact request order across
 // nodes get it from ServeStream's reassembly, or key the results (GetMulti).
+// Degraded groups synthesize per policy (see RecvGetN).
 func (c *Client) RecvGet() ([]server.Entry, error) {
 	var out []server.Entry
+	var firstErr error
 	for {
 		tag, ok := c.routes.pop()
 		if !ok {
 			return out, errNoRoute
 		}
-		es, err := c.nodes[tag&^routeMore].RecvGet()
-		out = append(out, es...)
-		if err != nil {
-			return out, err
+		switch {
+		case tag&routeDegMiss != 0:
+			c.degMisses.Add(1)
+		case tag&routeDegErr != 0:
+			c.degErrors.Add(1)
+			if firstErr == nil {
+				firstErr = ErrNodeDown
+			}
+		default:
+			n := int(tag & routeNodeMask)
+			nc, synth := c.recvEnter(n)
+			if !synth {
+				es, rerr := nc.RecvGet()
+				out = append(out, es...)
+				var oerr error
+				synth, oerr = c.recvExit(n, nc, rerr)
+				if oerr != nil && firstErr == nil {
+					firstErr = oerr
+				}
+			}
+			if synth {
+				firstErr = c.degradeRead(firstErr)
+			}
 		}
 		if tag&routeMore == 0 {
-			return out, nil
+			return out, firstErr
 		}
 	}
 }
 
 // RecvStored consumes one storage response (see server.Client.RecvStored).
+// A degraded write answers (false, ErrNodeDown): the store was never
+// acknowledged by any node.
 func (c *Client) RecvStored() (bool, error) {
 	tag, ok := c.routes.pop()
 	if !ok {
 		return false, errNoRoute
 	}
-	return c.nodes[tag&^routeMore].RecvStored()
+	if tag&routeDeg == 0 {
+		n := int(tag & routeNodeMask)
+		nc, synth := c.recvEnter(n)
+		if !synth {
+			stored, rerr := nc.RecvStored()
+			synth2, out := c.recvExit(n, nc, rerr)
+			if !synth2 {
+				return stored, out
+			}
+		}
+	}
+	c.degErrors.Add(1)
+	return false, ErrNodeDown
 }
 
-// RecvDeleted consumes one delete response.
+// RecvDeleted consumes one delete response; degraded deletes answer
+// (false, ErrNodeDown).
 func (c *Client) RecvDeleted() (bool, error) {
 	tag, ok := c.routes.pop()
 	if !ok {
 		return false, errNoRoute
 	}
-	return c.nodes[tag&^routeMore].RecvDeleted()
+	if tag&routeDeg == 0 {
+		n := int(tag & routeNodeMask)
+		nc, synth := c.recvEnter(n)
+		if !synth {
+			deleted, rerr := nc.RecvDeleted()
+			synth2, out := c.recvExit(n, nc, rerr)
+			if !synth2 {
+				return deleted, out
+			}
+		}
+	}
+	c.degErrors.Add(1)
+	return false, ErrNodeDown
 }
 
-// RecvLine consumes one single-line response.
+// RecvLine consumes one single-line response; degraded requests answer
+// ("", ErrNodeDown).
 func (c *Client) RecvLine() (string, error) {
 	tag, ok := c.routes.pop()
 	if !ok {
 		return "", errNoRoute
 	}
-	return c.nodes[tag&^routeMore].RecvLine()
+	if tag&routeDeg == 0 {
+		n := int(tag & routeNodeMask)
+		nc, synth := c.recvEnter(n)
+		if !synth {
+			line, rerr := nc.RecvLine()
+			synth2, out := c.recvExit(n, nc, rerr)
+			if !synth2 {
+				return line, out
+			}
+		}
+	}
+	c.degErrors.Add(1)
+	return "", ErrNodeDown
 }
 
 // --- synchronous conveniences ---
 
 // Get retrieves one key from its node.
 func (c *Client) Get(key string) (server.Entry, bool, error) {
-	n := c.router.NodeOf(key)
-	c.reqs[n]++
-	return c.nodes[n].Get(key)
+	if err := c.SendGet1(false, key); err != nil {
+		return server.Entry{}, false, err
+	}
+	if err := c.Flush(); err != nil {
+		return server.Entry{}, false, err
+	}
+	es, err := c.RecvGet()
+	if err != nil || len(es) == 0 {
+		return server.Entry{}, false, err
+	}
+	return es[0], true, nil
 }
 
 // GetMulti retrieves several keys in one fan-out round trip: sub-gets to
@@ -482,83 +653,144 @@ func (c *Client) GetMulti(keys ...string) (map[string]server.Entry, error) {
 	return out, nil
 }
 
+// storeSync drives one storage verb through the pipelined halves.
+func (c *Client) storeSync(verb, key string, flags uint32, exptime int64, data []byte, casid uint64) (bool, error) {
+	if err := c.SendStore(verb, key, flags, exptime, data, casid); err != nil {
+		return false, err
+	}
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	return c.RecvStored()
+}
+
 // Set stores unconditionally on the key's node.
 func (c *Client) Set(key string, flags uint32, exptime int64, data []byte) error {
-	n := c.router.NodeOf(key)
-	c.reqs[n]++
-	return c.nodes[n].Set(key, flags, exptime, data)
+	ok, err := c.storeSync("set", key, flags, exptime, data, 0)
+	if err == nil && !ok {
+		return fmt.Errorf("cluster: set of %q not stored", key)
+	}
+	return err
 }
 
 // Add stores only if absent; reports whether it stored.
 func (c *Client) Add(key string, flags uint32, exptime int64, data []byte) (bool, error) {
-	n := c.router.NodeOf(key)
-	c.reqs[n]++
-	return c.nodes[n].Add(key, flags, exptime, data)
+	return c.storeSync("add", key, flags, exptime, data, 0)
 }
 
 // Delete removes a key from its node.
 func (c *Client) Delete(key string) (bool, error) {
-	n := c.router.NodeOf(key)
-	c.reqs[n]++
-	return c.nodes[n].Delete(key)
+	if err := c.SendDelete(key); err != nil {
+		return false, err
+	}
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	return c.RecvDeleted()
 }
 
 // Incr adjusts the decimal value under key upward on its node.
 func (c *Client) Incr(key string, delta uint64) (uint64, bool, error) {
-	n := c.router.NodeOf(key)
-	c.reqs[n]++
-	return c.nodes[n].Incr(key, delta)
+	return c.incrDecr(key, delta, true)
 }
 
 // Decr adjusts the decimal value under key downward on its node.
 func (c *Client) Decr(key string, delta uint64) (uint64, bool, error) {
-	n := c.router.NodeOf(key)
-	c.reqs[n]++
-	return c.nodes[n].Decr(key, delta)
+	return c.incrDecr(key, delta, false)
 }
 
-// FlushAll empties every node's store — the one mutating broadcast in the
-// protocol. The requests pipeline to all nodes before any response is read.
+func (c *Client) incrDecr(key string, delta uint64, incr bool) (uint64, bool, error) {
+	if err := c.SendIncrDecr(key, delta, incr); err != nil {
+		return 0, false, err
+	}
+	if err := c.Flush(); err != nil {
+		return 0, false, err
+	}
+	line, err := c.RecvLine()
+	if err != nil {
+		return 0, false, err
+	}
+	if line == "NOT_FOUND" {
+		return 0, false, nil
+	}
+	if line == "ERROR" || strings.HasPrefix(line, "CLIENT_ERROR") || strings.HasPrefix(line, "SERVER_ERROR") {
+		return 0, false, &server.ServerError{Line: line}
+	}
+	v, perr := strconv.ParseUint(line, 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("cluster: unexpected incr/decr response %q", line)
+	}
+	return v, true, nil
+}
+
+// FlushAll empties every live node's store — the one mutating broadcast in
+// the protocol. The requests pipeline to all nodes before any response is
+// read. Nodes currently down are skipped (their stores restart empty
+// anyway); only protocol-level surprises from live nodes are errors.
 func (c *Client) FlushAll() error {
-	for n, nc := range c.nodes {
+	for n := range c.nstates {
 		c.reqs[n]++
-		if err := nc.SendFlushAll(0); err != nil {
-			return err
+		queued := false
+		if nc := c.sendEnter(n); nc != nil {
+			err := nc.SendFlushAll(0)
+			queued = c.sendExit(n, nc, err)
 		}
+		tag := uint32(n)
+		if !queued {
+			tag |= routeDegErr
+		}
+		c.routes.push(tag)
 	}
-	if err := c.Flush(); err != nil {
-		return err
-	}
-	for _, nc := range c.nodes {
-		line, err := nc.RecvLine()
+	c.Flush()
+	var firstErr error
+	for range c.nstates {
+		line, err := c.RecvLine()
 		if err != nil {
-			return err
+			if firstErr == nil && !server.IsDegraded(err) {
+				firstErr = err
+			}
+			continue
 		}
-		if line != "OK" {
-			return fmt.Errorf("cluster: unexpected flush_all response %q", line)
+		if line != "OK" && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: unexpected flush_all response %q", line)
 		}
 	}
-	return nil
+	return firstErr
 }
 
-// NodeStats retrieves every node's statistics, pipelined (one fan-out round
-// trip), indexed like Addrs.
+// NodeStats retrieves every live node's statistics, pipelined (one fan-out
+// round trip), indexed like Addrs. A node that is down — or dies during the
+// fan-out — contributes a nil map rather than failing the call, so stats
+// stay observable through an outage (which is exactly when they matter).
 func (c *Client) NodeStats() ([]map[string]string, error) {
-	for _, nc := range c.nodes {
-		if err := nc.SendStats(); err != nil {
-			return nil, err
+	queued := make([]bool, len(c.nstates))
+	for n := range c.nstates {
+		nc := c.sendEnter(n)
+		if nc == nil {
+			continue
 		}
+		err := nc.SendStats()
+		queued[n] = c.sendExit(n, nc, err)
 	}
-	if err := c.Flush(); err != nil {
-		return nil, err
-	}
-	out := make([]map[string]string, len(c.nodes))
-	for i, nc := range c.nodes {
-		st, err := nc.RecvStats()
-		if err != nil {
-			return nil, fmt.Errorf("cluster: stats from node %d (%s): %w", i, c.addrs[i], err)
+	c.Flush()
+	out := make([]map[string]string, len(c.nstates))
+	for n := range c.nstates {
+		if !queued[n] {
+			continue
 		}
-		out[i] = st
+		nc, synth := c.recvEnter(n)
+		if synth {
+			continue
+		}
+		st, rerr := nc.RecvStats()
+		synth, out2 := c.recvExit(n, nc, rerr)
+		if synth {
+			continue
+		}
+		if out2 != nil {
+			return nil, fmt.Errorf("cluster: stats from node %d (%s): %w", n, c.addrs[n], out2)
+		}
+		out[n] = st
 	}
 	return out, nil
 }
@@ -578,35 +810,68 @@ func (c *Client) Stats() (map[string]string, error) {
 	return c.aggregateStats(per), nil
 }
 
-// aggregateStats folds per-node stats maps (indexed like Addrs) into the
-// cluster view Stats documents.
+// aggregateStats folds per-node stats maps (indexed like Addrs; nil entries
+// are nodes that were down) into the cluster view Stats documents. On top
+// of the summed counters it reports the failover layer's own view: each
+// node's health state and failover count, and the cluster totals including
+// how many responses were synthesized under degraded mode.
 func (c *Client) aggregateStats(per []map[string]string) map[string]string {
-	agg := make(map[string]string, len(per[0])+len(per)+1)
-	for k, v := range per[0] {
-		agg[k] = v
+	base := -1
+	for i, st := range per {
+		if st != nil {
+			base = i
+			break
+		}
 	}
-	for _, st := range per[1:] {
-		for k, v := range st {
-			if !statSummable(k) {
+	agg := make(map[string]string, 64)
+	if base >= 0 {
+		for k, v := range per[base] {
+			agg[k] = v
+		}
+		for _, st := range per[base+1:] {
+			if st == nil {
 				continue
 			}
-			a, err1 := strconv.ParseUint(agg[k], 10, 64)
-			b, err2 := strconv.ParseUint(v, 10, 64)
-			if err1 == nil && err2 == nil {
-				agg[k] = strconv.FormatUint(a+b, 10)
+			for k, v := range st {
+				if !statSummable(k) {
+					continue
+				}
+				a, err1 := strconv.ParseUint(agg[k], 10, 64)
+				b, err2 := strconv.ParseUint(v, 10, 64)
+				if err1 == nil && err2 == nil {
+					agg[k] = strconv.FormatUint(a+b, 10)
+				}
 			}
 		}
 	}
-	// The summed batches/cmd_batched make node 0's quotient stale.
+	// The summed batches/cmd_batched make the base node's quotient stale.
 	if batches, err := strconv.ParseUint(agg["batches"], 10, 64); err == nil && batches > 0 {
 		if batched, err := strconv.ParseUint(agg["cmd_batched"], 10, 64); err == nil {
 			agg["batch_depth_avg"] = strconv.FormatFloat(float64(batched)/float64(batches), 'f', 2, 64)
 		}
 	}
-	agg["cluster_nodes"] = strconv.Itoa(len(c.nodes))
+	agg["cluster_nodes"] = strconv.Itoa(len(c.nstates))
+	up := 0
+	var failovers, reconnects uint64
 	for i, st := range per {
-		agg["node"+strconv.Itoa(i)+"_reqs"] = strconv.FormatUint(server.ReqsServed(st), 10)
+		h := c.Health(i)
+		if h.State == NodeUp {
+			up++
+		}
+		failovers += h.Failovers
+		reconnects += h.Reconnects
+		pfx := "node" + strconv.Itoa(i)
+		agg[pfx+"_state"] = h.State.String()
+		agg[pfx+"_failovers"] = strconv.FormatUint(h.Failovers, 10)
+		if st != nil {
+			agg[pfx+"_reqs"] = strconv.FormatUint(server.ReqsServed(st), 10)
+		}
 	}
+	agg["cluster_nodes_up"] = strconv.Itoa(up)
+	agg["cluster_failovers"] = strconv.FormatUint(failovers, 10)
+	agg["cluster_reconnects"] = strconv.FormatUint(reconnects, 10)
+	agg["cluster_degraded_misses"] = strconv.FormatUint(c.degMisses.Load(), 10)
+	agg["cluster_degraded_errors"] = strconv.FormatUint(c.degErrors.Load(), 10)
 	return agg
 }
 
@@ -616,7 +881,8 @@ func (c *Client) aggregateStats(per []map[string]string) map[string]string {
 func statSummable(name string) bool {
 	switch name {
 	case "curr_connections", "total_connections", "curr_items",
-		"batches", "cmd_batched", "protocol_errors", "shards", "threads":
+		"batches", "cmd_batched", "protocol_errors", "shards", "threads",
+		"handler_panics", "conns_shed":
 		return true
 	case "batch_depth_avg":
 		return false

@@ -43,8 +43,8 @@ func (c *Client) ServeStream(r io.Reader, w io.Writer) error {
 	defer bw.Flush()
 	var batch server.Batch
 	var plans []streamPlan
-	cursors := make([]int, len(c.nodes))
-	groups := make([][]server.Entry, len(c.nodes))
+	cursors := make([]int, len(c.nstates))
+	groups := make([][]server.Entry, len(c.nstates))
 	for {
 		n, err := server.ReadBatchInto(br, server.DefaultMaxItemSize, server.DefaultMaxBatch, &batch)
 		if n == 0 {
@@ -102,8 +102,14 @@ type streamPlan struct {
 	close   bool   // close the stream after responding (quit, fatal error)
 	line    string // planLocal's literal response ("" = respond with nothing)
 
+	// degraded marks a fail-fast get whose keyset touches a down node: the
+	// live sub-responses are still consumed (pipeline alignment), but the
+	// client-facing response is the degraded error line.
+	degraded bool
+
 	// planGet reassembly state: the request-order keys, each key's node, and
 	// the ascending list of nodes holding an outstanding sub-response.
+	// planBcast and planStats reuse touched for the nodes actually sent to.
 	withCAS bool
 	keys    []string
 	nodeOf  []int32
@@ -138,8 +144,12 @@ func (c *Client) planEntry(e *server.BatchEntry) (p streamPlan, stop bool, err e
 			p.nodeOf[i] = int32(c.router.NodeOf(p.keys[i]))
 		}
 		// One sub-get per touched node, nodes ascending, each group in
-		// request order — the order reassembly (deliverGet) replays.
-		for nd := range c.nodes {
+		// request order — the order reassembly (deliverGet) replays. A group
+		// owned by a down node degrades per policy: under miss-reads the
+		// group simply misses (no sub-get, no reassembly entries); under
+		// fail-fast the whole get answers the degraded error line, though
+		// live sub-gets already sent are still consumed for alignment.
+		for nd := range c.nstates {
 			c.sub = c.sub[:0]
 			for i, key := range p.keys {
 				if p.nodeOf[i] == int32(nd) {
@@ -150,56 +160,90 @@ func (c *Client) planEntry(e *server.BatchEntry) (p streamPlan, stop bool, err e
 				continue
 			}
 			c.reqs[nd]++
-			p.touched = append(p.touched, int32(nd))
-			if err := c.nodes[nd].SendGet(p.withCAS, c.sub...); err != nil {
-				return p, false, err
+			queued := false
+			if nc := c.sendEnter(nd); nc != nil {
+				serr := nc.SendGet(p.withCAS, c.sub...)
+				queued = c.sendExit(nd, nc, serr)
 			}
+			if !queued {
+				if c.opts.Policy == DegradedMissReads {
+					c.degMisses.Add(1)
+				} else {
+					c.degErrors.Add(1)
+					p.degraded = true
+				}
+				continue
+			}
+			p.touched = append(p.touched, int32(nd))
 		}
 		return p, false, nil
 
 	case server.OpSet, server.OpAdd, server.OpReplace, server.OpCas:
 		nd := c.router.NodeOfBytes(cmd.Key)
-		c.reqs[nd]++
-		err = c.nodes[nd].SendStore(cmd.Op.String(), string(cmd.Key), cmd.Flags, cmd.Exptime, cmd.Data, cmd.CasID)
-		return streamPlan{kind: planLine, node: int32(nd), noreply: cmd.NoReply}, false, err
+		return c.planWrite(nd, cmd.NoReply, func(nc *server.Client) error {
+			return nc.SendStore(cmd.Op.String(), string(cmd.Key), cmd.Flags, cmd.Exptime, cmd.Data, cmd.CasID)
+		}), false, nil
 
 	case server.OpDelete:
 		nd := c.router.NodeOfBytes(cmd.Key)
-		c.reqs[nd]++
-		err = c.nodes[nd].SendDelete(string(cmd.Key))
-		return streamPlan{kind: planLine, node: int32(nd), noreply: cmd.NoReply}, false, err
+		return c.planWrite(nd, cmd.NoReply, func(nc *server.Client) error {
+			return nc.SendDelete(string(cmd.Key))
+		}), false, nil
 
 	case server.OpIncr, server.OpDecr:
 		nd := c.router.NodeOfBytes(cmd.Key)
-		c.reqs[nd]++
-		err = c.nodes[nd].SendIncrDecr(string(cmd.Key), cmd.Delta, cmd.Op == server.OpIncr)
-		return streamPlan{kind: planLine, node: int32(nd), noreply: cmd.NoReply}, false, err
+		return c.planWrite(nd, cmd.NoReply, func(nc *server.Client) error {
+			return nc.SendIncrDecr(string(cmd.Key), cmd.Delta, cmd.Op == server.OpIncr)
+		}), false, nil
 
 	case server.OpFlushAll:
-		// The one mutating broadcast: every node flushes, one response line
-		// comes back to the client (the parser already rejected negative
+		// The one mutating broadcast: every live node flushes, one response
+		// line comes back to the client (the parser already rejected negative
 		// delays, matching the server's only local error path for flush_all).
-		for nd, nc := range c.nodes {
+		p = streamPlan{kind: planBcast, noreply: cmd.NoReply}
+		for nd := range c.nstates {
 			c.reqs[nd]++
-			if err := nc.SendFlushAll(cmd.Exptime); err != nil {
-				return p, false, err
+			if nc := c.sendEnter(nd); nc != nil {
+				serr := nc.SendFlushAll(cmd.Exptime)
+				if c.sendExit(nd, nc, serr) {
+					p.touched = append(p.touched, int32(nd))
+				}
 			}
 		}
-		return streamPlan{kind: planBcast, noreply: cmd.NoReply}, false, nil
+		return p, false, nil
 
 	case server.OpStats:
-		for _, nc := range c.nodes {
-			if err := nc.SendStats(); err != nil {
-				return p, false, err
+		p = streamPlan{kind: planStats}
+		for nd := range c.nstates {
+			if nc := c.sendEnter(nd); nc != nil {
+				serr := nc.SendStats()
+				if c.sendExit(nd, nc, serr) {
+					p.touched = append(p.touched, int32(nd))
+				}
 			}
 		}
-		return streamPlan{kind: planStats}, false, nil
+		return p, false, nil
 
 	case server.OpVersion:
 		// Identical on every node by construction; answered locally.
 		return streamPlan{kind: planLocal, line: "VERSION " + server.Version}, false, nil
 	}
 	return p, false, fmt.Errorf("cluster: unhandled op %v", cmd.Op)
+}
+
+// planWrite forwards one single-node write command, degrading to a local
+// error line when the node is not serving: writes always fail fast — an
+// acknowledgment must mean a node holds the write.
+func (c *Client) planWrite(nd int, noreply bool, send func(*server.Client) error) streamPlan {
+	c.reqs[nd]++
+	if nc := c.sendEnter(nd); nc != nil {
+		serr := send(nc)
+		if c.sendExit(nd, nc, serr) {
+			return streamPlan{kind: planLine, node: int32(nd), noreply: noreply}
+		}
+	}
+	c.degErrors.Add(1)
+	return streamPlan{kind: planLocal, noreply: noreply, line: degradedLine}
 }
 
 // deliver collects one plan's node responses and writes the client-facing
@@ -214,9 +258,22 @@ func (c *Client) deliver(bw *bufio.Writer, p *streamPlan, cursors []int, groups 
 		return nil
 
 	case planLine:
-		line, err := c.nodes[p.node].RecvLine()
-		if err != nil {
-			return err
+		n := int(p.node)
+		line := degradedLine
+		nc, synth := c.recvEnter(n)
+		if !synth {
+			l, rerr := nc.RecvLine()
+			var out error
+			synth, out = c.recvExit(n, nc, rerr)
+			if out != nil {
+				return out
+			}
+			if !synth {
+				line = l
+			}
+		}
+		if synth {
+			c.degErrors.Add(1)
 		}
 		if !p.noreply {
 			bw.WriteString(line)
@@ -229,14 +286,25 @@ func (c *Client) deliver(bw *bufio.Writer, p *streamPlan, cursors []int, groups 
 
 	case planBcast:
 		first := ""
-		for i, nc := range c.nodes {
-			line, err := nc.RecvLine()
-			if err != nil {
-				return err
+		for _, nd := range p.touched {
+			n := int(nd)
+			nc, synth := c.recvEnter(n)
+			if !synth {
+				line, rerr := nc.RecvLine()
+				var out error
+				synth, out = c.recvExit(n, nc, rerr)
+				if out != nil {
+					return out
+				}
+				if !synth && first == "" {
+					first = line
+				}
 			}
-			if i == 0 {
-				first = line
-			}
+		}
+		if first == "" {
+			// No node answered (all down, or all died mid-broadcast).
+			c.degErrors.Add(1)
+			first = degradedLine
 		}
 		if !p.noreply {
 			bw.WriteString(first)
@@ -245,13 +313,21 @@ func (c *Client) deliver(bw *bufio.Writer, p *streamPlan, cursors []int, groups 
 		return nil
 
 	case planStats:
-		per := make([]map[string]string, len(c.nodes))
-		for i, nc := range c.nodes {
-			st, err := nc.RecvStats()
-			if err != nil {
-				return err
+		per := make([]map[string]string, len(c.nstates))
+		for _, nd := range p.touched {
+			n := int(nd)
+			nc, synth := c.recvEnter(n)
+			if synth {
+				continue
 			}
-			per[i] = st
+			st, rerr := nc.RecvStats()
+			synth, out := c.recvExit(n, nc, rerr)
+			if out != nil {
+				return out
+			}
+			if !synth {
+				per[n] = st
+			}
 		}
 		agg := c.aggregateStats(per)
 		keys := make([]string, 0, len(agg))
@@ -277,12 +353,37 @@ func (c *Client) deliver(bw *bufio.Writer, p *streamPlan, cursors []int, groups 
 // byte-identical either way.
 func (c *Client) deliverGet(bw *bufio.Writer, p *streamPlan, cursors []int, groups [][]server.Entry) error {
 	for _, nd := range p.touched {
-		es, err := c.nodes[nd].RecvGet()
-		if err != nil {
-			return err
-		}
-		groups[nd] = es
+		n := int(nd)
+		groups[nd] = nil
 		cursors[nd] = 0
+		nc, synth := c.recvEnter(n)
+		if !synth {
+			es, rerr := nc.RecvGet()
+			var out error
+			synth, out = c.recvExit(n, nc, rerr)
+			if out != nil {
+				return out
+			}
+			if !synth {
+				groups[nd] = es
+			}
+		}
+		if synth {
+			// The node died with this sub-response in flight: the group
+			// degrades per policy, exactly as a send-time degrade would.
+			if c.opts.Policy == DegradedMissReads {
+				c.degMisses.Add(1)
+			} else {
+				c.degErrors.Add(1)
+				p.degraded = true
+			}
+		}
+	}
+	if p.degraded {
+		// Fail-fast: the whole get answers the degraded error (live groups
+		// were still consumed above, keeping every node pipeline aligned).
+		_, err := bw.WriteString(degradedLine + "\r\n")
+		return err
 	}
 	for i, key := range p.keys {
 		nd := p.nodeOf[i]

@@ -1,0 +1,230 @@
+// Package faultnet is the chaos harness's transport layer: net.Conn and
+// net.Listener wrappers that inject the failures a production network
+// actually delivers — added latency, writes split into fragments, abrupt
+// connection resets, and truncated payloads — under a seeded PRNG, so a
+// fault schedule that kills a test reproduces exactly from its seed.
+//
+// The wrappers sit below the protocol code they torment: a server accepts
+// through a faultnet.Listener, or a client dials and wraps the returned
+// conn, and neither side's protocol logic knows the difference. The point
+// (shared with "In the Search of Optimal Concurrency"'s argument about
+// adversarial schedules) is that failure-path code that is never executed
+// is not tested: faultnet makes the failure paths the common case.
+//
+// Faults are decided per operation: each Read and each Write draws from the
+// conn's own generator, so two conns from one listener see different but
+// deterministic schedules (conn i is seeded from the listener seed and i).
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// ErrInjectedReset marks a failure manufactured by this package; transports
+// report it wrapped, so tests can tell an injected fault from a real one.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Config describes a fault schedule. Probabilities are per operation in
+// [0, 1]; zero values inject nothing, so Config{} is a transparent wrapper.
+type Config struct {
+	// Seed makes the schedule reproducible. Conns derived from one
+	// Listener mix the accept index in, so each gets its own stream.
+	Seed uint64
+
+	// LatencyProb delays an operation by a uniform draw from
+	// [LatencyMin, LatencyMax] before it touches the transport.
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+
+	// PartialWriteProb splits a Write into two or more separate transport
+	// writes (with a latency draw between fragments when latency is
+	// configured) — the regime that flushes out parsers assuming whole
+	// frames arrive in one piece. The bytes all arrive; only the framing
+	// is shredded.
+	PartialWriteProb float64
+
+	// ResetProb aborts an operation: the transport is torn down (with
+	// SO_LINGER zeroed on TCP, so the peer sees a hard RST rather than a
+	// clean FIN) and the operation returns ErrInjectedReset.
+	ResetProb float64
+
+	// TruncateProb delivers a strict prefix of a Write and then resets —
+	// the mid-frame cut a crashing peer produces.
+	TruncateProb float64
+
+	// CloseOnAccept makes a Listener reset the first N accepted
+	// connections immediately (accept, linger-0 close, keep listening):
+	// the accept-then-die window a half-booted or crashing server shows
+	// its clients. Connection N+1 onward passes through normally.
+	CloseOnAccept int
+}
+
+// Conn wraps a net.Conn with fault injection. Reads and writes may be run
+// from two goroutines (the usual send/receive split); the internal generator
+// is mutex-guarded so the schedule stays well-defined under that split.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu  sync.Mutex
+	rng *xrand.State
+}
+
+// New wraps c with the fault schedule cfg.
+func New(c net.Conn, cfg Config) *Conn {
+	return &Conn{Conn: c, cfg: cfg, rng: xrand.New(cfg.Seed)}
+}
+
+// draw returns a uniform float in [0, 1).
+func (c *Conn) draw() float64 {
+	c.mu.Lock()
+	v := float64(c.rng.Uint64n(1<<53)) / (1 << 53)
+	c.mu.Unlock()
+	return v
+}
+
+// drawN returns a uniform integer in [0, n).
+func (c *Conn) drawN(n uint64) uint64 {
+	c.mu.Lock()
+	v := c.rng.Uint64n(n)
+	c.mu.Unlock()
+	return v
+}
+
+// maybeLatency sleeps a uniform draw from the configured window.
+func (c *Conn) maybeLatency() {
+	if c.cfg.LatencyProb <= 0 || c.draw() >= c.cfg.LatencyProb {
+		return
+	}
+	lo, hi := c.cfg.LatencyMin, c.cfg.LatencyMax
+	if hi < lo {
+		hi = lo
+	}
+	d := lo
+	if span := hi - lo; span > 0 {
+		d += time.Duration(c.drawN(uint64(span)))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// reset tears the transport down so the peer sees an abrupt failure, not a
+// graceful close, and returns the injected error.
+func (c *Conn) reset(op string) error {
+	Reset(c.Conn)
+	return fmt.Errorf("faultnet: %s: %w", op, ErrInjectedReset)
+}
+
+// Reset hard-closes a connection: on TCP, SO_LINGER is zeroed first so the
+// close emits RST and any unread peer data is destroyed — the shape of a
+// crashed process, not an orderly shutdown.
+func Reset(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.maybeLatency()
+	if c.cfg.ResetProb > 0 && c.draw() < c.cfg.ResetProb {
+		return 0, c.reset("read")
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.maybeLatency()
+	if c.cfg.ResetProb > 0 && c.draw() < c.cfg.ResetProb {
+		return 0, c.reset("write")
+	}
+	if c.cfg.TruncateProb > 0 && len(p) > 1 && c.draw() < c.cfg.TruncateProb {
+		keep := int(c.drawN(uint64(len(p))))
+		n, _ := c.Conn.Write(p[:keep])
+		err := c.reset("write")
+		return n, err
+	}
+	if c.cfg.PartialWriteProb > 0 && len(p) > 1 && c.draw() < c.cfg.PartialWriteProb {
+		// Deliver everything, but in fragments with a latency draw between
+		// them, so the peer's reads observe torn frames.
+		written := 0
+		for written < len(p) {
+			rest := len(p) - written
+			frag := 1 + int(c.drawN(uint64(rest)))
+			n, err := c.Conn.Write(p[written : written+frag])
+			written += n
+			if err != nil {
+				return written, err
+			}
+			if written < len(p) {
+				c.maybeLatency()
+			}
+		}
+		return written, nil
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener: accepted connections come back wrapped
+// with the listener's fault schedule, each seeded from its accept index.
+type Listener struct {
+	net.Listener
+	cfg Config
+
+	mu       sync.Mutex
+	accepted int
+}
+
+// Listen binds a TCP listener on addr with the fault schedule cfg.
+func Listen(addr string, cfg Config) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return WrapListener(ln, cfg), nil
+}
+
+// WrapListener wraps an existing listener with the fault schedule cfg.
+func WrapListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Accept returns the next surviving connection. The first CloseOnAccept
+// connections are reset immediately and never surface to the caller — from
+// the server's perspective they simply never existed, which is exactly how
+// an accept-then-crash window looks from the outside.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		i := l.accepted
+		l.accepted++
+		l.mu.Unlock()
+		if i < l.cfg.CloseOnAccept {
+			Reset(c)
+			continue
+		}
+		cfg := l.cfg
+		cfg.Seed = l.cfg.Seed*0x9E3779B97F4A7C15 + uint64(i) + 1
+		return New(c, cfg), nil
+	}
+}
+
+// Accepted reports how many connections the listener has accepted,
+// including the ones it reset.
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}

@@ -1,0 +1,207 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns a connected TCP pair on loopback (net.Pipe lacks the
+// TCPConn linger behavior the reset path exercises).
+func pipePair(t *testing.T) (client, srv net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		srv = c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if srv == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); srv.Close() })
+	return client, srv
+}
+
+// TestTransparentWhenUnconfigured: Config{} must be a no-op wrapper — the
+// chaos harness with all knobs at zero is the production path.
+func TestTransparentWhenUnconfigured(t *testing.T) {
+	a, b := pipePair(t)
+	fc := New(a, Config{Seed: 1})
+	msg := []byte("hello through no faults at all")
+	go fc.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestLatencyInjection: with LatencyProb 1 every operation waits at least
+// LatencyMin.
+func TestLatencyInjection(t *testing.T) {
+	a, b := pipePair(t)
+	fc := New(a, Config{Seed: 2, LatencyProb: 1, LatencyMin: 30 * time.Millisecond, LatencyMax: 40 * time.Millisecond})
+	start := time.Now()
+	go fc.Write([]byte("x"))
+	one := make([]byte, 1)
+	if _, err := io.ReadFull(b, one); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write arrived after %v, want >= 30ms of injected latency", d)
+	}
+}
+
+// TestPartialWritesDeliverEverything: fragmented writes shred the framing
+// but must not lose or reorder a byte.
+func TestPartialWritesDeliverEverything(t *testing.T) {
+	a, b := pipePair(t)
+	fc := New(a, Config{Seed: 3, PartialWriteProb: 1})
+	msg := bytes.Repeat([]byte("0123456789"), 100)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if n, err := fc.Write(msg); err != nil || n != len(msg) {
+			t.Errorf("write: n=%d err=%v", n, err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("fragmented write corrupted the stream")
+	}
+}
+
+// TestResetInjection: ResetProb 1 must fail the first operation with the
+// injected sentinel and leave the transport dead.
+func TestResetInjection(t *testing.T) {
+	a, b := pipePair(t)
+	fc := New(a, Config{Seed: 4, ResetProb: 1})
+	if _, err := fc.Write([]byte("doomed")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write error = %v, want ErrInjectedReset", err)
+	}
+	// The peer must observe a dead transport (RST or EOF), not silence.
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after injected reset")
+	}
+}
+
+// TestTruncateDeliversPrefixThenDies: truncation must deliver a strict
+// prefix and then kill the transport.
+func TestTruncateDeliversPrefixThenDies(t *testing.T) {
+	a, b := pipePair(t)
+	fc := New(a, Config{Seed: 5, TruncateProb: 1})
+	msg := bytes.Repeat([]byte("z"), 4096)
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write error = %v, want ErrInjectedReset", err)
+	}
+	if n >= len(msg) {
+		t.Fatalf("truncated write reported %d of %d bytes", n, len(msg))
+	}
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, _ := io.ReadAll(b) // ends in RST/EOF either way
+	if len(got) > n {
+		t.Fatalf("peer read %d bytes, more than the %d written", len(got), n)
+	}
+}
+
+// TestDeterministicSchedule: the same seed must produce the same fault
+// decisions — a chaos failure must reproduce from its seed.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		a, b := pipePair(t)
+		defer a.Close()
+		defer b.Close()
+		fc := New(a, Config{Seed: seed, ResetProb: 0.5})
+		go io.Copy(io.Discard, b)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := fc.Write([]byte("p"))
+			out = append(out, err != nil)
+			if err != nil {
+				break // transport gone; schedule prefix is what matters
+			}
+		}
+		return out
+	}
+	s1, s2 := schedule(42), schedule(42)
+	if len(s1) != len(s2) {
+		t.Fatalf("same seed, different schedule lengths: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+}
+
+// TestListenerCloseOnAccept: the first N connections must be reset without
+// ever surfacing to the accept loop, and the N+1th must pass through.
+func TestListenerCloseOnAccept(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", Config{Seed: 6, CloseOnAccept: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// A trivial echo server over the surviving connections.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+
+	ok := 0
+	for i := 0; i < 4; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			// The RST can land before the client's connect completes —
+			// also a correctly injected reset, just observed earlier.
+			continue
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		_, werr := c.Write([]byte("ping"))
+		got := make([]byte, 4)
+		_, rerr := io.ReadFull(c, got)
+		if werr == nil && rerr == nil && string(got) == "ping" {
+			ok++
+		}
+		c.Close()
+	}
+	if ok != 2 {
+		t.Fatalf("%d of 4 connections survived, want exactly 2 (CloseOnAccept=2)", ok)
+	}
+	if got := ln.Accepted(); got != 4 {
+		t.Fatalf("listener accepted %d, want 4", got)
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"net"
 	"strconv"
 	"strings"
-	"time"
 )
 
 // errNoKeys rejects a keyless retrieval before it reaches the wire: a bare
@@ -35,6 +34,14 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClientConn(c), nil
+}
+
+// NewClientConn wraps an already-established transport as a Client. It is
+// the seam the chaos harness plugs into: a faultnet.Conn (or any other
+// net.Conn) goes in, and the protocol code above it cannot tell the
+// difference.
+func NewClientConn(c net.Conn) *Client {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
@@ -42,37 +49,6 @@ func Dial(addr string) (*Client, error) {
 		c:  c,
 		br: newReader(c, 64<<10),
 		bw: bufio.NewWriterSize(c, 64<<10),
-	}, nil
-}
-
-// DialRetry dials addr, retrying failed connection attempts with bounded,
-// jittered exponential backoff until timeout elapses. A freshly exec'd
-// server loses the race against its first client all the time (multi-process
-// cluster boots make it a certainty), and connection refused during that
-// window is a scheduling artifact, not an error — so the client absorbs it
-// here instead of every launcher script growing its own sleep loop. A
-// timeout <= 0 degenerates to a single attempt.
-func DialRetry(addr string, timeout time.Duration) (*Client, error) {
-	deadline := time.Now().Add(timeout)
-	backoff := 5 * time.Millisecond
-	for {
-		c, err := Dial(addr)
-		if err == nil {
-			return c, nil
-		}
-		if timeout <= 0 || !time.Now().Before(deadline) {
-			return nil, err
-		}
-		// Full jitter over the current backoff window, so N clients racing
-		// one booting server spread out instead of stampeding in lockstep.
-		sleep := time.Duration(uint64(time.Now().UnixNano()) % uint64(backoff))
-		if remain := time.Until(deadline); sleep > remain {
-			sleep = remain
-		}
-		time.Sleep(sleep + time.Millisecond)
-		if backoff < 200*time.Millisecond {
-			backoff *= 2
-		}
 	}
 }
 
@@ -194,15 +170,6 @@ func (c *Client) readLine() (string, error) {
 		return "", err
 	}
 	return strings.TrimRight(line, "\r\n"), nil
-}
-
-// serverError converts an error-class response line into an error.
-func serverError(line string) error {
-	if line == "ERROR" || strings.HasPrefix(line, "CLIENT_ERROR") ||
-		strings.HasPrefix(line, "SERVER_ERROR") {
-		return fmt.Errorf("server: %s", line)
-	}
-	return nil
 }
 
 // RecvGet receives the response of one SendGet: the entries found, in

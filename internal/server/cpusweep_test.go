@@ -38,12 +38,12 @@ func TestRunCPUSweepSetsGOMAXPROCS(t *testing.T) {
 	}
 }
 
-// TestBenchV4CPUSweepSchema drives a real (tiny) -cpu sweep through
-// RunLoadgen + WriteBench and asserts the v4 contract on the artifact:
+// TestBenchCPUSweepSchema drives a real (tiny) -cpu sweep through
+// RunLoadgen + WriteBench and asserts the sweep contract on the artifact:
 // every run records the GOMAXPROCS it was driven at, runs in a sweep group
 // carry a scaling efficiency anchored at the fewest-cpus baseline, and the
-// schema string advertises v4.
-func TestBenchV4CPUSweepSchema(t *testing.T) {
+// schema string advertises the current version.
+func TestBenchCPUSweepSchema(t *testing.T) {
 	s := startServerCfg(t, Config{Algo: "ht-clht-lb"})
 	cfg := LoadgenConfig{
 		Addr:     s.Addr().String(),
@@ -84,8 +84,8 @@ func TestBenchV4CPUSweepSchema(t *testing.T) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		t.Fatal(err)
 	}
-	if f.Schema != "ascylib/bench-server/v4" {
-		t.Fatalf("schema = %q, want ascylib/bench-server/v4", f.Schema)
+	if f.Schema != "ascylib/bench-server/v5" {
+		t.Fatalf("schema = %q, want ascylib/bench-server/v5", f.Schema)
 	}
 	if f.Schema != BenchSchema {
 		t.Fatalf("schema = %q but BenchSchema = %q", f.Schema, BenchSchema)

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// serveVersion runs a minimal protocol endpoint behind l that answers only
+// "version" — just enough surface for DialRetryVerified's liveness probe.
+// Everything interesting (resets, accept-then-die) is injected by the
+// faultnet listener in front of it.
+func serveVersion(t *testing.T, l net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if !strings.HasPrefix(line, "version") {
+						return
+					}
+					if _, err := fmt.Fprintf(c, "VERSION %s\r\n", Version); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+}
+
+// TestDialRetryVerifiedAbsorbsAcceptReset: a rebooting node accepts and then
+// resets its first connections (the kernel's backlog answers before the
+// process serves). DialRetryVerified must burn through that window under
+// backoff and hand back only a connection the server actually answered.
+func TestDialRetryVerifiedAbsorbsAcceptReset(t *testing.T) {
+	ln, err := faultnet.Listen("127.0.0.1:0", faultnet.Config{CloseOnAccept: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	serveVersion(t, ln)
+
+	c, err := DialRetryVerified(ln.Addr().String(), 10*time.Second)
+	if err != nil {
+		t.Fatalf("DialRetryVerified through accept-reset window: %v", err)
+	}
+	defer c.Close()
+	if v, err := c.Version(); err != nil || v != Version {
+		t.Fatalf("probe-verified conn: Version = %q, %v", v, err)
+	}
+	if n := ln.Accepted(); n < 3 {
+		t.Fatalf("listener accepted %d conns; the reset window (2) was never crossed", n)
+	}
+}
+
+// TestDialRetryVerifiedRefusedThenSuccess: connection refused (no listener
+// yet) followed by a late bind — the full boot race. Plain dialing is
+// covered elsewhere; this pins the verified variant, whose probe must also
+// pass once the listener appears.
+func TestDialRetryVerifiedRefusedThenSuccess(t *testing.T) {
+	addr := reserveAddr(t)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln, err := faultnet.Listen(addr, faultnet.Config{})
+		if err != nil {
+			return
+		}
+		t.Cleanup(func() { ln.Close() })
+		serveVersion(t, ln)
+	}()
+
+	c, err := DialRetryVerified(addr, 10*time.Second)
+	if err != nil {
+		t.Fatalf("DialRetryVerified across late bind: %v", err)
+	}
+	defer c.Close()
+	if v, err := c.Version(); err != nil || v != Version {
+		t.Fatalf("Version = %q, %v", v, err)
+	}
+}
+
+// TestDialRetryVerifiedExpiresOnMuteServer: a server that accepts but never
+// answers is exactly the half-alive state the probe exists to reject. The
+// retry window must expire and surface the last probe error instead of
+// returning the dead-but-dialable connection (which plain DialRetry,
+// probeless, happily accepts — pinned here so the contrast stays true).
+func TestDialRetryVerifiedExpiresOnMuteServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	// Accept and hold: bytes in, nothing out.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+
+	if c, err := DialRetry(ln.Addr().String(), time.Second); err != nil {
+		t.Fatalf("probeless DialRetry against a mute server: %v", err)
+	} else {
+		c.Abort()
+	}
+
+	start := time.Now()
+	_, err = DialRetryVerified(ln.Addr().String(), 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("DialRetryVerified returned a connection from a mute server")
+	}
+	// One probe costs up to verifyTimeout; the window plus a final probe
+	// bounds the call.
+	if d := time.Since(start); d > 300*time.Millisecond+2*verifyTimeout {
+		t.Fatalf("expiry took %v; window leaked past deadline + probe bound", d)
+	}
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPanicIsolation: an injected handler panic must kill only the
+// connection that triggered it. The process, its listeners, and every other
+// connection keep serving, and the event is visible in handler_panics.
+func TestPanicIsolation(t *testing.T) {
+	s, err := New(Config{
+		Addr: "127.0.0.1:0", Algo: "ht-clht-lb", Capacity: 1 << 10,
+		ChaosPanicKey: "chaos-boom",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	t.Cleanup(func() { s.Close() })
+
+	healthy := dialT(t, s)
+	if err := healthy.Set("alive", 0, 0, []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := dialT(t, s)
+	_, _, err = victim.Get("chaos-boom")
+	if err == nil {
+		t.Fatal("get of the panic key returned a response; want a dead conn")
+	}
+	// The victim conn is gone for good, not just for one command.
+	if _, verr := victim.Version(); verr == nil {
+		t.Fatal("victim conn still answering after a handler panic")
+	}
+
+	// Everyone else is untouched.
+	if e, ok, err := healthy.Get("alive"); err != nil || !ok || string(e.Data) != "yes" {
+		t.Fatalf("healthy conn after panic: %+v, %v, %v", e, ok, err)
+	}
+	// And new connections are accepted.
+	fresh := dialT(t, s)
+	if _, err := fresh.Version(); err != nil {
+		t.Fatalf("fresh conn after panic: %v", err)
+	}
+
+	if got := s.StatsMap()["handler_panics"]; got != "1" {
+		t.Fatalf("handler_panics = %q, want 1", got)
+	}
+}
+
+// TestMaxConnsShed: at the connection cap the accept loop must answer
+// "SERVER_ERROR busy" and close, rather than hang the dialer or kill an
+// established connection — and must admit again once a slot frees.
+func TestMaxConnsShed(t *testing.T) {
+	s, err := New(Config{
+		Addr: "127.0.0.1:0", Algo: "ht-clht-lb", Capacity: 1 << 10,
+		MaxConns: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	t.Cleanup(func() { s.Close() })
+
+	first, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	// Round-trip so the connection is registered before we try to exceed it.
+	if _, err := first.Version(); err != nil {
+		t.Fatal(err)
+	}
+
+	over, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	over.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(over).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading shed response: %v", err)
+	}
+	if got := strings.TrimRight(line, "\r\n"); got != "SERVER_ERROR busy" {
+		t.Fatalf("shed line = %q, want SERVER_ERROR busy", got)
+	}
+	if got := s.StatsMap()["conns_shed"]; got != "1" {
+		t.Fatalf("conns_shed = %q, want 1", got)
+	}
+	// The established conn was never disturbed.
+	if _, err := first.Version(); err != nil {
+		t.Fatalf("capped conn broken by shed: %v", err)
+	}
+
+	// Free the slot; a new dial must eventually be admitted (the release is
+	// asynchronous with our Close, so poll).
+	first.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := Dial(s.Addr().String())
+		if err == nil {
+			if _, verr := c.Version(); verr == nil {
+				c.Close()
+				break
+			}
+			c.Abort()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection slot never freed after Close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShutdownDrain: Shutdown must let in-flight pipelined work complete —
+// every request the client already flushed gets its response — and then
+// return, leaving the server fully closed.
+func TestShutdownDrain(t *testing.T) {
+	s := startServer(t, "ht-clht-lb")
+	c := dialT(t, s)
+
+	const burst = 200
+	for i := 0; i < burst; i++ {
+		if err := c.SendStore("set", fmt.Sprintf("drain-%d", i), 0, 0, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a beat to pull the burst off the socket before the
+	// drain deadline lands.
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+
+	for i := 0; i < burst; i++ {
+		stored, err := c.RecvStored()
+		if err != nil {
+			t.Fatalf("response %d lost during drain: %v", i, err)
+		}
+		if !stored {
+			t.Fatalf("response %d: not stored", i)
+		}
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Post-shutdown the listener is gone.
+	if _, err := net.DialTimeout("tcp", s.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// TestCloseIdempotent: Close must be callable any number of times, from any
+// goroutine, and always return nil after the first success.
+func TestCloseIdempotent(t *testing.T) {
+	s := startServer(t, "ht-clht-lb")
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() { done <- s.Close() }()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent Close: %v", err)
+		}
+	}
+}
+
+// TestCloseRacesServeStartup: Close concurrent with Listen/Serve startup
+// must never leak a live listener — whichever side wins, the server ends
+// closed and Serve returns cleanly.
+func TestCloseRacesServeStartup(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		s, err := New(Config{Addr: "127.0.0.1:0", Algo: "ht-clht-lb", Capacity: 1 << 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- s.ListenAndServe() }()
+		if i%2 == 0 {
+			time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("iter %d: Close: %v", i, err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Fatalf("iter %d: ListenAndServe after racing Close: %v", i, err)
+		}
+		// If Serve lost the race before installing its listener, there is no
+		// address; if it won, the listener must now be closed.
+		if addr := s.Addr(); addr != nil {
+			if _, err := net.DialTimeout("tcp", addr.String(), time.Second); err == nil {
+				t.Fatalf("iter %d: listener leaked past Close", i)
+			}
+		}
+	}
+}

@@ -45,6 +45,15 @@ type nodeView interface {
 	NodeStats() ([]map[string]string, error)
 }
 
+// healthView is the optional failover side of a Conn: a cluster client
+// reports how many responses it synthesized under degraded mode and how many
+// node failovers/reconnects it performed, so a chaos run's BENCH artifact
+// records the outage alongside the throughput it was measured under.
+type healthView interface {
+	DegradedCounts() (misses, errs uint64)
+	NodeFailovers() (failovers, reconnects uint64)
+}
+
 // LoadgenConfig configures one load-generation run against a
 // memcached-protocol endpoint.
 type LoadgenConfig struct {
@@ -89,6 +98,12 @@ type LoadgenConfig struct {
 	SampleEvery int
 	// Seed makes runs reproducible; connection i uses Seed+i.
 	Seed uint64
+	// TolerateDegraded keeps the run driving through degraded responses
+	// (server.IsDegraded errors from a failover-capable endpoint): instead
+	// of failing the connection, the receiver counts the synthesized
+	// response and moves on. This is what lets a chaos run measure
+	// throughput THROUGH a node outage rather than aborting at its edge.
+	TolerateDegraded bool
 }
 
 func (c *LoadgenConfig) fill() {
@@ -174,6 +189,20 @@ type LoadgenResult struct {
 	// instead of averaged away.
 	NodeLoads []NodeLoad
 
+	// Failover accounting of a degraded-tolerant run (zero for single-server
+	// runs and outage-free cluster runs). Degraded is how many requests the
+	// receiver saw answered with a synthesized degraded response; the
+	// DegradedMisses/DegradedErrors pair is the endpoint's own count of
+	// synthesized misses and errors (reads absorbed as misses never surface
+	// as receiver errors, so the client-side count is the authoritative one);
+	// NodeFailovers/NodeReconnects count connection losses and verified
+	// recoveries across the run's connections.
+	Degraded       uint64
+	DegradedMisses uint64
+	DegradedErrors uint64
+	NodeFailovers  uint64
+	NodeReconnects uint64
+
 	Ops        uint64 // requests completed (a multi-get counts once)
 	Gets       uint64
 	GetHits    uint64
@@ -255,6 +284,9 @@ func (r LoadgenResult) MissRate() float64 {
 // the connection's goroutines are joined.
 type lgConn struct {
 	ops, gets, hits, misses, sets, dels, delHits, mgets, mgetKeys uint64
+	degraded                                                      uint64 // degraded responses tolerated by the receiver
+	degMisses, degErrors                                          uint64 // endpoint's synthesized-response counts
+	failovers, reconnects                                         uint64 // endpoint's node failover/recovery counts
 	lat                                                           [numLgClasses]stats.Recorder
 	all                                                           stats.Recorder
 	dead                                                          atomic.Bool // receiver failed; sender must stop
@@ -373,12 +405,18 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 			rwg.Add(1)
 			go func() {
 				defer rwg.Done()
-				lgReceive(cl, cs, window)
+				lgReceive(cl, cs, cfg.TolerateDegraded, window)
 			}()
 			cs.sendErr = lgSend(cl, cs, cfg, i, keys, value, deadline, window)
 			cl.Flush()
 			close(window)
 			rwg.Wait()
+			// Harvest the endpoint's own failover accounting before Close
+			// tears it down (a fresh post-run connection would read zeros).
+			if hv, ok := cl.(healthView); ok {
+				cs.degMisses, cs.degErrors = hv.DegradedCounts()
+				cs.failovers, cs.reconnects = hv.NodeFailovers()
+			}
 		}(i, cl, cs)
 	}
 	wg.Wait()
@@ -399,6 +437,11 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 				firstErr = cs.sendErr
 			}
 		}
+		res.Degraded += cs.degraded
+		res.DegradedMisses += cs.degMisses
+		res.DegradedErrors += cs.degErrors
+		res.NodeFailovers += cs.failovers
+		res.NodeReconnects += cs.reconnects
 		res.Ops += cs.ops
 		res.Gets += cs.gets
 		res.GetHits += cs.hits
@@ -425,7 +468,10 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		if st, err := post.Stats(); err == nil {
 			batches1, _ := strconv.ParseUint(st["batches"], 10, 64)
 			batched1, _ := strconv.ParseUint(st["cmd_batched"], 10, 64)
-			if batches1 > batches0 {
+			// Both deltas must be forward: a node restart mid-run resets
+			// counters, and an unsigned wrap here would report an absurd
+			// depth instead of honestly reporting none.
+			if batches1 > batches0 && batched1 >= batched0 {
 				res.BatchDepthAvg = float64(batched1-batched0) / float64(batches1-batches0)
 			}
 		}
@@ -434,9 +480,18 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 				nodes1 := snapNodes(per)
 				res.NodeLoads = make([]NodeLoad, len(nodes1))
 				for i := range nodes1 {
-					nl := NodeLoad{Addr: nodeAddrs[i], Reqs: nodes1[i].reqs - nodes0[i].reqs}
-					if db := nodes1[i].batches - nodes0[i].batches; db > 0 {
-						nl.BatchDepthAvg = float64(nodes1[i].batched-nodes0[i].batched) / float64(db)
+					// A node that restarted mid-run (chaos) reset its
+					// counters, making the post-run value smaller than the
+					// snapshot; the unsigned delta would wrap to garbage.
+					// The absolute post-restart value — what the reborn
+					// process served — is the honest lower bound.
+					n1, n0 := nodes1[i], nodes0[i]
+					if n1.reqs < n0.reqs || n1.batches < n0.batches || n1.batched < n0.batched {
+						n0 = nodeSnap{}
+					}
+					nl := NodeLoad{Addr: nodeAddrs[i], Reqs: n1.reqs - n0.reqs}
+					if db := n1.batches - n0.batches; db > 0 {
+						nl.BatchDepthAvg = float64(n1.batched-n0.batched) / float64(db)
 					}
 					res.NodeLoads[i] = nl
 				}
@@ -512,7 +567,14 @@ func lgSend(cl Conn, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, val
 // never blocks against a gone receiver. Responses are consumed through the
 // discarding receive paths, so the steady-state loop allocates nothing and
 // the latency samples never include client GC work.
-func lgReceive(cl Conn, cs *lgConn, window chan pending) {
+//
+// With tolerate set, a degraded error (a failover-capable endpoint
+// synthesizing "node down" for a request it could not route) is a counted
+// outcome, not a failure: the pipeline behind it is still aligned, so the
+// run keeps driving straight through the outage. The degraded response is
+// excluded from the latency samples — it was synthesized locally in
+// nanoseconds and would only dilute the distribution of real round trips.
+func lgReceive(cl Conn, cs *lgConn, tolerate bool, window chan pending) {
 	fail := func(err error) {
 		cs.recvErr = err
 		cs.dead.Store(true)
@@ -526,14 +588,17 @@ func lgReceive(cl Conn, cs *lgConn, window chan pending) {
 		cs.lat[cl].Reserve(reserve / 2)
 	}
 	for p := range window {
+		degraded := false
 		switch p.class {
 		case lgGet, lgMGet:
 			es, _, err := cl.RecvGetN()
 			if err != nil {
-				fail(err)
-				return
-			}
-			if p.class == lgGet {
+				if !tolerate || !IsDegraded(err) {
+					fail(err)
+					return
+				}
+				degraded = true
+			} else if p.class == lgGet {
 				cs.gets++
 				if es > 0 {
 					cs.hits++
@@ -546,22 +611,34 @@ func lgReceive(cl Conn, cs *lgConn, window chan pending) {
 			}
 		case lgSet:
 			if _, err := cl.RecvStored(); err != nil {
-				fail(err)
-				return
+				if !tolerate || !IsDegraded(err) {
+					fail(err)
+					return
+				}
+				degraded = true
+			} else {
+				cs.sets++
 			}
-			cs.sets++
 		case lgDelete:
 			ok, err := cl.RecvDeleted()
 			if err != nil {
-				fail(err)
-				return
-			}
-			cs.dels++
-			if ok {
-				cs.delHits++
+				if !tolerate || !IsDegraded(err) {
+					fail(err)
+					return
+				}
+				degraded = true
+			} else {
+				cs.dels++
+				if ok {
+					cs.delHits++
+				}
 			}
 		}
 		cs.ops++
+		if degraded {
+			cs.degraded++
+			continue
+		}
 		if !p.t0.IsZero() {
 			cs.lat[p.class].AddSince(p.t0)
 			cs.all.AddSince(p.t0)
@@ -578,8 +655,11 @@ func lgReceive(cl Conn, cs *lgConn, window chan pending) {
 // v4 makes the core count a per-run variable — each run records the
 // GOMAXPROCS it was driven at ("cpus") plus its scaling efficiency against
 // the matching single-core run, so the multi-core sweep (the paper's
-// x-axis) lives in one artifact instead of one file per core count.
-const BenchSchema = "ascylib/bench-server/v4"
+// x-axis) lives in one artifact instead of one file per core count; v5 adds
+// the failover accounting of a degraded-tolerant run (degraded misses and
+// errors, node failovers and reconnects), so chaos-run throughput carries
+// the outage it was measured under.
+const BenchSchema = "ascylib/bench-server/v5"
 
 // BenchRun is one load-generation run in machine-readable form.
 type BenchRun struct {
@@ -605,21 +685,28 @@ type BenchRun struct {
 	// server); NodeReqs and NodeBatchDepthAvg are that many entries, in
 	// cluster address order, for cluster runs — per-node served requests
 	// and achieved batch depth, so uneven load is visible in the artifact.
-	Nodes             int                          `json:"nodes"`
-	NodeReqs          []uint64                     `json:"node_reqs,omitempty"`
-	NodeBatchDepthAvg []float64                    `json:"node_batch_depth_avg,omitempty"`
-	Ops               uint64                       `json:"ops"`
-	DurationS         float64                      `json:"duration_s"`
-	ThroughputOpsS    float64                      `json:"throughput_ops_s"`
-	MissRate          float64                      `json:"miss_rate"`
-	Gets              uint64                       `json:"gets"`
-	GetHits           uint64                       `json:"get_hits"`
-	GetMisses         uint64                       `json:"get_misses"`
-	Sets              uint64                       `json:"sets"`
-	Deletes           uint64                       `json:"deletes"`
-	MultiGets         uint64                       `json:"multi_gets"`
-	MultiGetKeys      uint64                       `json:"multi_get_keys"`
-	LatencyUS         map[string]stats.SummaryJSON `json:"latency_us"`
+	Nodes             int       `json:"nodes"`
+	NodeReqs          []uint64  `json:"node_reqs,omitempty"`
+	NodeBatchDepthAvg []float64 `json:"node_batch_depth_avg,omitempty"`
+	// Failover accounting (v5): responses the endpoint synthesized under
+	// degraded mode and the node failovers/reconnects behind them. All zero
+	// for single-server runs and outage-free cluster runs.
+	DegradedMisses uint64                       `json:"degraded_misses"`
+	DegradedErrors uint64                       `json:"degraded_errors"`
+	NodeFailovers  uint64                       `json:"node_failovers"`
+	NodeReconnects uint64                       `json:"node_reconnects"`
+	Ops            uint64                       `json:"ops"`
+	DurationS      float64                      `json:"duration_s"`
+	ThroughputOpsS float64                      `json:"throughput_ops_s"`
+	MissRate       float64                      `json:"miss_rate"`
+	Gets           uint64                       `json:"gets"`
+	GetHits        uint64                       `json:"get_hits"`
+	GetMisses      uint64                       `json:"get_misses"`
+	Sets           uint64                       `json:"sets"`
+	Deletes        uint64                       `json:"deletes"`
+	MultiGets      uint64                       `json:"multi_gets"`
+	MultiGetKeys   uint64                       `json:"multi_get_keys"`
+	LatencyUS      map[string]stats.SummaryJSON `json:"latency_us"`
 	// Generator hygiene (see LoadgenResult): client-side allocations per
 	// request and GC pause totals over the driving window.
 	ClientAllocsPerOp float64 `json:"client_allocs_per_op"`
@@ -659,6 +746,10 @@ func BenchRunOf(r LoadgenResult) BenchRun {
 		CPUs:           r.CPUs,
 		BatchDepthAvg:  r.BatchDepthAvg,
 		Nodes:          1,
+		DegradedMisses: r.DegradedMisses,
+		DegradedErrors: r.DegradedErrors,
+		NodeFailovers:  r.NodeFailovers,
+		NodeReconnects: r.NodeReconnects,
 		Ops:            r.Ops,
 		DurationS:      r.Elapsed.Seconds(),
 		ThroughputOpsS: r.Throughput(),

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -36,6 +38,19 @@ type Config struct {
 	// a connect storm spreads across cores instead of serializing on one
 	// accept loop. <= 0 means GOMAXPROCS, capped at 8.
 	AcceptWorkers int
+	// MaxConns caps concurrently open connections. At the cap the accept
+	// path sheds: the newcomer gets one "SERVER_ERROR busy" line and an
+	// immediate close, so it learns the server is saturated instead of
+	// hanging — the graceful half of overload, where the alternative is
+	// unbounded goroutine growth until the process dies for everyone.
+	// <= 0 means unlimited.
+	MaxConns int
+	// ChaosPanicKey arms the chaos harness's panic injector: a get of
+	// exactly this key panics in the handler, exercising the per-connection
+	// panic isolation (the panic is recovered, counted in handler_panics,
+	// and closes only that connection — never the process). Empty disables
+	// injection; production configs leave it empty.
+	ChaosPanicKey string
 	// ReusePort shards the listener itself: every accept worker gets its
 	// own SO_REUSEPORT socket bound to the same address, so the kernel
 	// hash-distributes incoming connections across per-worker accept
@@ -142,11 +157,23 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// draining flips when Shutdown begins: accept loops stop taking new
+	// connections and connReader stops re-arming idle deadlines, so every
+	// handler finishes the requests already received and then exits at its
+	// next blocking read.
+	draining atomic.Bool
+
 	// Connection accounting (accept-path only, so contention-free in the
 	// request loop). The per-request wire counters live in per-connection
 	// wireStats slots (see wirestats.go) and are aggregated on demand.
 	totalConns atomic.Uint64
 	currConns  atomic.Int64
+
+	// Fault accounting: handler panics recovered (each closed exactly one
+	// connection, never the process) and connections shed at the MaxConns
+	// cap.
+	panics atomic.Uint64
+	shed   atomic.Uint64
 
 	// Wire-counter slot registry: statsAll is append-only (every slot ever
 	// leased, live or parked), statsFree the parked ones awaiting reuse.
@@ -182,6 +209,30 @@ func New(cfg Config) (*Server, error) {
 // Store returns the backing store (for in-process inspection and tests).
 func (s *Server) Store() *Store { return s.store }
 
+// ErrServerClosed reports that Listen (or Serve's implicit Listen) found the
+// server already closed. Serve treats it as a clean shutdown: Close racing
+// Serve's startup is an ordinary sequence, not an error.
+var ErrServerClosed = errors.New("server: already closed")
+
+// install publishes freshly bound listeners, unless Close already won the
+// race — in which case the listeners are closed on the spot and the caller
+// gets ErrServerClosed, so a Close that finished before Listen can never be
+// trumped by a server that starts serving afterwards.
+func (s *Server) install(lns []net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		for _, ln := range lns {
+			ln.Close()
+		}
+		return ErrServerClosed
+	}
+	s.ln, s.lns = lns[0], lns
+	s.start = time.Now()
+	s.mu.Unlock()
+	return nil
+}
+
 // Listen binds the configured address. After Listen returns, Addr reports
 // the actual address (useful with port 0). With ReusePort set on a capable
 // platform, one SO_REUSEPORT listener is bound per accept worker — the
@@ -204,9 +255,7 @@ func (s *Server) Listen() error {
 			}
 			lns = append(lns, sib)
 		}
-		s.ln, s.lns = ln, lns
-		s.start = time.Now()
-		return nil
+		return s.install(lns)
 	}
 	if s.cfg.ReusePort && !reusePortAvailable {
 		s.logf("server: SO_REUSEPORT unavailable on this platform; using one shared listener")
@@ -215,10 +264,7 @@ func (s *Server) Listen() error {
 	if err != nil {
 		return err
 	}
-	s.ln = ln
-	s.lns = []net.Listener{ln}
-	s.start = time.Now()
-	return nil
+	return s.install([]net.Listener{ln})
 }
 
 // ReusePortActive reports whether the accept path is running one
@@ -239,6 +285,9 @@ func (s *Server) Addr() net.Addr {
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		if err := s.Listen(); err != nil {
+			if errors.Is(err, ErrServerClosed) {
+				return nil // Close won the startup race; a clean shutdown
+			}
 			return err
 		}
 	}
@@ -258,20 +307,28 @@ func (s *Server) Serve() error {
 	return nil
 }
 
-// ListenAndServe is Listen followed by Serve.
+// ListenAndServe is Listen followed by Serve. Like Serve, losing the
+// startup race to a concurrent Close is a clean shutdown, not an error.
 func (s *Server) ListenAndServe() error {
 	if err := s.Listen(); err != nil {
+		if errors.Is(err, ErrServerClosed) {
+			return nil
+		}
 		return err
 	}
 	return s.Serve()
 }
 
 // Close stops accepting, closes every open connection, and waits for the
-// connection handlers to drain.
+// connection handlers to drain. It is idempotent and safe to call from any
+// goroutine, concurrently with Serve's startup included: whichever of
+// Listen and Close runs second observes the other (see install), so a
+// server closed before it ever bound stays closed.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return nil
 	}
 	s.closed = true
@@ -282,11 +339,61 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	var err error
 	for _, ln := range lns {
-		if cerr := ln.Close(); cerr != nil && err == nil {
+		if cerr := ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) && err == nil {
 			err = cerr
 		}
 	}
 	s.wg.Wait()
+	return err
+}
+
+// Shutdown drains the server: it stops accepting, lets every connection
+// finish the requests it has already received (a blocked read returns at
+// once — an idle connection holds nothing in flight — while a handler mid-
+// batch completes the batch and flushes its responses), and then closes.
+// If ctx expires first, the remaining connections are closed hard. Either
+// way Serve returns nil and the server ends fully stopped; Shutdown after
+// Shutdown (or Close) is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	lns := s.lns
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	// Wake every blocked read with an already-past deadline. Requests whose
+	// bytes have arrived still execute — bufio serves them without touching
+	// the socket — so the drain boundary is exactly "what the server had
+	// received when Shutdown began". connReader sees draining and leaves
+	// the past deadline in place rather than re-arming the idle timeout.
+	past := time.Unix(1, 0)
+	for _, c := range conns {
+		c.SetReadDeadline(past)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if cerr := s.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -312,6 +419,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			time.Sleep(5 * time.Millisecond)
 			continue
 		}
+		if s.draining.Load() {
+			c.Close()
+			continue
+		}
+		if s.cfg.MaxConns > 0 && s.currConns.Load() >= int64(s.cfg.MaxConns) {
+			// At the cap: tell the newcomer why and hang up, off the
+			// accept loop's critical path (a peer that never reads must
+			// not stall accepting for everyone else).
+			s.shed.Add(1)
+			go shedConn(c)
+			continue
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -332,9 +451,30 @@ func (s *Server) acceptLoop(ln net.Listener) {
 				s.currConns.Add(-1)
 				c.Close()
 			}()
+			// Panic isolation: a panic in this connection's handler — a
+			// store bug, a parser edge, an injected chaos fault — costs
+			// exactly this connection. The deferred recover runs before
+			// the cleanup defers above, so the connection is still
+			// unregistered and closed, and the epoch pin (executeBatch's
+			// own defer) has already been released during unwinding.
+			defer func() {
+				if r := recover(); r != nil {
+					s.panics.Add(1)
+					s.logf("server: %s: handler panic (connection closed, server continues): %v\n%s",
+						c.RemoteAddr(), r, debug.Stack())
+				}
+			}()
 			s.handleConn(c)
 		}()
 	}
+}
+
+// shedConn delivers the over-capacity refusal: one error line, bounded by a
+// short write deadline, then a close.
+func shedConn(c net.Conn) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	c.Write([]byte("SERVER_ERROR busy\r\n"))
+	c.Close()
 }
 
 // handleConn runs the request loop of one connection. Pipelining: requests
@@ -427,6 +567,13 @@ func (s *Server) execute(p Pin, cmd *Command, w *respWriter, ws *wireStats) {
 	switch cmd.Op {
 	case OpGet, OpGets:
 		ws.cmdGet.Add(1)
+		if s.cfg.ChaosPanicKey != "" {
+			for _, k := range cmd.Keys {
+				if string(k) == s.cfg.ChaosPanicKey {
+					panic("chaos: injected handler panic on key " + string(k))
+				}
+			}
+		}
 		withCAS := cmd.Op == OpGets
 		if len(cmd.Keys) > 1 {
 			// Multi-get: route, group by shard, and walk shard-grouped
@@ -581,6 +728,8 @@ func (s *Server) Stats() [][2]string {
 		{"cas_misses", u(t.casMisses)},
 		{"cas_badval", u(t.casBadval)},
 		{"protocol_errors", u(t.protoErrors)},
+		{"handler_panics", u(s.panics.Load())},
+		{"conns_shed", u(s.shed.Load())},
 		{"curr_items", strconv.Itoa(s.store.Items())},
 	}
 	// Batch accounting: how well the pipelined bursts amortize. The depth
@@ -633,15 +782,19 @@ func (s *Server) StatsMap() map[string]string {
 type connReader struct {
 	c       net.Conn
 	ws      *wireStats
+	srv     *Server
 	timeout time.Duration
 }
 
 func newConnReader(c net.Conn, s *Server, ws *wireStats) *connReader {
-	return &connReader{c: c, ws: ws, timeout: s.cfg.IdleTimeout}
+	return &connReader{c: c, ws: ws, srv: s, timeout: s.cfg.IdleTimeout}
 }
 
 func (r *connReader) Read(p []byte) (int, error) {
-	if r.timeout > 0 {
+	if r.srv.draining.Load() {
+		// Shutdown set a past deadline to drain this connection; re-arming
+		// the idle timeout here would undo it and hold the drain open.
+	} else if r.timeout > 0 {
 		r.c.SetReadDeadline(time.Now().Add(r.timeout))
 	}
 	n, err := r.c.Read(p)

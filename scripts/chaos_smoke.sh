@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — end-to-end fault-tolerance smoke over real processes.
+#
+# What it proves, with actual ascyserve binaries and actual SIGTERMs:
+#
+#   1. Panic isolation: a get of the armed -chaospanickey kills only the
+#      connection that sent it. The process keeps serving other
+#      connections and counts the panic in handler_panics.
+#   2. Kill/restart failover: SIGTERM one node of a 3-node cluster while
+#      ascybench drives it with -tolerate -degraded miss; the run keeps
+#      going through the outage, the node is rebooted on the same address,
+#      and the BENCH artifact records positive throughput, at least one
+#      node failover, and at least one reconnect.
+#   3. Drain stats: the SIGTERMed node prints its final stats line on the
+#      way down (the "last word" a chaos harness reads post-mortem).
+#
+# Usage: scripts/chaos_smoke.sh
+# Environment:
+#   ASCYSERVE   path to ascyserve binary   (default: bin/ascyserve)
+#   ASCYBENCH   path to ascybench binary   (default: bin/ascybench)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ASCYSERVE=${ASCYSERVE:-bin/ascyserve}
+ASCYBENCH=${ASCYBENCH:-bin/ascybench}
+RUNDIR=$(mktemp -d)
+
+cleanup() {
+  # Kill every server this script started, directly or via clusterup.sh.
+  [ -f "$RUNDIR/pids" ] && while read -r pid; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done < "$RUNDIR/pids"
+  [ -n "${PANIC_PID:-}" ] && kill "$PANIC_PID" 2>/dev/null || true
+  [ -n "${REBORN_PID:-}" ] && kill "$REBORN_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# memcmd HOST:PORT COMMANDS... — pipe protocol lines into a server over
+# /dev/tcp (no nc dependency) and print whatever comes back.
+memcmd() {
+  local addr=$1 host port
+  shift
+  host=${addr%:*}
+  port=${addr##*:}
+  exec 3<>"/dev/tcp/$host/$port" || return 1
+  printf '%b' "$*" >&3
+  timeout 5 cat <&3 || true
+  exec 3>&- 3<&- || true
+}
+
+# --- 1. panic isolation ----------------------------------------------------
+echo "== panic isolation =="
+"$ASCYSERVE" -addr 127.0.0.1:0 -algo ht-clht-lb -quiet \
+  -chaospanickey chaos-boom -addrfile "$RUNDIR/panic.addr" \
+  > "$RUNDIR/panic.log" 2>&1 &
+PANIC_PID=$!
+for _ in $(seq 100); do [ -s "$RUNDIR/panic.addr" ] && break; sleep 0.1; done
+[ -s "$RUNDIR/panic.addr" ] || fail "panic-test server never bound"
+PADDR=$(cat "$RUNDIR/panic.addr")
+
+# The armed key panics its handler; the connection dies mid-response.
+memcmd "$PADDR" 'get chaos-boom\r\n' > /dev/null || true
+kill -0 "$PANIC_PID" 2>/dev/null || fail "handler panic terminated ascyserve"
+# A fresh connection must be served as if nothing happened...
+out=$(memcmd "$PADDR" 'set k 0 0 2\r\nhi\r\nget k\r\nquit\r\n')
+echo "$out" | grep -q "STORED" || fail "server not serving after panic: $out"
+echo "$out" | grep -q "hi" || fail "stored value unreadable after panic: $out"
+# ...and the panic must be on the books.
+stats=$(memcmd "$PADDR" 'stats\r\nquit\r\n')
+echo "$stats" | grep -q "STAT handler_panics 1" \
+  || fail "handler_panics not counted: $(echo "$stats" | grep panics || true)"
+kill "$PANIC_PID" && wait "$PANIC_PID" 2>/dev/null || true
+unset PANIC_PID
+echo "ok: panic isolated, counted, process survived"
+
+# --- 2. kill/restart failover under load -----------------------------------
+echo "== kill/restart failover =="
+ADDRS=$(RUNDIR=$RUNDIR scripts/clusterup.sh 3 -algo ht-clht-lb -quiet)
+echo "cluster nodes: $ADDRS"
+
+"$ASCYBENCH" loadgen -cluster "$ADDRS" -degraded miss -tolerate \
+  -conns 2 -pipeline 8 -duration 4s -rangepct 5 \
+  -out "$RUNDIR/BENCH_chaos.json" > "$RUNDIR/loadgen.out" 2>&1 &
+LG_PID=$!
+
+sleep 1
+VICTIM_PID=$(sed -n '1p' "$RUNDIR/pids")
+VICTIM_ADDR=$(cat "$RUNDIR/node0.addr")
+kill -TERM "$VICTIM_PID"
+# 3. The node's drain path must leave its final stats line in the log.
+# The victim is clusterup.sh's child, not ours, so `wait` can't block on
+# it — poll the log instead (the drain budget is 5s; allow a bit more).
+for _ in $(seq 80); do
+  grep -q "final stats:" "$RUNDIR/node0.log" && break
+  sleep 0.1
+done
+grep -q "final stats:" "$RUNDIR/node0.log" \
+  || fail "SIGTERMed node printed no final stats line (node0.log)"
+echo "victim down: $VICTIM_ADDR"
+
+sleep 1
+"$ASCYSERVE" -addr "$VICTIM_ADDR" -algo ht-clht-lb -quiet \
+  > "$RUNDIR/node0-reborn.log" 2>&1 &
+REBORN_PID=$!
+echo "victim rebooting on $VICTIM_ADDR"
+
+wait "$LG_PID" || { cat "$RUNDIR/loadgen.out"; fail "loadgen did not survive the outage"; }
+cat "$RUNDIR/loadgen.out"
+
+python3 - "$RUNDIR/BENCH_chaos.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "ascylib/bench-server/v5", d["schema"]
+run = d["runs"][0]
+# Throughput must be positive THROUGH the outage, the failover must have
+# been seen, and the reborn node must have been re-adopted.
+assert run["throughput_ops_s"] > 0, run
+assert run["node_failovers"] >= 1, run
+assert run["node_reconnects"] >= 1, run
+assert run["degraded_misses"] + run["degraded_errors"] > 0, run
+EOF
+echo "ok: drove through kill+restart with failover accounting"
+echo "chaos smoke: all checks passed"
