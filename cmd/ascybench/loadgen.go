@@ -70,20 +70,34 @@ func runLoadgen(args []string) error {
 		keys       = fs.Int("keys", 4096, "hot keyspace size (preloaded; draws span twice this)")
 		valueSize  = fs.Int("valuesize", 64, "value size in bytes")
 		update     = fs.Int("update", 10, "update percentage (sets + deletes)")
-		rangePct   = fs.Int("rangepct", 0, "multi-get percentage (the wire analog of range scans)")
-		multiGet   = fs.Int("multiget", 10, "keys per multi-get batch")
+		rangePct   = fs.Int("rangepct", 0, "range-scan percentage (mrange on ordered endpoints, multi-get fallback otherwise)")
+		scanMix    = fs.String("scanmix", "", "comma-separated range-scan percentages, one run each (the scan-mix sweep; overrides -rangepct)")
+		multiGet   = fs.Int("multiget", 10, "keys per multi-get fallback batch")
+		scanSpan   = fs.Int("scanspan", 0, "key-index span (and limit) of each mrange scan (0 = -multiget, keeping scan and fallback payloads comparable)")
+		keyDist    = fs.String("keydist", "uniform", "key draw distribution: \"uniform\" or \"zipf:<s>\" with skew s > 1 (e.g. zipf:1.2)")
+		ordered    orderedFlag
 		sample     = fs.Int("sample", 4, "sample the latency of every n-th request")
 		seed       = fs.Uint64("seed", 1, "workload seed")
 		out        = fs.String("out", "BENCH_server.json", "machine-readable output file (empty disables)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole loadgen process (incl. the in-process server in self-serve mode) to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile taken after the last run to this file")
 	)
+	fs.Var(&ordered, "ordered", "self-serve with the order-preserving keyspace so mrange is served for real: true, false, or \"auto\" (ordered only where the structure scans natively — hash tables stay on their hash finalizer and range draws fall back to multi-get, so one invocation sweeps fallback vs native; ignored with -addr/-cluster)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	pipelines, err := parseIntList("-pipeline", *pipeList)
 	if err != nil {
 		return err
+	}
+	// The scan-mix sweep: one run per range percentage. Without -scanmix the
+	// "sweep" is the single -rangepct point, so the run loops below need no
+	// special casing.
+	scanMixes := []int{*rangePct}
+	if *scanMix != "" {
+		if scanMixes, err = parsePctList("-scanmix", *scanMix); err != nil {
+			return err
+		}
 	}
 	cfg := server.LoadgenConfig{
 		Conns:            *conns,
@@ -92,6 +106,8 @@ func runLoadgen(args []string) error {
 		ValueSize:        *valueSize,
 		Mix:              workload.Mix{UpdatePct: *update, RangePct: *rangePct},
 		MultiGet:         *multiGet,
+		ScanSpan:         *scanSpan,
+		KeyDist:          *keyDist,
 		SampleEvery:      *sample,
 		Seed:             *seed,
 		FlushBefore:      *flush,
@@ -162,24 +178,30 @@ func runLoadgen(args []string) error {
 				}
 				for _, depth := range pipelines {
 					cfg.Pipeline = depth
-					res, err := server.RunLoadgen(cfg)
-					if err != nil {
-						return fmt.Errorf("cluster %s: %w", cfg.Addr, err)
+					for _, rp := range scanMixes {
+						cfg.Mix.RangePct = rp
+						res, err := server.RunLoadgen(cfg)
+						if err != nil {
+							return fmt.Errorf("cluster %s: %w", cfg.Addr, err)
+						}
+						printLoadgen(res)
+						runs = append(runs, res)
 					}
-					printLoadgen(res)
-					runs = append(runs, res)
 				}
 			}
 		} else if *addr != "" {
 			cfg.Addr = *addr
 			for _, depth := range pipelines {
 				cfg.Pipeline = depth
-				res, err := server.RunLoadgen(cfg)
-				if err != nil {
-					return err
+				for _, rp := range scanMixes {
+					cfg.Mix.RangePct = rp
+					res, err := server.RunLoadgen(cfg)
+					if err != nil {
+						return err
+					}
+					printLoadgen(res)
+					runs = append(runs, res)
 				}
-				printLoadgen(res)
-				runs = append(runs, res)
 			}
 		} else {
 			shardCounts, err := parseIntList("-shards", *shardList)
@@ -207,12 +229,15 @@ func runLoadgen(args []string) error {
 				for _, shards := range shardCounts {
 					for _, depth := range pipelines {
 						cfg.Pipeline = depth
-						res, err := selfServe(name, shards, cfg)
-						if err != nil {
-							return fmt.Errorf("%s (shards=%d, pipeline=%d): %w", name, shards, depth, err)
+						for _, rp := range scanMixes {
+							cfg.Mix.RangePct = rp
+							res, err := selfServe(name, shards, ordered.forAlgo(name), cfg)
+							if err != nil {
+								return fmt.Errorf("%s (shards=%d, pipeline=%d): %w", name, shards, depth, err)
+							}
+							printLoadgen(res)
+							runs = append(runs, res)
 						}
-						printLoadgen(res)
-						runs = append(runs, res)
 					}
 				}
 			}
@@ -233,6 +258,9 @@ func runLoadgen(args []string) error {
 		}
 	}
 	if *out != "" {
+		// The sweep loops mutate cfg.Mix.RangePct; each run records its own
+		// range_pct, so the document's config keeps the -rangepct baseline.
+		cfg.Mix.RangePct = *rangePct
 		if err := server.WriteBench(*out, cfg, runs); err != nil {
 			return err
 		}
@@ -262,10 +290,72 @@ func parseIntList(name, s string) ([]int, error) {
 	return out, nil
 }
 
+// parsePctList parses a comma-separated list of percentages (0–100); the
+// -scanmix sweep flag, where 0 is a legitimate baseline point.
+func parsePctList(name, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 || n > 100 {
+			return nil, fmt.Errorf("bad %s entry %q (want percentages 0-100, e.g. 0,5,20)", name, part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s names no percentages", name)
+	}
+	return out, nil
+}
+
+// orderedFlag is the -ordered flag: a boolean flag (bare -ordered works)
+// that additionally accepts "auto", which lights the ordered keyspace only
+// for algorithms whose structure scans natively (core NativeRange). Auto is
+// how one invocation produces the fallback-vs-native scan comparison: hash
+// tables boot unordered and their range draws fall back to multi-get
+// (flagged scan_fallback in the artifact), sorted structures boot ordered
+// and serve real mrange.
+type orderedFlag struct {
+	mode string // "", "true", or "auto"
+}
+
+func (o *orderedFlag) String() string   { return o.mode }
+func (o *orderedFlag) IsBoolFlag() bool { return true }
+
+func (o *orderedFlag) Set(s string) error {
+	switch s {
+	case "true", "1", "t", "yes":
+		o.mode = "true"
+	case "false", "0", "f", "no":
+		o.mode = ""
+	case "auto":
+		o.mode = "auto"
+	default:
+		return fmt.Errorf("want true, false, or auto, not %q", s)
+	}
+	return nil
+}
+
+// forAlgo resolves the flag for one self-served algorithm.
+func (o *orderedFlag) forAlgo(name string) bool {
+	switch o.mode {
+	case "true":
+		return true
+	case "auto":
+		if a, ok := core.Get(name); ok {
+			return a.Caps().NativeRange
+		}
+	}
+	return false
+}
+
 // selfServe boots an in-process server for one algorithm and shard count,
 // drives it, and tears it down.
-func selfServe(algo string, shards int, cfg server.LoadgenConfig) (server.LoadgenResult, error) {
-	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo, Shards: shards})
+func selfServe(algo string, shards int, ordered bool, cfg server.LoadgenConfig) (server.LoadgenResult, error) {
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo, Shards: shards, Ordered: ordered})
 	if err != nil {
 		return server.LoadgenResult{}, err
 	}
@@ -296,7 +386,13 @@ func printLoadgen(r server.LoadgenResult) {
 	if r.MGets > 0 {
 		fmt.Printf(", multi-gets: %d (%.1f keys/batch)", r.MGets, float64(r.MGetKeys)/float64(r.MGets))
 	}
+	if r.Scans > 0 {
+		fmt.Printf(", scans: %d (%.1f keys/scan)", r.Scans, float64(r.ScanKeys)/float64(r.Scans))
+	}
 	fmt.Println()
+	if r.ScanFallback {
+		fmt.Println("  scans: multi-get FALLBACK (endpoint not ordered; counted under multi-gets)")
+	}
 	if r.BatchDepthAvg > 0 {
 		fmt.Printf("  server batch depth: %.2f avg (achieved, from stats)\n", r.BatchDepthAvg)
 	}

@@ -235,9 +235,9 @@ func runAdhoc(algo string, initial, update, rangePct int, rangeSpan uint64, thre
 func printMatrix() {
 	fmt.Println("v2 capability matrix (native = implemented in the structure; fallback = generic path in core)")
 	fmt.Println()
-	fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s %-9s\n",
-		"algorithm", "class", "safe", "ascy", "ordered", "update", "getorins", "foreach", "range", "batch")
-	fmt.Println(strings.Repeat("-", 96))
+	fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s %-9s %-9s\n",
+		"algorithm", "class", "safe", "ascy", "ordered", "update", "getorins", "foreach", "range", "batch", "wirescan")
+	fmt.Println(strings.Repeat("-", 106))
 	nf := func(native bool) string {
 		if native {
 			return "native"
@@ -253,16 +253,24 @@ func printMatrix() {
 				}
 				return "-"
 			}
-			fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s %-9s\n",
+			// wirescan is the served cost of an -ordered mrange: a sorted
+			// structure enumerates the range in place, anything else pays a
+			// snapshot+sort per scan (correct, but O(shard) not O(result)).
+			ws := "snapshot"
+			if c.NativeRange {
+				ws = "native"
+			}
+			fmt.Printf("%-16s %-5s %-5s %-5s %-8s %-9s %-9s %-9s %-9s %-9s %-9s\n",
 				a.Name, a.Class, yn(a.Safe), yn(a.ASCY), yn(a.Ordered),
 				nf(c.NativeUpdate), nf(c.NativeGetOrInsert),
-				nf(c.NativeForEach), nf(c.NativeRange), nf(c.NativeSearchBatch))
+				nf(c.NativeForEach), nf(c.NativeRange), nf(c.NativeSearchBatch), ws)
 		}
 	}
 	fmt.Println()
 	fmt.Println("every algorithm serves the whole surface: Update/GetOrInsert/ForEach via core.Extend,")
 	fmt.Println("Range/Min/Max via core.OrderedOf (sorted families natively, hash tables by snapshot+sort),")
-	fmt.Println("SearchBatch via core.BatcherOf (recycling/sharded structures amortize natively)")
+	fmt.Println("SearchBatch via core.BatcherOf (recycling/sharded structures amortize natively);")
+	fmt.Println("wirescan is how `ascyserve -ordered` serves mrange: in-place traversal vs per-scan snapshot+sort")
 }
 
 // describeAlgorithm prints one registry entry in detail.
@@ -293,5 +301,10 @@ func describeAlgorithm(name string) error {
 	fmt.Printf("  foreach:     %s\n", nf(c.NativeForEach))
 	fmt.Printf("  range:       %s\n", nf(c.NativeRange))
 	fmt.Printf("  searchbatch: %s\n", nf(c.NativeSearchBatch))
+	if c.NativeRange {
+		fmt.Printf("  wire-scan:   native (`ascyserve -ordered` mrange traverses the structure in place)\n")
+	} else {
+		fmt.Printf("  wire-scan:   snapshot+sort (`ascyserve -ordered` mrange works, but each scan pays O(shard); prefer a sorted structure)\n")
+	}
 	return nil
 }

@@ -38,6 +38,7 @@ func main() {
 		algo     = flag.String("algo", "ht-clht-lb", "backing algorithm (see `ascybench list`)")
 		capacity = flag.Int("capacity", 1<<16, "structure capacity (hash-table buckets, total across shards)")
 		shards   = flag.Int("shards", 1, "partition the keyspace across this many independent structure instances")
+		ordered  = flag.Bool("ordered", false, "order-preserving keyspace: serve mrange/mmin/mmax (lexicographic scans); shards become contiguous key ranges (best with a sorted structure, e.g. -algo sl-fraser-opt)")
 		accept   = flag.Int("accept", 0, "sharded-accept workers (0 = GOMAXPROCS, capped at 8)")
 		reuse    = flag.Bool("reuseport", false, "bind one SO_REUSEPORT listener per accept worker (kernel-sharded accept queues; falls back to one shared listener where unsupported)")
 		cpu      = flag.Int("cpu", 0, "cap GOMAXPROCS for the whole process (0 keeps the runtime default) — pins the server's core budget for scaling experiments")
@@ -70,6 +71,7 @@ func main() {
 		Algo:          *algo,
 		Capacity:      *capacity,
 		Shards:        *shards,
+		Ordered:       *ordered,
 		AcceptWorkers: *accept,
 		ReusePort:     *reuse,
 		MaxItemSize:   *maxItem,
@@ -93,6 +95,9 @@ func main() {
 		extra := ""
 		if s.ReusePortActive() {
 			extra = ", reuseport"
+		}
+		if *ordered {
+			extra += ", ordered"
 		}
 		fmt.Printf("ascyserve: %s serving %s (%d shard(s)%s) on %s\n", server.Version, *algo, s.Store().Shards(), extra, s.Addr())
 	}

@@ -209,6 +209,12 @@ type Client struct {
 	routes routeRing
 	reqs   []uint64 // requests routed per node, lifetime of the client
 
+	// scanLimits is the pending-mrange limit FIFO, aligned with the route
+	// ring's scan broadcasts (see SendMRange/RecvMRange in scan.go); it
+	// follows the ring's SPSC discipline and locks the same way.
+	scanMu     sync.Mutex
+	scanLimits []uint64
+
 	// Pooled group-by-node scratch for multi-key gets (see SendGet): the
 	// counting-sort workspace, per-key routes, the permutation, and the
 	// gathered per-node key batch.
@@ -888,7 +894,7 @@ func statSummable(name string) bool {
 		return false
 	}
 	for _, p := range [...]string{"cmd_", "get_", "delete_", "incr_", "decr_",
-		"cas_", "bytes_", "value_pool_", "batch_depth_"} {
+		"cas_", "bytes_", "value_pool_", "batch_depth_", "range_"} {
 		if strings.HasPrefix(name, p) {
 			return true
 		}

@@ -16,10 +16,17 @@ import (
 // knowledge of its siblings — the deployment shape the launcher script boots
 // as separate processes.
 func startNodes(t *testing.T, algo string, n int) []string {
+	return startNodesOrdered(t, algo, n, false)
+}
+
+// startNodesOrdered is startNodes with the servers' ordered-keyspace mode
+// selectable — the scan differentials need ordered nodes, everything else
+// keeps the default.
+func startNodesOrdered(t *testing.T, algo string, n int, ordered bool) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
-		s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo})
+		s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo, Ordered: ordered})
 		if err != nil {
 			t.Fatal(err)
 		}

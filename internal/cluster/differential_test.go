@@ -32,7 +32,12 @@ import (
 // match to the byte.
 
 // genClusterStream mirrors the server package's genStream minus gets/cas.
-func genClusterStream(rng *xrand.State, n int, withFatal bool) []byte {
+// With withScans, ordered-keyspace commands join the mix: well-formed
+// mrange (narrow, wide, and inverted bounds — the server answers a bare END
+// for inverted, and the cluster must too), mmin/mmax, and the malformed
+// variants (zero limit, wrong arity, a noreply that the scan verbs do not
+// accept) whose error lines must come back identical.
+func genClusterStream(rng *xrand.State, n int, withFatal, withScans bool) []byte {
 	var b strings.Builder
 	key := func() string { return fmt.Sprintf("k%d", rng.Uint64n(24)) }
 	noreply := func() string {
@@ -41,8 +46,12 @@ func genClusterStream(rng *xrand.State, n int, withFatal bool) []byte {
 		}
 		return ""
 	}
+	ops := uint64(10)
+	if withScans {
+		ops = 13
+	}
 	for i := 0; i < n; i++ {
-		switch rng.Uint64n(10) {
+		switch rng.Uint64n(ops) {
 		case 0, 1, 2:
 			fmt.Fprintf(&b, "get %s\r\n", key())
 		case 3:
@@ -81,6 +90,31 @@ func genClusterStream(rng *xrand.State, n int, withFatal bool) []byte {
 			case 4:
 				b.WriteString("version\r\n")
 			}
+		case 10, 11:
+			// Ordered scan: random bounds (inverted about half the time —
+			// both sides answer a bare END), random truncating limit. The
+			// interleaved sets/deletes above make the scanned window churn,
+			// so the merge is exercised against a moving keyspace.
+			fmt.Fprintf(&b, "mrange %s %s %d\r\n", key(), key(), 1+rng.Uint64n(30))
+			if rng.Uint64n(4) == 0 {
+				// Wide scan spanning every stored key ("k" < "k0" < … < "kz"),
+				// truncated: the k-way merge must cut at exactly the same key
+				// a single sorted enumeration would.
+				fmt.Fprintf(&b, "mrange k kz %d\r\n", 1+rng.Uint64n(12))
+			}
+		case 12:
+			switch rng.Uint64n(5) {
+			case 0:
+				b.WriteString("mmin\r\n")
+			case 1:
+				b.WriteString("mmax\r\n")
+			case 2:
+				fmt.Fprintf(&b, "mrange %s %s 0\r\n", key(), key()) // zero limit: client error
+			case 3:
+				fmt.Fprintf(&b, "mrange %s\r\n", key()) // wrong arity
+			case 4:
+				fmt.Fprintf(&b, "mrange %s %s 5 noreply\r\n", key(), key()) // scans have no noreply form
+			}
 		}
 	}
 	if withFatal {
@@ -95,9 +129,9 @@ func genClusterStream(rng *xrand.State, n int, withFatal bool) []byte {
 // collectSingle feeds the stream over TCP to one server holding the whole
 // keyspace and returns every response byte, written in `chunk`-sized pieces
 // to exercise partial-frame reads.
-func collectSingle(t *testing.T, algo string, stream []byte, chunk int) []byte {
+func collectSingle(t *testing.T, algo string, ordered bool, stream []byte, chunk int) []byte {
 	t.Helper()
-	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo})
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Algo: algo, Ordered: ordered})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,9 +190,9 @@ func (r *chunkReader) Read(p []byte) (int, error) {
 
 // collectCluster feeds the stream to a fresh 4-node cluster through
 // ServeStream and returns every response byte.
-func collectCluster(t *testing.T, algo string, stream []byte, chunk int) []byte {
+func collectCluster(t *testing.T, algo string, ordered bool, stream []byte, chunk int) []byte {
 	t.Helper()
-	addrs := startNodes(t, algo, 4)
+	addrs := startNodesOrdered(t, algo, 4, ordered)
 	c, err := Dial(addrs...)
 	if err != nil {
 		t.Fatal(err)
@@ -171,17 +205,41 @@ func collectCluster(t *testing.T, algo string, stream []byte, chunk int) []byte 
 	return out.Bytes()
 }
 
-// TestClusterMatchesSingleServer is the differential gate proper.
+// TestClusterMatchesSingleServer is the differential gate proper. The
+// ordered cases carry the scan verbs: a 4-node scatter-gather mrange must
+// merge to exactly the bytes one sorted server emits, on both a natively
+// sorted backend (sl-fraser-opt) and a snapshot+sort hash table, under the
+// stream's interleaved sets and deletes. The unordered-with-scans case
+// checks the refusal passthrough: every node answers the ordered-disabled
+// error line, and the proxy must forward exactly one copy of it, like the
+// single server.
 func TestClusterMatchesSingleServer(t *testing.T) {
-	for _, algo := range []string{"ht-clht-lb", "ll-lazy"} {
+	for _, tc := range []struct {
+		algo      string
+		ordered   bool
+		withScans bool
+	}{
+		{"ht-clht-lb", false, false},
+		{"ll-lazy", false, false},
+		{"sl-fraser-opt", true, true},
+		{"ht-clht-lb", true, true},
+		{"ht-clht-lb", false, true}, // scans refused: error-line passthrough
+	} {
+		mode := "plain"
+		if tc.withScans {
+			mode = "scans"
+			if !tc.ordered {
+				mode = "scans-refused"
+			}
+		}
 		for seed := uint64(1); seed <= 4; seed++ {
 			for _, chunk := range []int{1 << 20, 257} {
-				name := fmt.Sprintf("%s/seed%d/chunk%d", algo, seed, chunk)
+				name := fmt.Sprintf("%s/%s/seed%d/chunk%d", tc.algo, mode, seed, chunk)
 				t.Run(name, func(t *testing.T) {
 					rng := xrand.New(seed)
-					stream := genClusterStream(rng, 400, seed%2 == 0)
-					single := collectSingle(t, algo, stream, chunk)
-					clustered := collectCluster(t, algo, stream, chunk)
+					stream := genClusterStream(rng, 400, seed%2 == 0, tc.withScans)
+					single := collectSingle(t, tc.algo, tc.ordered, stream, chunk)
+					clustered := collectCluster(t, tc.algo, tc.ordered, stream, chunk)
 					if !bytes.Equal(single, clustered) {
 						i := 0
 						for i < len(single) && i < len(clustered) && single[i] == clustered[i] {

@@ -544,7 +544,7 @@ func TestChaosKillRestartDifferential(t *testing.T) {
 		flat = append(flat, b...)
 	}
 	flat = append(flat, []byte("quit\r\n")...)
-	want := collectSingle(t, algo, flat, 1<<20)
+	want := collectSingle(t, algo, false, flat, 1<<20)
 
 	// Cluster under chaos.
 	srvs, addrs := startNodeServers(t, algo, 3)

@@ -86,11 +86,13 @@ func (c *Client) ServeStream(r io.Reader, w io.Writer) error {
 type planKind uint8
 
 const (
-	planLocal planKind = iota // respond from the proxy itself (errors, version, quit)
-	planLine                  // one single-line response from one node
-	planGet                   // a (possibly split) get: per-node sub-responses reassembled
-	planBcast                 // flush_all: one line from every node, one line out
-	planStats                 // stats: fan-out, aggregate, emit
+	planLocal    planKind = iota // respond from the proxy itself (errors, version, quit)
+	planLine                     // one single-line response from one node
+	planGet                      // a (possibly split) get: per-node sub-responses reassembled
+	planBcast                    // flush_all: one line from every node, one line out
+	planStats                    // stats: fan-out, aggregate, emit
+	planMRange                   // mrange: fan-out, k-way merge the sorted streams
+	planMExtreme                 // mmin/mmax: fan-out, keep the best entry
 )
 
 // streamPlan is one batch entry's routing decision, recorded during the send
@@ -114,6 +116,11 @@ type streamPlan struct {
 	keys    []string
 	nodeOf  []int32
 	touched []int32
+
+	// planMRange/planMExtreme state: the (clamped) scan limit, and which
+	// extreme an mmin/mmax wants (see scan.go).
+	limit uint64
+	isMax bool
 }
 
 // planEntry forwards one parsed batch entry to its node(s) and returns the
@@ -224,6 +231,27 @@ func (c *Client) planEntry(e *server.BatchEntry) (p streamPlan, stop bool, err e
 		}
 		return p, false, nil
 
+	case server.OpMRange:
+		// The scatter-gather scan: every node enumerates its slice of the
+		// range (already sorted, already clamped), the receive phase merges.
+		// The bounds must outlive this batch entry's read buffer, so they
+		// are materialized here like a get's keys.
+		lo, hi := string(cmd.Keys[0]), string(cmd.Keys[1])
+		limit := clampScanLimit(cmd.Delta)
+		return c.planScan(planMRange, cmd, func(nc *server.Client) error {
+			return nc.SendMRange(lo, hi, limit)
+		}), false, nil
+
+	case server.OpMMin:
+		return c.planScan(planMExtreme, cmd, func(nc *server.Client) error {
+			return nc.SendMMin()
+		}), false, nil
+
+	case server.OpMMax:
+		return c.planScan(planMExtreme, cmd, func(nc *server.Client) error {
+			return nc.SendMMax()
+		}), false, nil
+
 	case server.OpVersion:
 		// Identical on every node by construction; answered locally.
 		return streamPlan{kind: planLocal, line: "VERSION " + server.Version}, false, nil
@@ -283,6 +311,9 @@ func (c *Client) deliver(bw *bufio.Writer, p *streamPlan, cursors []int, groups 
 
 	case planGet:
 		return c.deliverGet(bw, p, cursors, groups)
+
+	case planMRange, planMExtreme:
+		return c.deliverScan(bw, p, groups)
 
 	case planBcast:
 		first := ""

@@ -150,7 +150,7 @@ func TestServerBatchedGetPathZeroAlloc(t *testing.T) {
 // write has begun overwriting (every byte of the returned Data must agree).
 // Run under -race: the SSMEM epoch edges are what make this pass.
 func TestStoreDataPoolingNoAliasing(t *testing.T) {
-	st, err := NewStore("ht-clht-lb", 64, true, 1)
+	st, err := NewStore("ht-clht-lb", 64, true, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestStoreDataPoolingNoAliasing(t *testing.T) {
 // actually happens (without -race; see race_on_test.go for why sync.Pool
 // churn strands garbage under the detector).
 func TestStoreDataPoolReuseBalance(t *testing.T) {
-	st, err := NewStore("ht-clht-lb", 64, true, 1)
+	st, err := NewStore("ht-clht-lb", 64, true, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestStoreDataPoolReuseBalance(t *testing.T) {
 // removed (bounded, non-blocking) instead of lingering until a mutation
 // touches the key.
 func TestStoreReapsExpiredOnGet(t *testing.T) {
-	st, err := NewStore("ht-clht-lb", 64, true, 1)
+	st, err := NewStore("ht-clht-lb", 64, true, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,4 +341,72 @@ func TestWriteTimeoutUnblocksStalledClient(t *testing.T) {
 		t.Fatalf("healthy client after stall: %v %v", ok, err)
 	}
 	cl.Close()
+}
+
+// TestServerScanPathAllocGate is the ordered-scan allocation gate: a
+// pipelined mrange — ReadCommandInto → Store.RangeScan → VALUE staging per
+// returned key — must not allocate per RESULT KEY. The per-scan cost is a
+// small constant (closure captures escaping through the generic range
+// layers: rangeBytes → Map.Range → RangeAscend each pin their state on the
+// heap), so the gate measures the same scan at two widths and requires the
+// identical figure — a per-key allocation would separate them by the width
+// difference — plus an absolute cap so the constant cannot quietly grow.
+func TestServerScanPathAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts at random, so Pin() itself allocates")
+	}
+	for _, tc := range []struct {
+		algo   string
+		shards int
+	}{
+		{"sl-fraser-opt", 1},
+		{"sl-fraser-opt", 4},
+		{"ll-lazy", 1},
+	} {
+		t.Run(fmt.Sprintf("%s/shards-%d", tc.algo, tc.shards), func(t *testing.T) {
+			s, err := New(Config{Algo: tc.algo, Shards: tc.shards, Ordered: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := s.store.Pin()
+			for i := 0; i < 32; i++ {
+				s.store.Set(p, []byte(fmt.Sprintf("scan%02d", i)), 7, 0, bytes.Repeat([]byte("v"), 32))
+			}
+			p.Unpin()
+			measure := func(frame string, wantKeys float64) float64 {
+				br := bufio.NewReaderSize(&repeatReader{frame: []byte(frame)}, 1<<16)
+				bw := newWriter(io.Discard, 0)
+				ws := s.acquireWireStats()
+				var cmd Command
+				var sc Scratch
+				step := func() {
+					if err := ReadCommandInto(br, DefaultMaxItemSize, &cmd, &sc); err != nil {
+						t.Fatal(err)
+					}
+					p := s.store.Pin()
+					s.execute(p, &cmd, bw, ws)
+					p.Unpin()
+				}
+				for i := 0; i < 64; i++ {
+					step()
+				}
+				avg := testing.AllocsPerRun(512, step)
+				got := float64(ws.rangeKeys.Load()) / float64(ws.cmdMRange.Load())
+				if got != wantKeys {
+					t.Fatalf("scan %q returned %.1f keys/scan, want %.0f", frame, got, wantKeys)
+				}
+				return avg
+			}
+			// Same request shape, 4 vs 28 in-range keys: the limit never
+			// truncates, so every scan stages its full result.
+			narrow := measure("mrange scan10 scan13 100\r\n", 4)
+			wide := measure("mrange scan02 scan29 100\r\n", 28)
+			if narrow != wide {
+				t.Fatalf("scan allocations scale with result size: %.2f at 4 keys vs %.2f at 28 keys (want equal — zero per result key)", narrow, wide)
+			}
+			if wide > 12 {
+				t.Fatalf("mrange allocates %.2f/scan, want the O(1) constant <= 12", wide)
+			}
+		})
+	}
 }

@@ -219,6 +219,8 @@ func FuzzReadBatch(f *testing.F) {
 	f.Add([]byte("incr k 123\r\ndecr k 1 noreply\r\nquit\r\nget x\r\n"))
 	f.Add([]byte("set k 0 0 1000000\r\nget a\r\n"))
 	f.Add([]byte("\x00\xff\r\n\r\nget\r\nflush_all 0\r\n"))
+	f.Add([]byte("mrange a z 10\r\nmmin\r\nmmax\r\nmrange z a 1\r\n"))
+	f.Add([]byte("mrange a z 0\r\nmrange a\r\nset k 0 0 2\r\nhi\r\nmrange k k 1\r\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const maxItem = 1 << 16
 		serial := parseSerial(data, maxItem, 200)

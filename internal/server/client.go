@@ -140,6 +140,45 @@ func (c *Client) SendStore(verb, key string, flags uint32, exptime int64, data [
 	return err
 }
 
+// SendMRange queues an ordered range scan: lo <= key <= hi, at most limit
+// entries. The response is framed exactly like a get's (VALUE stanzas then
+// END), so any of the get receive halves pairs with it — RecvGet to
+// materialize the entries, RecvGetN for the load generator's
+// allocation-free accounting. Allocation-free.
+func (c *Client) SendMRange(lo, hi string, limit uint64) error {
+	c.bw.WriteString("mrange ")
+	c.bw.WriteString(lo)
+	c.bw.WriteByte(' ')
+	c.bw.WriteString(hi)
+	c.writeUint(limit)
+	_, err := c.bw.Write(crlf)
+	return err
+}
+
+// SendMMin queues an mmin (smallest entry; get-framed response).
+func (c *Client) SendMMin() error {
+	_, err := c.bw.WriteString("mmin\r\n")
+	return err
+}
+
+// SendMMax queues an mmax (largest entry; get-framed response).
+func (c *Client) SendMMax() error {
+	_, err := c.bw.WriteString("mmax\r\n")
+	return err
+}
+
+// MRange scans [lo, hi] synchronously, returning at most limit entries in
+// ascending lexicographic order.
+func (c *Client) MRange(lo, hi string, limit uint64) ([]Entry, error) {
+	if err := c.SendMRange(lo, hi, limit); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return c.RecvGet()
+}
+
 // SendDelete queues a delete. Allocation-free.
 func (c *Client) SendDelete(key string) error {
 	c.bw.WriteString("delete ")
@@ -254,6 +293,9 @@ func (c *Client) RecvGetN() (entries int, dataBytes int64, err error) {
 		}
 		c.fields = splitFields(line, c.fields)
 		if len(c.fields) < 4 || string(c.fields[0]) != "VALUE" {
+			if err := serverError(string(line)); err != nil {
+				return entries, dataBytes, err
+			}
 			return entries, dataBytes, fmt.Errorf("client: malformed VALUE line %q", line)
 		}
 		size, ok := parseU64(c.fields[3])
@@ -283,6 +325,17 @@ func (c *Client) RecvGetN() (entries int, dataBytes int64, err error) {
 		entries++
 		dataBytes += int64(size)
 	}
+}
+
+// RecvMRangeN consumes the response of one SendMRange, discarding the
+// payloads, and returns the entry count and total data bytes. A single
+// server answers a scan with exactly get framing (VALUE stanzas then END),
+// so this IS the discarding multi-get receive; the name exists because a
+// cluster endpoint's scan receive must additionally pop its pending-limit
+// queue and truncate the merged count, and the load generator drives both
+// through one interface.
+func (c *Client) RecvMRangeN() (entries int, dataBytes int64, err error) {
+	return c.RecvGetN()
 }
 
 // RecvStored receives a storage response and reports whether it was

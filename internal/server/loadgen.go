@@ -3,9 +3,11 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,8 +28,13 @@ type Conn interface {
 	SendGet1(withCAS bool, key string) error
 	SendStore(verb, key string, flags uint32, exptime int64, data []byte, casid uint64) error
 	SendDelete(key string) error
+	// SendMRange/RecvMRangeN are the ordered-scan pair: a single server
+	// answers with get framing (RecvMRangeN is RecvGetN there), a cluster
+	// endpoint fans out and accounts the merged, limit-truncated result.
+	SendMRange(lo, hi string, limit uint64) error
 	Flush() error
 	RecvGetN() (entries int, dataBytes int64, err error)
+	RecvMRangeN() (entries int, dataBytes int64, err error)
 	RecvStored() (bool, error)
 	RecvDeleted() (bool, error)
 	Add(key string, flags uint32, exptime int64, data []byte) (bool, error)
@@ -91,8 +98,19 @@ type LoadgenConfig struct {
 	// searches become gets, inserts sets, removes deletes, and range
 	// scans multi-gets of MultiGet consecutive keys.
 	Mix workload.Mix
-	// MultiGet is the batch size a range-scan draw turns into (default 10).
+	// MultiGet is the batch size a range-scan draw turns into on a
+	// non-ordered endpoint (the multi-get fallback; default 10).
 	MultiGet int
+	// ScanSpan is the key-index span of one range-scan draw against an
+	// ordered endpoint: the scan runs [keys[i], keys[i+span]] with limit
+	// span, so both the range width and the response size are bounded.
+	// Defaults to MultiGet, keeping scan and fallback payloads comparable.
+	ScanSpan int
+	// KeyDist selects the key-draw distribution: "uniform" (default) or
+	// "zipf:<s>" with skew s > 1 (e.g. "zipf:1.2") — hot-key skew, drawn via
+	// the standard bounded zipf sampler over the same seeded generator, so
+	// runs stay reproducible.
+	KeyDist string
 	// SampleEvery samples the latency of every n-th request per class
 	// (default 4; 1 records everything).
 	SampleEvery int
@@ -104,7 +122,38 @@ type LoadgenConfig struct {
 	// response and moves on. This is what lets a chaos run measure
 	// throughput THROUGH a node outage rather than aborting at its edge.
 	TolerateDegraded bool
+
+	// scanOK is resolved during preload from the endpoint's stats ("ordered"
+	// yes/no): real mrange scans when the server is ordered, the multi-get
+	// fallback otherwise. zipfS is KeyDist parsed (0 = uniform).
+	scanOK bool
+	zipfS  float64
 }
+
+// parseKeyDist parses a KeyDist spec into the zipf skew (0 for uniform).
+func parseKeyDist(spec string) (float64, error) {
+	switch {
+	case spec == "" || spec == "uniform":
+		return 0, nil
+	case strings.HasPrefix(spec, "zipf:"):
+		s, err := strconv.ParseFloat(spec[len("zipf:"):], 64)
+		if err != nil || s <= 1 {
+			return 0, fmt.Errorf("loadgen: bad key distribution %q (want zipf:<s> with s > 1)", spec)
+		}
+		return s, nil
+	}
+	return 0, fmt.Errorf("loadgen: bad key distribution %q (want \"uniform\" or \"zipf:<s>\")", spec)
+}
+
+// xrandSource adapts the workload generator's xorshift128+ stream to
+// math/rand's Source64, so the stdlib's bounded zipf sampler can draw from
+// the same reproducible per-connection streams — no new dependency, no
+// second seeding scheme.
+type xrandSource struct{ s *xrand.State }
+
+func (x xrandSource) Uint64() uint64  { return x.s.Uint64() }
+func (x xrandSource) Int63() int64    { return int64(x.s.Uint64() >> 1) }
+func (x xrandSource) Seed(seed int64) { x.s.Seed(uint64(seed)) }
 
 func (c *LoadgenConfig) fill() {
 	if c.Conns <= 0 {
@@ -124,6 +173,9 @@ func (c *LoadgenConfig) fill() {
 	}
 	if c.MultiGet <= 0 {
 		c.MultiGet = 10
+	}
+	if c.ScanSpan <= 0 {
+		c.ScanSpan = c.MultiGet
 	}
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = 4
@@ -148,10 +200,11 @@ const (
 	lgSet
 	lgDelete
 	lgMGet
+	lgRange
 	numLgClasses
 )
 
-var lgClassNames = [numLgClasses]string{"get", "set", "delete", "mget"}
+var lgClassNames = [numLgClasses]string{"get", "set", "delete", "mget", "mrange"}
 
 // pending is one in-flight request: what the receiver must parse, and when
 // it left (t0 zero when the request is not latency-sampled).
@@ -203,7 +256,7 @@ type LoadgenResult struct {
 	NodeFailovers  uint64
 	NodeReconnects uint64
 
-	Ops        uint64 // requests completed (a multi-get counts once)
+	Ops        uint64 // requests completed (a multi-get or scan counts once)
 	Gets       uint64
 	GetHits    uint64
 	GetMisses  uint64
@@ -212,6 +265,14 @@ type LoadgenResult struct {
 	DeleteHits uint64
 	MGets      uint64
 	MGetKeys   uint64
+	Scans      uint64 // mrange scans completed (ordered endpoints only)
+	ScanKeys   uint64 // entries those scans returned
+
+	// ScanFallback is true when the mix asked for range scans but the
+	// endpoint is not ordered, so every scan draw ran as the multi-get
+	// fallback (counted under MGets). A BENCH comparing scan throughput
+	// must not read a fallback run as a native one.
+	ScanFallback bool
 
 	// Latency is the send-to-response distribution per class plus "all".
 	Latency map[string]stats.Summary
@@ -241,7 +302,7 @@ type NodeLoad struct {
 // generator's per-node reporting share.
 func ReqsServed(st map[string]string) uint64 {
 	var n uint64
-	for _, k := range [...]string{"cmd_get", "cmd_set", "cmd_delete", "cmd_incr", "cmd_decr", "cmd_flush"} {
+	for _, k := range [...]string{"cmd_get", "cmd_set", "cmd_delete", "cmd_incr", "cmd_decr", "cmd_flush", "cmd_mrange", "cmd_mmin", "cmd_mmax"} {
 		v, _ := strconv.ParseUint(st[k], 10, 64)
 		n += v
 	}
@@ -284,6 +345,7 @@ func (r LoadgenResult) MissRate() float64 {
 // the connection's goroutines are joined.
 type lgConn struct {
 	ops, gets, hits, misses, sets, dels, delHits, mgets, mgetKeys uint64
+	scans, scanKeys                                               uint64
 	degraded                                                      uint64 // degraded responses tolerated by the receiver
 	degMisses, degErrors                                          uint64 // endpoint's synthesized-response counts
 	failovers, reconnects                                         uint64 // endpoint's node failover/recovery counts
@@ -302,6 +364,11 @@ type lgConn struct {
 // every request the receiver is waiting on.
 func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	cfg.fill()
+	zipfS, err := parseKeyDist(cfg.KeyDist)
+	if err != nil {
+		return LoadgenResult{Cfg: cfg}, err
+	}
+	cfg.zipfS = zipfS
 	res := LoadgenResult{Cfg: cfg, CPUs: runtime.GOMAXPROCS(0)}
 
 	// Key table: draws index [1..2N] like the paper's key range.
@@ -358,6 +425,13 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		// so the run reports its own achieved depth, not history's.
 		batches0, _ = strconv.ParseUint(st["batches"], 10, 64)
 		batched0, _ = strconv.ParseUint(st["cmd_batched"], 10, 64)
+		// Ordered capability probe: a "yes" (identical on every node, so a
+		// cluster's aggregated stats carry it through) routes range draws
+		// to real mrange scans; anything else falls back to multi-gets.
+		cfg.scanOK = st["ordered"] == "yes"
+	}
+	if cfg.Mix.RangePct > 0 && !cfg.scanOK {
+		res.ScanFallback = true
 	}
 	// Cluster endpoints also expose per-node stats; snapshot those too so
 	// the run can report each node's own load and batch depth.
@@ -451,6 +525,8 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		res.DeleteHits += cs.delHits
 		res.MGets += cs.mgets
 		res.MGetKeys += cs.mgetKeys
+		res.Scans += cs.scans
+		res.ScanKeys += cs.scanKeys
 		all.Merge(&cs.all)
 		for cl := range lat {
 			lat[cl].Merge(&cs.lat[cl])
@@ -516,10 +592,19 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 func lgSend(cl Conn, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, value []byte, deadline time.Time, window chan pending) error {
 	rng := xrand.New(cfg.Seed + uint64(conn) + 1)
 	kr := uint64(2 * cfg.Keys)
+	// draw picks a key index in [1, kr]: uniform by default, or the bounded
+	// zipf sampler over its own xorshift stream when the config asked for
+	// hot-key skew. Neither path allocates per draw.
+	draw := func() uint64 { return rng.Uint64n(kr) + 1 }
+	if cfg.zipfS > 0 {
+		zr := rand.New(xrandSource{xrand.New(cfg.Seed + uint64(conn) + 0x21bf)})
+		zipf := rand.NewZipf(zr, cfg.zipfS, 1, kr-1)
+		draw = func() uint64 { return zipf.Uint64() + 1 }
+	}
 	var countdown [numLgClasses]int
 	batch := make([]string, 0, cfg.MultiGet)
 	for time.Now().Before(deadline) && !cs.dead.Load() {
-		k := keys[rng.Uint64n(kr)+1]
+		k := keys[draw()]
 		kind := cfg.Mix.Next(rng)
 		var p pending
 		var err error
@@ -534,6 +619,26 @@ func lgSend(cl Conn, cs *lgConn, cfg LoadgenConfig, conn int, keys []string, val
 			p.class = lgDelete
 			err = cl.SendDelete(k)
 		case workload.KindRange:
+			if cfg.scanOK {
+				// Real ordered scan. The table's keys are "k<index>", which
+				// is NOT lexicographic in the index ("k10" < "k2"), so the
+				// two drawn endpoints are compared as the server will compare
+				// them — as strings — and swapped into scan order. The limit
+				// is the span, bounding the response like the fallback's
+				// batch size does.
+				p.class = lgRange
+				start := draw()
+				end := start + uint64(cfg.ScanSpan)
+				if end >= uint64(len(keys)) {
+					end = uint64(len(keys)) - 1
+				}
+				lo, hi := keys[start], keys[end]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				err = cl.SendMRange(lo, hi, uint64(cfg.ScanSpan))
+				break
+			}
 			p.class = lgMGet
 			start := rng.Uint64n(kr) + 1
 			batch = batch[:0]
@@ -609,6 +714,18 @@ func lgReceive(cl Conn, cs *lgConn, tolerate bool, window chan pending) {
 				cs.mgets++
 				cs.mgetKeys += uint64(es)
 			}
+		case lgRange:
+			es, _, err := cl.RecvMRangeN()
+			if err != nil {
+				if !tolerate || !IsDegraded(err) {
+					fail(err)
+					return
+				}
+				degraded = true
+			} else {
+				cs.scans++
+				cs.scanKeys += uint64(es)
+			}
 		case lgSet:
 			if _, err := cl.RecvStored(); err != nil {
 				if !tolerate || !IsDegraded(err) {
@@ -658,8 +775,11 @@ func lgReceive(cl Conn, cs *lgConn, tolerate bool, window chan pending) {
 // x-axis) lives in one artifact instead of one file per core count; v5 adds
 // the failover accounting of a degraded-tolerant run (degraded misses and
 // errors, node failovers and reconnects), so chaos-run throughput carries
-// the outage it was measured under.
-const BenchSchema = "ascylib/bench-server/v5"
+// the outage it was measured under; v6 adds the ordered-scan dimension —
+// per-run range_pct (the scan-mix sweep's variable), scan counts/keys, and
+// the scan_fallback marker separating native mrange runs from multi-get
+// fallbacks, plus scan_span and key_dist in the shared config.
+const BenchSchema = "ascylib/bench-server/v6"
 
 // BenchRun is one load-generation run in machine-readable form.
 type BenchRun struct {
@@ -670,6 +790,10 @@ type BenchRun struct {
 	// Pipeline is the client-side closed-loop window of this run; the
 	// sweep varies it per run, so it lives here rather than in Config.
 	Pipeline int `json:"pipeline"`
+	// RangePct is the scan share of this run's mix (v6): the scan-mix
+	// sweep varies it per run, so it lives here; Config.RangePct keeps the
+	// sweep's base value for older readers.
+	RangePct int `json:"range_pct"`
 	// CPUs is the GOMAXPROCS this run was driven at (v4): the multi-core
 	// sweep's independent variable.
 	CPUs int `json:"cpus"`
@@ -706,6 +830,9 @@ type BenchRun struct {
 	Deletes        uint64                       `json:"deletes"`
 	MultiGets      uint64                       `json:"multi_gets"`
 	MultiGetKeys   uint64                       `json:"multi_get_keys"`
+	Scans          uint64                       `json:"scans"`
+	ScanKeys       uint64                       `json:"scan_keys"`
+	ScanFallback   bool                         `json:"scan_fallback"`
 	LatencyUS      map[string]stats.SummaryJSON `json:"latency_us"`
 	// Generator hygiene (see LoadgenResult): client-side allocations per
 	// request and GC pause totals over the driving window.
@@ -727,6 +854,8 @@ type BenchFile struct {
 		UpdatePct   int     `json:"update_pct"`
 		RangePct    int     `json:"range_pct"`
 		MultiGet    int     `json:"multi_get"`
+		ScanSpan    int     `json:"scan_span"`
+		KeyDist     string  `json:"key_dist"`
 		SampleEvery int     `json:"sample_every"`
 		Seed        uint64  `json:"seed"`
 		// The generator machine's parallelism at run time (v3): scale-out
@@ -743,6 +872,7 @@ func BenchRunOf(r LoadgenResult) BenchRun {
 		Algo:           r.Algo,
 		Shards:         r.Shards,
 		Pipeline:       r.Cfg.Pipeline,
+		RangePct:       r.Cfg.Mix.RangePct,
 		CPUs:           r.CPUs,
 		BatchDepthAvg:  r.BatchDepthAvg,
 		Nodes:          1,
@@ -761,6 +891,9 @@ func BenchRunOf(r LoadgenResult) BenchRun {
 		Deletes:        r.Deletes,
 		MultiGets:      r.MGets,
 		MultiGetKeys:   r.MGetKeys,
+		Scans:          r.Scans,
+		ScanKeys:       r.ScanKeys,
+		ScanFallback:   r.ScanFallback,
 		LatencyUS:      map[string]stats.SummaryJSON{},
 
 		ClientAllocsPerOp: r.ClientAllocsPerOp,
@@ -793,6 +926,12 @@ func WriteBench(path string, cfg LoadgenConfig, runs []LoadgenResult) error {
 	f.Config.UpdatePct = cfg.Mix.UpdatePct
 	f.Config.RangePct = cfg.Mix.RangePct
 	f.Config.MultiGet = cfg.MultiGet
+	f.Config.ScanSpan = cfg.ScanSpan
+	if cfg.KeyDist == "" {
+		f.Config.KeyDist = "uniform"
+	} else {
+		f.Config.KeyDist = cfg.KeyDist
+	}
 	f.Config.SampleEvery = cfg.SampleEvery
 	f.Config.Seed = cfg.Seed
 	f.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)

@@ -46,6 +46,10 @@ const (
 	MaxKeyLen          = 250
 	MaxCommandLine     = 1 << 14 // 16 KiB
 	DefaultMaxItemSize = 1 << 20 // 1 MiB values
+	// MaxRangeKeys caps how many entries one mrange may return. The client
+	// asks for a limit; the server clamps it here, so a scan can never stage
+	// an unbounded response no matter what the wire asks for.
+	MaxRangeKeys = 1000
 )
 
 // Op enumerates the protocol commands the server speaks.
@@ -66,6 +70,13 @@ const (
 	OpVersion
 	OpFlushAll
 	OpQuit
+	// The ordered-keyspace extension (served only with Config.Ordered):
+	// "mrange <lo> <hi> <limit>" enumerates lo <= key <= hi in lexicographic
+	// order, framed exactly like a multi-get response (VALUE stanzas, END);
+	// "mmin" / "mmax" return the extreme entry the same way.
+	OpMRange
+	OpMMin
+	OpMMax
 )
 
 var opNames = [...]string{
@@ -73,6 +84,7 @@ var opNames = [...]string{
 	OpReplace: "replace", OpCas: "cas", OpDelete: "delete", OpIncr: "incr",
 	OpDecr: "decr", OpStats: "stats", OpVersion: "version",
 	OpFlushAll: "flush_all", OpQuit: "quit",
+	OpMRange: "mrange", OpMMin: "mmin", OpMMax: "mmax",
 }
 
 // String returns the wire verb.
@@ -513,6 +525,38 @@ func parseFields(r *bufio.Reader, fields [][]byte, maxItem int, cmd *Command, sc
 				return clientErr("invalid flush_all delay")
 			}
 			cmd.Exptime = delay
+		}
+		return nil
+
+	case "mrange":
+		// mrange <lo> <hi> <limit> — the bounds are keys (inclusive), the
+		// limit a positive count the server additionally clamps to
+		// MaxRangeKeys. No noreply form: a scan exists to return data. The
+		// bounds ride in Keys (like a multi-get's keys, aliasing the read
+		// buffer), the limit in Delta.
+		cmd.Op = OpMRange
+		if len(fields) != 4 {
+			return clientErr("mrange requires: mrange <lo> <hi> <limit>")
+		}
+		if !validKey(fields[1]) || !validKey(fields[2]) {
+			return clientErr("bad key")
+		}
+		limit, ok := parseU64(fields[3])
+		if !ok || limit == 0 {
+			return clientErr("bad mrange limit")
+		}
+		sc.keys = append(sc.keys[:0], fields[1], fields[2])
+		cmd.Keys = sc.keys
+		cmd.Delta = limit
+		return nil
+
+	case "mmin", "mmax":
+		cmd.Op = OpMMin
+		if fields[0][2] == 'a' {
+			cmd.Op = OpMMax
+		}
+		if len(fields) != 1 {
+			return clientErr("bad command line format")
 		}
 		return nil
 

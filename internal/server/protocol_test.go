@@ -355,6 +355,8 @@ func FuzzReadCommand(f *testing.F) {
 	f.Add([]byte("stats\r\nversion\r\nquit\r\n"))
 	f.Add([]byte("set k 0 0 1000000\r\n"))
 	f.Add([]byte("\x00\xff\r\n\r\nget\r\n"))
+	f.Add([]byte("mrange a z 10\r\nmmin\r\nmmax\r\n"))
+	f.Add([]byte("mrange a z 0\r\nmrange a\r\nmrange a z 5 noreply\r\nmmin x\r\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := newReader(bytes.NewReader(data), 0)
 		const maxItem = 1 << 16
@@ -390,6 +392,25 @@ func FuzzReadCommand(f *testing.F) {
 			case OpDelete, OpIncr, OpDecr:
 				if !validKey(cmd.Key) {
 					t.Fatalf("invalid key accepted: %q", cmd.Key)
+				}
+			case OpMRange:
+				if len(cmd.Keys) != 2 {
+					t.Fatalf("mrange with %d bounds: %+v", len(cmd.Keys), cmd)
+				}
+				for _, k := range cmd.Keys {
+					if !validKey(k) {
+						t.Fatalf("invalid mrange bound accepted: %q", k)
+					}
+				}
+				if cmd.Delta == 0 {
+					t.Fatalf("mrange with zero limit accepted: %+v", cmd)
+				}
+				if cmd.NoReply {
+					t.Fatalf("mrange with noreply accepted: %+v", cmd)
+				}
+			case OpMMin, OpMMax:
+				if cmd.NoReply {
+					t.Fatalf("scan extreme with noreply accepted: %+v", cmd)
 				}
 			}
 		}

@@ -74,5 +74,24 @@ func (w *respWriter) value(key []byte, it Item, withCAS bool) {
 	w.w.Write(crlf)
 }
 
+// valueStr is value for keys the store holds as strings — the mrange and
+// mmin/mmax emit path. WriteString copies the key bytes straight into the
+// write buffer, so emitting a scanned entry allocates nothing per key.
+func (w *respWriter) valueStr(key string, it Item, withCAS bool) {
+	w.w.WriteString("VALUE ")
+	w.w.WriteString(key)
+	w.w.WriteByte(' ')
+	w.w.Write(strconv.AppendUint(w.scratch[:0], uint64(it.Flags), 10))
+	w.w.WriteByte(' ')
+	w.w.Write(strconv.AppendInt(w.scratch[:0], int64(len(it.Data)), 10))
+	if withCAS {
+		w.w.WriteByte(' ')
+		w.w.Write(strconv.AppendUint(w.scratch[:0], it.CAS, 10))
+	}
+	w.w.Write(crlf)
+	w.w.Write(it.Data)
+	w.w.Write(crlf)
+}
+
 // Flush pushes buffered responses to the transport.
 func (w *respWriter) Flush() error { return w.w.Flush() }

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// startScanServer boots an ordered (or not) server for the wire-level scan
+// tests and returns a connected client.
+func startScanServer(t *testing.T, algo string, shards int, ordered bool) *Client {
+	t.Helper()
+	s, err := New(Config{Addr: "127.0.0.1:0", Algo: algo, Shards: shards, Ordered: ordered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { s.Serve(); close(done) }()
+	t.Cleanup(func() { s.Close(); <-done })
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// TestServerMRangeWire drives the scan verbs over the wire: inclusive
+// bounds, limit truncation at the server's sorted prefix, inverted ranges,
+// extremes, and the refusal line on an unordered server.
+func TestServerMRangeWire(t *testing.T) {
+	for _, tc := range []struct {
+		algo   string
+		shards int
+	}{
+		{"sl-fraser-opt", 1},
+		{"sl-fraser-opt", 4},
+		{"ht-clht-lb", 4}, // snapshot+sort path must speak the same protocol
+	} {
+		t.Run(fmt.Sprintf("%s/shards-%d", tc.algo, tc.shards), func(t *testing.T) {
+			cl := startScanServer(t, tc.algo, tc.shards, true)
+			keys := []string{"apple", "banana", "cherry", "date", "elder", "fig", "grape"}
+			for i, k := range keys {
+				if err := cl.Set(k, uint32(i), 0, []byte("v-"+k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wantKeys := func(es []Entry, want ...string) {
+				t.Helper()
+				var got []string
+				for _, e := range es {
+					got = append(got, e.Key)
+				}
+				if strings.Join(got, ",") != strings.Join(want, ",") {
+					t.Fatalf("scan returned %v, want %v", got, want)
+				}
+			}
+
+			es, err := cl.MRange("banana", "elder", 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKeys(es, "banana", "cherry", "date", "elder")
+			for _, e := range es {
+				if string(e.Data) != "v-"+e.Key {
+					t.Fatalf("entry %q carries data %q", e.Key, e.Data)
+				}
+			}
+
+			// Limit truncates the sorted prefix, not an arbitrary subset.
+			es, err = cl.MRange("banana", "elder", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKeys(es, "banana", "cherry")
+
+			// Bounds need not be stored keys; inverted ranges yield nothing.
+			es, err = cl.MRange("ap", "bz", 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKeys(es, "apple", "banana")
+			es, err = cl.MRange("z", "a", 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(es) != 0 {
+				t.Fatalf("inverted range returned %d entries", len(es))
+			}
+
+			// Extremes.
+			for _, x := range []struct {
+				send func() error
+				want string
+			}{
+				{cl.SendMMin, "apple"},
+				{cl.SendMMax, "grape"},
+			} {
+				if err := x.send(); err != nil {
+					t.Fatal(err)
+				}
+				if err := cl.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				es, err := cl.RecvGet()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(es) != 1 || es[0].Key != x.want {
+					t.Fatalf("extreme returned %v, want [%s]", es, x.want)
+				}
+			}
+		})
+	}
+
+	t.Run("refused-when-unordered", func(t *testing.T) {
+		cl := startScanServer(t, "ht-clht-lb", 1, false)
+		if err := cl.Set("k", 0, 0, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.MRange("a", "z", 10); err == nil || !strings.Contains(err.Error(), "ordered keyspace disabled") {
+			t.Fatalf("unordered mrange error = %v, want the ordered-disabled refusal", err)
+		}
+		// The refusal is recoverable: the connection keeps serving.
+		if e, ok, err := cl.Get("k"); err != nil || !ok || string(e.Data) != "v" {
+			t.Fatalf("get after refused scan: %q %v %v", e.Data, ok, err)
+		}
+	})
+}
+
+// TestServerScanChurn is the wire churn differential: writers hammer an
+// ordered server with sets and deletes while a scanner issues bounded
+// mranges. Every response must hold the scan invariants regardless of
+// interleaving — strictly ascending key order, no duplicates, every key
+// within bounds, never more than the limit, and every returned value
+// well-formed (the value a writer stored for that key). Run with -race this
+// doubles as the wire-level ordered-map churn gate.
+func TestServerScanChurn(t *testing.T) {
+	for _, algo := range []string{"sl-fraser-opt", "ht-clht-lb"} {
+		t.Run(algo, func(t *testing.T) {
+			s, err := New(Config{Addr: "127.0.0.1:0", Algo: algo, Shards: 4, Ordered: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Listen(); err != nil {
+				t.Fatal(err)
+			}
+			srvDone := make(chan struct{})
+			go func() { s.Serve(); close(srvDone) }()
+			defer func() { s.Close(); <-srvDone }()
+			addr := s.Addr().String()
+
+			const (
+				writers  = 3
+				keySpace = 200
+				limit    = 32
+			)
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					cl, err := Dial(addr)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer cl.Close()
+					rng := xrand.New(uint64(w) + 7)
+					for !stop.Load() {
+						k := fmt.Sprintf("c%03d", rng.Uint64n(keySpace))
+						if rng.Uint64n(3) == 0 {
+							if _, err := cl.Delete(k); err != nil {
+								t.Error(err)
+								return
+							}
+						} else if err := cl.Set(k, 0, 0, []byte("val-"+k)); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			rng := xrand.New(99)
+			deadline := time.Now().Add(800 * time.Millisecond)
+			scans := 0
+			for time.Now().Before(deadline) {
+				lo := fmt.Sprintf("c%03d", rng.Uint64n(keySpace))
+				hi := fmt.Sprintf("c%03d", rng.Uint64n(keySpace))
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				es, err := cl.MRange(lo, hi, limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(es) > limit {
+					t.Fatalf("scan [%s,%s] returned %d > limit %d", lo, hi, len(es), limit)
+				}
+				for i, e := range es {
+					if e.Key < lo || e.Key > hi {
+						t.Fatalf("scan [%s,%s] returned out-of-range key %q", lo, hi, e.Key)
+					}
+					if i > 0 && es[i-1].Key >= e.Key {
+						t.Fatalf("scan [%s,%s] not strictly ascending: %q then %q", lo, hi, es[i-1].Key, e.Key)
+					}
+					if string(e.Data) != "val-"+e.Key {
+						t.Fatalf("key %q carries foreign data %q", e.Key, e.Data)
+					}
+				}
+				scans++
+			}
+			stop.Store(true)
+			wg.Wait()
+			if scans == 0 {
+				t.Fatal("scanner made no progress")
+			}
+		})
+	}
+}
+
+// TestStoreRangeScanSemantics covers the store layer directly: live-item
+// filtering (expired entries are skipped without counting against the
+// limit), the shard-spanning walk, and Min/MaxItem against an oracle.
+func TestStoreRangeScanSemantics(t *testing.T) {
+	st, err := NewStore("sl-fraser-opt", 1<<10, false, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ordered() {
+		t.Fatal("store built ordered reports unordered")
+	}
+	rng := rand.New(rand.NewSource(5))
+	var alive []string
+	p := st.Pin()
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("s%04d", rng.Intn(2000))
+		if rng.Intn(4) == 0 {
+			// An already-expired item: stored, but never live.
+			st.Set(p, []byte(k), 0, -1, []byte("dead"))
+			for j, a := range alive {
+				if a == k {
+					alive = append(alive[:j], alive[j+1:]...)
+					break
+				}
+			}
+		} else {
+			st.Set(p, []byte(k), 0, 0, []byte("live-"+k))
+			found := false
+			for _, a := range alive {
+				if a == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				alive = append(alive, k)
+			}
+		}
+	}
+	p.Unpin()
+	sort.Strings(alive)
+
+	p = st.Pin()
+	defer p.Unpin()
+	var got []string
+	n := st.RangeScan(p, []byte("s"), []byte("s9999"), 0, func(k string, it Item) bool {
+		got = append(got, k)
+		if string(it.Data) != "live-"+k {
+			t.Fatalf("key %q yielded data %q", k, it.Data)
+		}
+		return true
+	})
+	if n != len(got) {
+		t.Fatalf("RangeScan reported %d, yielded %d", n, len(got))
+	}
+	if strings.Join(got, ",") != strings.Join(alive, ",") {
+		t.Fatalf("RangeScan live set mismatch:\n got %v\nwant %v", got, alive)
+	}
+
+	// Limit counts live items only.
+	if len(alive) > 5 {
+		var first []string
+		st.RangeScan(p, []byte("s"), []byte("s9999"), 5, func(k string, _ Item) bool {
+			first = append(first, k)
+			return true
+		})
+		if strings.Join(first, ",") != strings.Join(alive[:5], ",") {
+			t.Fatalf("limited scan = %v, want first 5 of %v", first, alive[:5])
+		}
+	}
+
+	if k, _, ok := st.MinItem(p); !ok || k != alive[0] {
+		t.Fatalf("MinItem = %q/%v, want %q", k, ok, alive[0])
+	}
+	if k, _, ok := st.MaxItem(p); !ok || k != alive[len(alive)-1] {
+		t.Fatalf("MaxItem = %q/%v, want %q", k, ok, alive[len(alive)-1])
+	}
+}

@@ -33,6 +33,14 @@ type Config struct {
 	// serve multi-core traffic instead of serializing on one structure.
 	// <= 0 means 1 (a single instance).
 	Shards int
+	// Ordered keys the store with the order-preserving encoding (see
+	// ascylib.OrderedStringMap) and range-partitions shards, lighting up the
+	// mrange/mmin/mmax commands: scans enumerate the keyspace in true
+	// lexicographic order. Without it those commands answer SERVER_ERROR —
+	// and hash placement stays uniform, which is why it is opt-in: ordered
+	// placement is what makes scans cheap on the sorted structures, and what
+	// clusters buckets on a hash table.
+	Ordered bool
 	// AcceptWorkers is the size of the sharded-accept pool: that many
 	// goroutines block in Accept concurrently, so connection setup under
 	// a connect storm spreads across cores instead of serializing on one
@@ -142,6 +150,19 @@ func (c *Config) fill() {
 // buckets: 1, 2–3, 4–7, …, 128–255, 256+.
 const batchHistBuckets = 9
 
+// respOrderedDisabled answers the ordered-keyspace commands on a server
+// whose store was not built with Config.Ordered. It is recoverable — the
+// connection keeps serving — and tells the operator exactly which knob is
+// missing.
+const respOrderedDisabled = "SERVER_ERROR ordered keyspace disabled (start with -ordered)"
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
 // Server is a memcached-protocol TCP server over one Store.
 type Server struct {
 	cfg   Config
@@ -190,7 +211,7 @@ func New(cfg Config) (*Server, error) {
 	} else if !a.Safe {
 		return nil, fmt.Errorf("server: algorithm %q is an unsynchronized async baseline; refusing to serve it", cfg.Algo)
 	}
-	st, err := NewStore(cfg.Algo, cfg.Capacity, !cfg.NoValuePooling, cfg.Shards)
+	st, err := NewStore(cfg.Algo, cfg.Capacity, !cfg.NoValuePooling, cfg.Shards, cfg.Ordered)
 	if err != nil {
 		return nil, err
 	}
@@ -668,6 +689,53 @@ func (s *Server) execute(p Pin, cmd *Command, w *respWriter, ws *wireStats) {
 			w.reply(cmd, "CLIENT_ERROR cannot increment or decrement non-numeric value")
 		}
 
+	case OpMRange:
+		ws.cmdMRange.Add(1)
+		if !s.store.Ordered() {
+			w.line(respOrderedDisabled)
+			return
+		}
+		// The parser guarantees a positive limit; the server clamps it so a
+		// scan can never stage more than MaxRangeKeys stanzas. An inverted
+		// range (lo > hi) walks no shards and answers a bare END. The emit
+		// path is valueStr over the store's own key strings — nothing is
+		// allocated per returned entry.
+		limit := int(cmd.Delta)
+		if limit > MaxRangeKeys {
+			limit = MaxRangeKeys
+		}
+		n := s.store.RangeScan(p, cmd.Keys[0], cmd.Keys[1], limit, func(k string, it Item) bool {
+			w.valueStr(k, it, false)
+			return true
+		})
+		ws.rangeKeys.Add(uint64(n))
+		w.line("END")
+
+	case OpMMin, OpMMax:
+		cnt := &ws.cmdMMin
+		if cmd.Op == OpMMax {
+			cnt = &ws.cmdMMax
+		}
+		cnt.Add(1)
+		if !s.store.Ordered() {
+			w.line(respOrderedDisabled)
+			return
+		}
+		var (
+			k  string
+			it Item
+			ok bool
+		)
+		if cmd.Op == OpMMin {
+			k, it, ok = s.store.MinItem(p)
+		} else {
+			k, it, ok = s.store.MaxItem(p)
+		}
+		if ok {
+			w.valueStr(k, it, false)
+		}
+		w.line("END")
+
 	case OpStats:
 		for _, kv := range s.Stats() {
 			w.line("STAT " + kv[0] + " " + kv[1])
@@ -705,6 +773,7 @@ func (s *Server) Stats() [][2]string {
 		{"pointer_size", "64"},
 		{"algo", s.store.Algo()},
 		{"shards", strconv.Itoa(s.store.Shards())},
+		{"ordered", yesNo(s.store.Ordered())},
 		{"threads", strconv.Itoa(s.cfg.AcceptWorkers)},
 		{"curr_connections", strconv.FormatInt(s.currConns.Load(), 10)},
 		{"total_connections", u(s.totalConns.Load())},
@@ -716,6 +785,10 @@ func (s *Server) Stats() [][2]string {
 		{"cmd_incr", u(t.cmdIncr)},
 		{"cmd_decr", u(t.cmdDecr)},
 		{"cmd_flush", u(t.cmdFlush)},
+		{"cmd_mrange", u(t.cmdMRange)},
+		{"cmd_mmin", u(t.cmdMMin)},
+		{"cmd_mmax", u(t.cmdMMax)},
+		{"range_keys_returned", u(t.rangeKeys)},
 		{"get_hits", u(t.getHits)},
 		{"get_misses", u(t.getMisses)},
 		{"delete_hits", u(t.deleteHits)},

@@ -166,7 +166,7 @@ func TestServerShardedConcurrentClients(t *testing.T) {
 // of the shard that owns the key, and the aggregate counters balance across
 // a churn that touches every shard.
 func TestStoreShardedValuePools(t *testing.T) {
-	st, err := NewStore("ht-clht-lb", 256, true, 4)
+	st, err := NewStore("ht-clht-lb", 256, true, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestStoreShardedValuePools(t *testing.T) {
 // flag true forever and silently disabled expired-item reaping. With the
 // deferred clear, a reap that panics must leave the reaper usable.
 func TestStoreReapSurvivesPanic(t *testing.T) {
-	st, err := NewStore("ht-clht-lb", 64, true, 2)
+	st, err := NewStore("ht-clht-lb", 64, true, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}

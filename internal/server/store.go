@@ -117,14 +117,24 @@ type reapFlag struct {
 // structures in total across shards (<= 0 picks a service-appropriate
 // default of 2^16 hash-table buckets). poolValues enables SSMEM recycling of
 // value blocks. shards is the keyspace partition count (< 1 means 1).
-func NewStore(algo string, capacity int, poolValues bool, shards int) (*Store, error) {
+// ordered selects the order-preserving keyspace: keys route by their
+// big-endian 8-byte prefix (range partitioning across shards) instead of
+// the hash, which lights up RangeScan/MinItem/MaxItem — the store-level
+// carriers of the wire's mrange/mmin/mmax.
+func NewStore(algo string, capacity int, poolValues bool, shards int, ordered bool) (*Store, error) {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
 	if shards < 1 {
 		shards = 1
 	}
-	sm, err := ascylib.NewShardedStringMap[Item](algo, shards, ascylib.Capacity(capacity))
+	var sm *ascylib.ShardedStringMap[Item]
+	var err error
+	if ordered {
+		sm, err = ascylib.NewOrderedShardedStringMap[Item](algo, shards, ascylib.Capacity(capacity))
+	} else {
+		sm, err = ascylib.NewShardedStringMap[Item](algo, shards, ascylib.Capacity(capacity))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -692,3 +702,99 @@ func (s *Store) flushShard(sh int) {
 // Items counts stored entries (including not-yet-collected expired ones)
 // across all shards; linear time, quiescent use.
 func (s *Store) Items() int { return s.sm.Len() }
+
+// Ordered reports whether the store carries the order-preserving keyspace
+// (built with ordered = true): RangeScan, MinItem, and MaxItem only work
+// there. The server refuses mrange/mmin/mmax on unordered stores with a
+// recoverable error, so the capability is part of the wire contract.
+func (s *Store) Ordered() bool { return s.sm.Ordered() }
+
+// RangeScan yields the live items with lo <= key <= hi in ascending
+// lexicographic order, at most limit of them (limit <= 0 means unbounded),
+// and returns how many were yielded. Shards are range partitions in
+// ordered mode, so the scan walks the covering shards in index order —
+// opening each shard's epoch exactly once, mirroring GetBatch's
+// shard-grouped bracketing — and needs no merge. Item Data blocks obey the
+// pin contract: valid until p unpins (the epochs of every shard the scan
+// entered stay open until then). A nil hi means no upper bound.
+//
+// Dead items (expired, or killed by a flush epoch) are skipped without
+// counting against limit and without reaping: a scan is a read of many
+// keys, and turning it into a mutation storm on a corpse-heavy range would
+// break its bounded cost. The per-key reaper on the Get path stays the
+// collector.
+func (s *Store) RangeScan(p Pin, lo, hi []byte, limit int, fn func(key string, it Item) bool) int {
+	slo, shi := s.sm.OrderedShardSpan(lo, hi)
+	n := 0
+	for sh := slo; sh <= shi; sh++ {
+		p.enter(sh)
+		stop := false
+		s.sm.ShardRangeBytes(sh, lo, hi, 0, func(k string, it Item) bool {
+			if !s.live(it, p.now) {
+				return true
+			}
+			if limit > 0 && n >= limit {
+				stop = true
+				return false
+			}
+			n++
+			if !fn(k, it) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop || (limit > 0 && n >= limit) {
+			break
+		}
+	}
+	return n
+}
+
+// MinItem returns the live item under the smallest key (ordered stores
+// only). It walks shards in ascending range order and stops at the first
+// live item; dead items are skipped, not reaped, as in RangeScan.
+func (s *Store) MinItem(p Pin) (string, Item, bool) {
+	var (
+		key   string
+		item  Item
+		found bool
+	)
+	for sh := 0; sh < s.sm.NumShards() && !found; sh++ {
+		p.enter(sh)
+		s.sm.ShardRangeBytes(sh, nil, nil, 0, func(k string, it Item) bool {
+			if !s.live(it, p.now) {
+				return true
+			}
+			key, item, found = k, it, true
+			return false
+		})
+	}
+	return key, item, found
+}
+
+// MaxItem returns the live item under the largest key (ordered stores
+// only). Shards are walked in descending range order; within a shard the
+// structures only enumerate ascending, so the shard is scanned forward
+// keeping its last live item — O(shard) for the highest populated shard,
+// which a rare mmax amortizes fine.
+func (s *Store) MaxItem(p Pin) (string, Item, bool) {
+	for sh := s.sm.NumShards() - 1; sh >= 0; sh-- {
+		p.enter(sh)
+		var (
+			key   string
+			item  Item
+			found bool
+		)
+		s.sm.ShardRangeBytes(sh, nil, nil, 0, func(k string, it Item) bool {
+			if s.live(it, p.now) {
+				key, item, found = k, it, true
+			}
+			return true
+		})
+		if found {
+			return key, item, true
+		}
+	}
+	return "", Item{}, false
+}

@@ -31,6 +31,7 @@ type wireStats struct {
 	_ pad.CacheLinePad
 
 	cmdGet, cmdSet, cmdDelete, cmdIncr, cmdDecr, cmdFlush atomic.Uint64
+	cmdMRange, cmdMMin, cmdMMax, rangeKeys                atomic.Uint64
 	getHits, getMisses                                    atomic.Uint64
 	deleteHits, deleteMisses                              atomic.Uint64
 	incrHits, incrMisses                                  atomic.Uint64
@@ -48,6 +49,7 @@ type wireStats struct {
 // stats command renders.
 type wireTotals struct {
 	cmdGet, cmdSet, cmdDelete, cmdIncr, cmdDecr, cmdFlush uint64
+	cmdMRange, cmdMMin, cmdMMax, rangeKeys                uint64
 	getHits, getMisses                                    uint64
 	deleteHits, deleteMisses                              uint64
 	incrHits, incrMisses                                  uint64
@@ -67,6 +69,10 @@ func (w *wireStats) addInto(t *wireTotals) {
 	t.cmdIncr += w.cmdIncr.Load()
 	t.cmdDecr += w.cmdDecr.Load()
 	t.cmdFlush += w.cmdFlush.Load()
+	t.cmdMRange += w.cmdMRange.Load()
+	t.cmdMMin += w.cmdMMin.Load()
+	t.cmdMMax += w.cmdMMax.Load()
+	t.rangeKeys += w.rangeKeys.Load()
 	t.getHits += w.getHits.Load()
 	t.getMisses += w.getMisses.Load()
 	t.deleteHits += w.deleteHits.Load()

@@ -37,12 +37,23 @@ func (l *Seq) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
 
 // ascend implements core.AscendFunc, skipping logically deleted nodes.
 // Epoch-pinned for the whole scan under recycling, like the searches.
+//
+// The descent must never rest pred on a deleted node (here and in the
+// Herlihy and Fraser descents below): a logically deleted node stays
+// physically linked until a later operation splices it out, but its own
+// next pointers are frozen at deletion time — elements inserted after its
+// position since then are reachable only through the live chain, so a walk
+// resuming from a dead pred would skip them. Deleted nodes are stepped
+// over without moving pred, exactly like the searches' parse walks.
 func (l *Pugh) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
 	a := ssmem.Pin(l.rec)
 	defer ssmem.Unpin(l.rec, a)
 	pred := l.head
 	for lvl := l.maxLevel - 1; lvl >= 0; lvl-- {
 		for curr := pred.next[lvl].Load(); curr != nil && curr.key < lo; curr = pred.next[lvl].Load() {
+			if curr.deleted.Load() {
+				break // resume the hunt one level down from live pred
+			}
 			pred = curr
 		}
 	}
@@ -58,6 +69,9 @@ func (l *Herlihy) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
 	pred := l.head
 	for lvl := l.maxLevel - 1; lvl >= 0; lvl-- {
 		for curr := pred.next[lvl].Load(); curr != nil && curr.key < lo; curr = pred.next[lvl].Load() {
+			if curr.marked.Load() {
+				break // never rest pred on a dead node (see Pugh.ascend)
+			}
 			pred = curr
 		}
 	}
@@ -71,17 +85,33 @@ func (l *Herlihy) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
 
 // ascend implements core.AscendFunc over the marked (successor, marked)
 // records, as in the searches. Epoch-pinned under recycling.
+// The descent steps over marked nodes via their frozen pointers without
+// resting pred on them, exactly like parseOpt: a marked node stays
+// physically linked until some later CAS swallows it, but its own next
+// records are frozen at marking time — an element inserted after that
+// (which detached the dead node from the live chain at that level) is
+// only reachable through the live chain, so a pred resting on the dead
+// node would start the level-0 walk on a stale chain and skip it. The
+// level-0 walk itself may pass through marked nodes safely: a marked node
+// still reachable from a live level-0 predecessor has not been bypassed
+// by any insert, so its frozen next skips no live element.
 func (l *Fraser) ascend(lo core.Key, yield func(core.Key, core.Value) bool) {
 	a := ssmem.Pin(l.rec)
 	defer ssmem.Unpin(l.rec, a)
 	pred := l.head
 	for lvl := l.maxLevel - 1; lvl >= 0; lvl-- {
-		for {
-			curr := pred.next[lvl].Load().n
-			if curr == nil || curr == l.tail || curr.key >= lo {
+		curr := pred.next[lvl].Load().n
+		for curr != nil && curr != l.tail {
+			cRef := curr.next[lvl].Load()
+			if cRef.marked {
+				curr = cRef.n // dead: step over, keep pred live
+				continue
+			}
+			if curr.key >= lo {
 				break
 			}
 			pred = curr
+			curr = cRef.n
 		}
 	}
 	for curr := pred.next[0].Load().n; curr != l.tail; {

@@ -1,0 +1,299 @@
+package ascylib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// adversarialKeys is the conformance corpus: every way the 8-byte-prefix
+// encoding can be stressed. Shared prefixes longer than 8 bytes force
+// chain ordering; length ties and prefix-of-each-other pairs probe the
+// zero-pad comparison; 0xFF runs probe the reserved-top clamp; the empty
+// key is the global minimum.
+func adversarialKeys() []string {
+	ks := []string{
+		"", "a", "aa", "ab", "b",
+		"shared-prefix-00", "shared-prefix-01", "shared-prefix-010", "shared-prefix-1",
+		"shared-prefix", "shared-prefi", "shared-pre",
+		"exactly8", "exactly8a", "exactly8b", "exactly7",
+		"\x01", "\x01\x01", "\x7f", "~~~~~~~~~~",
+		"k1", "k10", "k100", "k2", "k20", "k9", "k99",
+	}
+	// 0xFF runs: everything here clamps onto the same top core key, so the
+	// clamped bucket's chain must order them fully.
+	for i := 0; i < 12; i++ {
+		ks = append(ks, strings.Repeat("\xff", 5+i))
+		ks = append(ks, strings.Repeat("\xff", 8)+fmt.Sprintf("%03d", i))
+	}
+	// Long shared 8+ byte prefixes with varied tails.
+	for i := 0; i < 40; i++ {
+		ks = append(ks, fmt.Sprintf("longprefix-shared-%04d", i*7%40))
+	}
+	return ks
+}
+
+// TestOrderedStringMapOracle pins lexicographic enumeration against a
+// sorted-slice oracle for the adversarial corpus, across backends with and
+// without native order.
+func TestOrderedStringMapOracle(t *testing.T) {
+	for _, algo := range []string{"sl-fraser-opt", "bst-ellen", "ht-clht-lb", "ll-lazy"} {
+		t.Run(algo, func(t *testing.T) {
+			m := MustNewOrderedStringMap[int](algo, Capacity(64))
+			oracle := map[string]int{}
+			for i, k := range adversarialKeys() {
+				m.Put(k, i)
+				oracle[k] = i
+			}
+			sorted := make([]string, 0, len(oracle))
+			for k := range oracle {
+				sorted = append(sorted, k)
+			}
+			sort.Strings(sorted)
+
+			if got := m.Len(); got != len(oracle) {
+				t.Fatalf("Len = %d, want %d", got, len(oracle))
+			}
+			for k, want := range oracle {
+				if v, ok := m.Get(k); !ok || v != want {
+					t.Fatalf("Get(%q) = %d, %v; want %d", k, v, ok, want)
+				}
+			}
+
+			// Full unbounded scan must equal the sorted oracle exactly.
+			var got []string
+			m.RangeBytes(nil, nil, 0, func(k string, v int) bool {
+				if oracle[k] != v {
+					t.Fatalf("scan yielded %q=%d, oracle %d", k, v, oracle[k])
+				}
+				got = append(got, k)
+				return true
+			})
+			if len(got) != len(sorted) {
+				t.Fatalf("scan yielded %d keys, want %d", len(got), len(sorted))
+			}
+			for i := range got {
+				if got[i] != sorted[i] {
+					t.Fatalf("scan[%d] = %q, want %q", i, got[i], sorted[i])
+				}
+			}
+
+			// Min/Max match the oracle's ends.
+			if k, _, ok := m.Min(); !ok || k != sorted[0] {
+				t.Fatalf("Min = %q, %v; want %q", k, ok, sorted[0])
+			}
+			if k, _, ok := m.Max(); !ok || k != sorted[len(sorted)-1] {
+				t.Fatalf("Max = %q, %v; want %q", k, ok, sorted[len(sorted)-1])
+			}
+
+			// Random bounded sub-ranges with limits, including inverted
+			// bounds (must be empty) and bounds that are not stored keys.
+			rng := xrand.New(7)
+			bounds := append(append([]string{}, sorted...), "m", "shared-prefix-005", "\xff\xff", "zz")
+			for trial := 0; trial < 200; trial++ {
+				lo := bounds[rng.Intn(len(bounds))]
+				hi := bounds[rng.Intn(len(bounds))]
+				limit := int(rng.Uint64n(10))
+				var want []string
+				if lo <= hi {
+					for _, k := range sorted {
+						if k >= lo && k <= hi {
+							want = append(want, k)
+							if limit > 0 && len(want) == limit {
+								break
+							}
+						}
+					}
+				}
+				var scan []string
+				n := m.RangeBytes([]byte(lo), []byte(hi), limit, func(k string, _ int) bool {
+					scan = append(scan, k)
+					return true
+				})
+				if n != len(scan) || len(scan) != len(want) {
+					t.Fatalf("Range(%q,%q,%d) yielded %d (%v), want %v", lo, hi, limit, n, scan, want)
+				}
+				for i := range scan {
+					if scan[i] != want[i] {
+						t.Fatalf("Range(%q,%q,%d)[%d] = %q, want %q", lo, hi, limit, i, scan[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOrderedShardedStringMapSpan pins that range-partitioned routing
+// enumerates shards in global key order: walking OrderedShardSpan's span
+// and scanning each shard must reproduce the sorted oracle, for shard
+// counts that do and don't divide the keyspace evenly.
+func TestOrderedShardedStringMapSpan(t *testing.T) {
+	for _, nshards := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("shards%d", nshards), func(t *testing.T) {
+			s, err := NewOrderedShardedStringMap[int]("sl-fraser-opt", nshards, Capacity(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := map[string]int{}
+			for i, k := range adversarialKeys() {
+				s.Put(k, i)
+				oracle[k] = i
+			}
+			sorted := make([]string, 0, len(oracle))
+			for k := range oracle {
+				sorted = append(sorted, k)
+			}
+			sort.Strings(sorted)
+
+			for k, want := range oracle {
+				if v, ok := s.Get(k); !ok || v != want {
+					t.Fatalf("Get(%q) = %d, %v; want %d", k, v, ok, want)
+				}
+			}
+
+			// The full spanned walk is the sorted oracle.
+			slo, shi := s.OrderedShardSpan(nil, nil)
+			if slo != 0 || shi != nshards-1 {
+				t.Fatalf("unbounded span = [%d,%d], want [0,%d]", slo, shi, nshards-1)
+			}
+			var got []string
+			for sh := slo; sh <= shi; sh++ {
+				s.ShardRangeBytes(sh, nil, nil, 0, func(k string, _ int) bool {
+					got = append(got, k)
+					return true
+				})
+			}
+			if len(got) != len(sorted) {
+				t.Fatalf("spanned scan yielded %d keys, want %d", len(got), len(sorted))
+			}
+			for i := range got {
+				if got[i] != sorted[i] {
+					t.Fatalf("spanned scan[%d] = %q, want %q", i, got[i], sorted[i])
+				}
+			}
+
+			// Bounded sub-spans: every key in [lo, hi] must live inside the
+			// span's shards, and the walk must be the oracle's slice.
+			rng := xrand.New(11)
+			for trial := 0; trial < 100; trial++ {
+				lo := sorted[rng.Intn(len(sorted))]
+				hi := sorted[rng.Intn(len(sorted))]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				var want []string
+				for _, k := range sorted {
+					if k >= lo && k <= hi {
+						want = append(want, k)
+					}
+				}
+				a, b := s.OrderedShardSpan([]byte(lo), []byte(hi))
+				var scan []string
+				for sh := a; sh <= b; sh++ {
+					s.ShardRangeBytes(sh, []byte(lo), []byte(hi), 0, func(k string, _ int) bool {
+						scan = append(scan, k)
+						return true
+					})
+				}
+				if len(scan) != len(want) {
+					t.Fatalf("span(%q,%q) yielded %v, want %v", lo, hi, scan, want)
+				}
+				for i := range scan {
+					if scan[i] != want[i] {
+						t.Fatalf("span(%q,%q)[%d] = %q, want %q", lo, hi, i, scan[i], want[i])
+					}
+				}
+			}
+
+			// ShardMin/ShardMax agree with each shard's own scan ends.
+			for sh := 0; sh < nshards; sh++ {
+				var first, last string
+				sawFirst := false
+				n := s.ShardRangeBytes(sh, nil, nil, 0, func(k string, _ int) bool {
+					if !sawFirst {
+						first, sawFirst = k, true
+					}
+					last = k
+					return true
+				})
+				mink, _, minok := s.ShardMin(sh)
+				maxk, _, maxok := s.ShardMax(sh)
+				if n == 0 {
+					if minok || maxok {
+						t.Fatalf("shard %d empty but Min/Max reported %v/%v", sh, minok, maxok)
+					}
+					continue
+				}
+				if !minok || mink != first {
+					t.Fatalf("shard %d Min = %q, %v; want %q", sh, mink, minok, first)
+				}
+				if !maxok || maxk != last {
+					t.Fatalf("shard %d Max = %q, %v; want %q", sh, maxk, maxok, last)
+				}
+			}
+		})
+	}
+}
+
+// TestOrderedStringMapChurn is the concurrency half of the conformance
+// gate (run it under -race): scans must stay sorted, duplicate-free, and
+// bounded while writers churn adversarially colliding keys underneath.
+func TestOrderedStringMapChurn(t *testing.T) {
+	for _, algo := range []string{"sl-fraser-opt", "ht-clht-lb"} {
+		t.Run(algo, func(t *testing.T) {
+			m := MustNewOrderedStringMap[uint64](algo, Capacity(128))
+			keys := adversarialKeys()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(w + 1))
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := keys[rng.Intn(len(keys))]
+						if rng.Uint64n(3) == 0 {
+							m.Delete(k)
+						} else {
+							m.Put(k, uint64(i))
+						}
+					}
+				}(w)
+			}
+			const limit = 25
+			for round := 0; round < 300; round++ {
+				prev, n, seen := "", 0, map[string]bool{}
+				first := true
+				m.RangeBytes(nil, nil, limit, func(k string, _ uint64) bool {
+					if !first && k <= prev {
+						t.Errorf("scan out of order: %q after %q", k, prev)
+					}
+					if seen[k] {
+						t.Errorf("scan yielded %q twice", k)
+					}
+					seen[k] = true
+					prev, first = k, false
+					n++
+					return true
+				})
+				if n > limit {
+					t.Errorf("scan yielded %d keys, limit %d", n, limit)
+				}
+				if t.Failed() {
+					break
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

@@ -30,10 +30,23 @@ import (
 // What aggregates and what does not: per-key operations route to exactly one
 // shard and keep StringMap's semantics unchanged; Len and RecycleStats sum
 // across shards; ForEach enumerates shard by shard (no cross-shard
-// snapshot). There is no Range — hashing already destroyed order at the
-// StringMap layer, and sharding does not change that.
+// snapshot). In hash mode there is no Range — hashing already destroyed
+// order at the StringMap layer, and sharding does not change that.
+//
+// The ordered mode (NewOrderedShardedStringMap) changes both halves:
+// shards are OrderedStringMap-keyed (big-endian 8-byte prefix, sorted
+// chains), and routing range-reduces the raw prefix WITHOUT the finalizer
+// — multiply-shift over a monotone input splits the keyspace on prefix
+// boundaries, so shard i holds a contiguous key range and shard ranges
+// ascend with i. A scan walks the shards covering [lo, hi] in index order
+// and needs no cross-shard merge; per-key operations still route to
+// exactly one shard.
 type ShardedStringMap[V any] struct {
 	shards []*StringMap[V]
+
+	// ordered selects range-partitioned routing over order-preserving
+	// shards (see NewOrderedShardedStringMap).
+	ordered bool
 }
 
 // NewShardedStringMap builds nshards independent StringMaps on the named
@@ -72,6 +85,29 @@ func NewShardedStringMap[V any](algo string, nshards int, opts ...Option) (*Shar
 	return s, nil
 }
 
+// NewOrderedShardedStringMap builds the range-partitioned variant: every
+// shard is an order-preserving StringMap (8-byte-prefix keying, sorted
+// chains) and routing splits the keyspace on prefix boundaries, so
+// cross-shard enumeration in shard-index order is global lexicographic
+// order. Everything else (capacity split, shard bounds, options) matches
+// NewShardedStringMap.
+//
+// The trade mirrors OrderedStringMap's: real key distributions are not
+// uniform over their first 8 bytes, so range partitioning can load shards
+// unevenly where hash routing would not. That is the price of scans that
+// touch only the shards a range covers.
+func NewOrderedShardedStringMap[V any](algo string, nshards int, opts ...Option) (*ShardedStringMap[V], error) {
+	s, err := NewShardedStringMap[V](algo, nshards, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.ordered = true
+	for _, m := range s.shards {
+		m.ordered = true
+	}
+	return s, nil
+}
+
 // MustNewShardedStringMap is NewShardedStringMap, panicking on error.
 func MustNewShardedStringMap[V any](algo string, nshards int, opts ...Option) *ShardedStringMap[V] {
 	s, err := NewShardedStringMap[V](algo, nshards, opts...)
@@ -89,22 +125,43 @@ func (s *ShardedStringMap[V]) NumShards() int { return len(s.shards) }
 // legal: it is the same instance the router targets.
 func (s *ShardedStringMap[V]) Shard(i int) *StringMap[V] { return s.shards[i] }
 
-// shardFromHash range-reduces a key hash onto the shard index: an
-// xorshift-multiply finalizer (FNV's raw top bits are too weak to route on;
-// see the type comment), then multiply-shift over the shard count.
+// shardFromHash range-reduces a key hash onto the shard index. Hash mode
+// applies an xorshift-multiply finalizer first (FNV's raw top bits are too
+// weak to route on; see the type comment) then multiply-shift over the
+// shard count. Ordered mode skips the finalizer: the input is an
+// order-preserving prefix, and multiply-shift alone — floor(h·n / 2^64) —
+// is monotone in h, which is exactly what makes the shards contiguous key
+// ranges.
 func (s *ShardedStringMap[V]) shardFromHash(h uint64) int {
-	h ^= h >> 33
-	h *= 0x9E3779B97F4A7C15
-	h ^= h >> 29
+	if !s.ordered {
+		h ^= h >> 33
+		h *= 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
 	hi, _ := bits.Mul64(h, uint64(len(s.shards)))
 	return int(hi)
 }
 
+// shardKeyHash hashes k under the map's keying mode (see StringMap's
+// keyHash); every routing and per-key path below derives both the shard
+// and the core key from this one computation.
+func shardKeyHash[K ~string | ~[]byte, V any](s *ShardedStringMap[V], k K) uint64 {
+	if s.ordered {
+		return prefixHash(k)
+	}
+	return strHash(k)
+}
+
+// Ordered reports whether the map routes in range-partitioned ordered mode.
+func (s *ShardedStringMap[V]) Ordered() bool { return s.ordered }
+
 // ShardOf returns the shard index key k routes to.
-func (s *ShardedStringMap[V]) ShardOf(k string) int { return s.shardFromHash(strHash(k)) }
+func (s *ShardedStringMap[V]) ShardOf(k string) int { return s.shardFromHash(shardKeyHash(s, k)) }
 
 // ShardOfBytes is ShardOf for a []byte key.
-func (s *ShardedStringMap[V]) ShardOfBytes(k []byte) int { return s.shardFromHash(strHash(k)) }
+func (s *ShardedStringMap[V]) ShardOfBytes(k []byte) int {
+	return s.shardFromHash(shardKeyHash(s, k))
+}
 
 // RouteBytes returns the shard index for k together with the key hash that
 // produced it, for callers that need the shard before the operation (the
@@ -112,8 +169,56 @@ func (s *ShardedStringMap[V]) ShardOfBytes(k []byte) int { return s.shardFromHas
 // or route inside the operation itself: pass both back to GetBytesHashed or
 // UpdateBytesHashed.
 func (s *ShardedStringMap[V]) RouteBytes(k []byte) (shard int, hash uint64) {
-	h := strHash(k)
+	h := shardKeyHash(s, k)
 	return s.shardFromHash(h), h
+}
+
+// OrderedShardSpan returns the contiguous shard index span [slo, shi] a
+// scan of [lo, hi] must touch, in ascending key order (ordered mode only;
+// hash mode has no meaningful span and gets the full range). A nil hi
+// means no upper bound. Walking slo..shi and running ShardRangeBytes on
+// each yields global lexicographic order with no merge.
+func (s *ShardedStringMap[V]) OrderedShardSpan(lo, hi []byte) (slo, shi int) {
+	if !s.ordered {
+		return 0, len(s.shards) - 1
+	}
+	slo = 0
+	if len(lo) > 0 {
+		slo = s.shardFromHash(prefixHash(lo))
+	}
+	shi = len(s.shards) - 1
+	if hi != nil {
+		shi = s.shardFromHash(prefixHash(hi))
+	}
+	return slo, shi
+}
+
+// ShardRangeBytes runs a bounded ordered scan over shard sh alone:
+// OrderedStringMap.RangeBytes semantics restricted to the keys that shard
+// holds. Callers (the server's store) bracket each shard's scan in that
+// shard's epoch and walk OrderedShardSpan's span in order. Panics in hash
+// mode — there is no order to scan.
+func (s *ShardedStringMap[V]) ShardRangeBytes(sh int, lo, hi []byte, limit int, fn func(k string, v V) bool) int {
+	if !s.ordered {
+		panic("ascylib: ShardRangeBytes on a hash-routed ShardedStringMap")
+	}
+	return rangeBytes(s.shards[sh], lo, hi, limit, fn)
+}
+
+// ShardMin returns shard sh's smallest entry (ordered mode only).
+func (s *ShardedStringMap[V]) ShardMin(sh int) (string, V, bool) {
+	if !s.ordered {
+		panic("ascylib: ShardMin on a hash-routed ShardedStringMap")
+	}
+	return minEntry(s.shards[sh])
+}
+
+// ShardMax returns shard sh's largest entry (ordered mode only).
+func (s *ShardedStringMap[V]) ShardMax(sh int) (string, V, bool) {
+	if !s.ordered {
+		panic("ascylib: ShardMax on a hash-routed ShardedStringMap")
+	}
+	return maxEntry(s.shards[sh])
 }
 
 // GetBytesHashed is GetBytes with the route precomputed by RouteBytes; both
@@ -151,7 +256,7 @@ type BatchGet[V any] struct {
 func (s *ShardedStringMap[V]) GetBytesBatch(keys [][]byte, out []BatchGet[V]) []BatchGet[V] {
 	out = out[:0]
 	for _, k := range keys {
-		h := strHash(k)
+		h := shardKeyHash(s, k)
 		out = append(out, BatchGet[V]{shard: int32(s.shardFromHash(h)), hash: h})
 	}
 	// Shard-grouped walk without a side table: each outer pass takes the
@@ -176,27 +281,27 @@ func (s *ShardedStringMap[V]) GetBytesBatch(keys [][]byte, out []BatchGet[V]) []
 
 // Get returns the value stored under k.
 func (s *ShardedStringMap[V]) Get(k string) (V, bool) {
-	h := strHash(k)
+	h := shardKeyHash(s, k)
 	return getChain(s.shards[s.shardFromHash(h)], h, k)
 }
 
 // GetBytes is Get for a []byte key; like StringMap.GetBytes it allocates
 // nothing — one hash computation routes and looks up.
 func (s *ShardedStringMap[V]) GetBytes(k []byte) (V, bool) {
-	h := strHash(k)
+	h := shardKeyHash(s, k)
 	return getChain(s.shards[s.shardFromHash(h)], h, k)
 }
 
 // Update atomically transforms the entry for k in its shard; the contract
 // is StringMap.Update's.
 func (s *ShardedStringMap[V]) Update(k string, f func(old V, present bool) (V, bool)) (V, bool) {
-	h := strHash(k)
+	h := shardKeyHash(s, k)
 	return updateChain(s.shards[s.shardFromHash(h)], h, k, f)
 }
 
 // UpdateBytes is Update for a []byte key.
 func (s *ShardedStringMap[V]) UpdateBytes(k []byte, f func(old V, present bool) (V, bool)) (V, bool) {
-	h := strHash(k)
+	h := shardKeyHash(s, k)
 	return updateChain(s.shards[s.shardFromHash(h)], h, k, f)
 }
 
@@ -205,25 +310,25 @@ func (s *ShardedStringMap[V]) UpdateBytes(k []byte, f func(old V, present bool) 
 // routing and operating on the same hash through the chain helpers shared
 // with StringMap.
 func (s *ShardedStringMap[V]) Put(k string, v V) bool {
-	h := strHash(k)
+	h := shardKeyHash(s, k)
 	return putChain(s.shards[s.shardFromHash(h)], h, k, v)
 }
 
 // Insert adds (k, v) if k is absent and reports whether it did.
 func (s *ShardedStringMap[V]) Insert(k string, v V) bool {
-	h := strHash(k)
+	h := shardKeyHash(s, k)
 	return insertChain(s.shards[s.shardFromHash(h)], h, k, v)
 }
 
 // GetOrInsert returns the existing value for k, or stores and returns v.
 func (s *ShardedStringMap[V]) GetOrInsert(k string, v V) (V, bool) {
-	h := strHash(k)
+	h := shardKeyHash(s, k)
 	return getOrInsertChain(s.shards[s.shardFromHash(h)], h, k, v)
 }
 
 // Delete removes k, returning the removed value.
 func (s *ShardedStringMap[V]) Delete(k string) (V, bool) {
-	h := strHash(k)
+	h := shardKeyHash(s, k)
 	return deleteChain(s.shards[s.shardFromHash(h)], h, k)
 }
 

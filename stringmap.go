@@ -22,9 +22,18 @@ import (
 // always a single element.
 //
 // Because hashing destroys order, StringMap has no Range/Min/Max; ForEach
-// enumerates in no particular order. Use Map for ordered typed keys.
+// enumerates in no particular order. Use Map for ordered typed keys — or
+// OrderedStringMap, which swaps the hash for an order-preserving 8-byte
+// prefix encoding so string order survives the trip through the core.
 type StringMap[V any] struct {
 	m *Map[uint64, []strEntry[V]]
+
+	// ordered selects the order-preserving keying mode (see
+	// OrderedStringMap): keys are carried onto the core by their big-endian
+	// 8-byte prefix instead of FNV-1a, and collision chains (keys sharing a
+	// prefix) are kept lexicographically sorted, so the core's Range/Min/Max
+	// enumerate true string order.
+	ordered bool
 }
 
 type strEntry[V any] struct {
@@ -68,7 +77,39 @@ func strHash[K ~string | ~[]byte](k K) uint64 {
 	return h % (math.MaxUint64 - 1)
 }
 
-func (m *StringMap[V]) hash(k string) uint64 { return strHash(k) }
+// prefixHash is the order-preserving counterpart of strHash: the key's
+// first 8 bytes read big-endian (shorter keys are zero-padded on the
+// right). It is monotone with respect to lexicographic order — if
+// prefixHash(a) < prefixHash(b) then a < b — because the pad byte 0 is <=
+// every key byte and validKey-grade keys never contain it. Keys sharing a
+// prefix collide onto one core entry, where the chain (kept sorted in
+// ordered mode) resolves the tie by full-string comparison. The result is
+// clamped below the core's two reserved top keys; the clamp is monotone
+// too (everything clamped sorts above everything unclamped, and the
+// clamped bucket's chain orders its keys fully).
+func prefixHash[K ~string | ~[]byte](k K) uint64 {
+	var p uint64
+	for i := 0; i < 8; i++ {
+		p <<= 8
+		if i < len(k) {
+			p |= uint64(k[i])
+		}
+	}
+	if p > math.MaxUint64-2 {
+		p = math.MaxUint64 - 2
+	}
+	return p
+}
+
+// keyHash routes a key onto the core under the map's keying mode.
+func keyHash[K ~string | ~[]byte, V any](m *StringMap[V], k K) uint64 {
+	if m.ordered {
+		return prefixHash(k)
+	}
+	return strHash(k)
+}
+
+func (m *StringMap[V]) hash(k string) uint64 { return keyHash(m, k) }
 
 // eqKey compares a stored string key with a string or []byte key without
 // allocating (the explicit loop sidesteps any conversion).
@@ -82,6 +123,31 @@ func eqKey[K ~string | ~[]byte](s string, k K) bool {
 		}
 	}
 	return true
+}
+
+// cmpKey three-way-compares a stored string key with a string or []byte
+// key without allocating, byte-wise (which for these keys is lexicographic
+// order): -1 when s < k, 0 when equal, +1 when s > k.
+func cmpKey[K ~string | ~[]byte](s string, k K) int {
+	n := len(s)
+	if len(k) < n {
+		n = len(k)
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != k[i] {
+			if s[i] < k[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(k):
+		return -1
+	case len(s) > len(k):
+		return 1
+	}
+	return 0
 }
 
 // getChain is the shared read path: look up the collision chain under the
@@ -102,7 +168,7 @@ func getChain[K ~string | ~[]byte, V any](m *StringMap[V], h uint64, k K) (V, bo
 
 // Get returns the value stored under k.
 func (m *StringMap[V]) Get(k string) (V, bool) {
-	return getChain(m, strHash(k), k)
+	return getChain(m, keyHash(m, k), k)
 }
 
 // GetBytes is Get for a []byte key: the hash runs over the slice and chain
@@ -110,7 +176,7 @@ func (m *StringMap[V]) Get(k string) (V, bool) {
 // never materializes a string. It is the wire-facing fast path (the server
 // keys every get on bytes still sitting in its connection buffer).
 func (m *StringMap[V]) GetBytes(k []byte) (V, bool) {
-	return getChain(m, strHash(k), k)
+	return getChain(m, keyHash(m, k), k)
 }
 
 // GetBytesHashed is GetBytes under a hash the caller already computed (it
@@ -141,6 +207,7 @@ type chainUpd[K ~string | ~[]byte, V any] struct {
 	f          func(old V, present bool) (V, bool)
 	outV       V
 	outPresent bool
+	sorted     bool // keep the chain lexicographically sorted (ordered mode)
 	scratch    []strEntry[V]
 }
 
@@ -175,6 +242,19 @@ func (s *chainUpd[K, V]) step(chain []strEntry[V], _ bool) ([]strEntry[V], bool)
 		out := append(s.scratch[:0], chain...)
 		if idx >= 0 {
 			out[idx].val = nv
+		} else if s.sorted {
+			// Ordered mode: splice the fresh key in at its lexicographic
+			// position so the chain enumerates in string order.
+			at := len(out)
+			for i := range out {
+				if cmpKey(out[i].key, k) > 0 {
+					at = i
+					break
+				}
+			}
+			out = append(out, strEntry[V]{})
+			copy(out[at+1:], out[at:])
+			out[at] = strEntry[V]{key: string(k), val: nv}
 		} else {
 			out = append(out, strEntry[V]{key: string(k), val: nv})
 		}
@@ -202,7 +282,7 @@ func (s *chainUpd[K, V]) step(chain []strEntry[V], _ bool) ([]strEntry[V], bool)
 // getChain). The key is converted to a string only when a fresh entry is
 // appended — steady-state mutations of existing keys never materialize one.
 func updateChain[K ~string | ~[]byte, V any](m *StringMap[V], h uint64, k K, f func(old V, present bool) (V, bool)) (V, bool) {
-	st := chainUpd[K, V]{k: k, f: f}
+	st := chainUpd[K, V]{k: k, f: f, sorted: m.ordered}
 	m.m.Update(h, st.step)
 	return st.outV, st.outPresent
 }
@@ -215,14 +295,14 @@ func updateChain[K ~string | ~[]byte, V any](m *StringMap[V], h uint64, k K, f f
 // back into the map: it may be invoked more than once, and only the last
 // invocation takes effect.
 func (m *StringMap[V]) Update(k string, f func(old V, present bool) (V, bool)) (V, bool) {
-	return updateChain(m, strHash(k), k, f)
+	return updateChain(m, keyHash(m, k), k, f)
 }
 
 // UpdateBytes is Update for a []byte key. The key is copied into a string
 // only if the update inserts a fresh entry; updates and removals of
 // existing keys run allocation-free with respect to the key.
 func (m *StringMap[V]) UpdateBytes(k []byte, f func(old V, present bool) (V, bool)) (V, bool) {
-	return updateChain(m, strHash(k), k, f)
+	return updateChain(m, keyHash(m, k), k, f)
 }
 
 // putChain, insertChain, getOrInsertChain, and deleteChain are the shared
@@ -284,22 +364,22 @@ func deleteChain[V any](m *StringMap[V], h uint64, k string) (V, bool) {
 // Put stores v under k, replacing any existing value, and reports whether
 // the key was fresh.
 func (m *StringMap[V]) Put(k string, v V) bool {
-	return putChain(m, strHash(k), k, v)
+	return putChain(m, keyHash(m, k), k, v)
 }
 
 // Insert adds (k, v) if k is absent and reports whether it did.
 func (m *StringMap[V]) Insert(k string, v V) bool {
-	return insertChain(m, strHash(k), k, v)
+	return insertChain(m, keyHash(m, k), k, v)
 }
 
 // GetOrInsert returns the existing value for k, or stores and returns v.
 func (m *StringMap[V]) GetOrInsert(k string, v V) (V, bool) {
-	return getOrInsertChain(m, strHash(k), k, v)
+	return getOrInsertChain(m, keyHash(m, k), k, v)
 }
 
 // Delete removes k, returning the removed value.
 func (m *StringMap[V]) Delete(k string) (V, bool) {
-	return deleteChain(m, strHash(k), k)
+	return deleteChain(m, keyHash(m, k), k)
 }
 
 // Len counts the entries. Like Set.Size: linear time, quiescent use.
