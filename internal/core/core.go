@@ -235,6 +235,10 @@ type Capabilities struct {
 	// NativeRange: ordered scans traverse the structure directly instead
 	// of snapshot-and-sort.
 	NativeRange bool
+	// NativeSnapshot: consistent-cut enumeration walks the structure
+	// under a single traversal (one epoch bracket where the family
+	// recycles) instead of the ForEach fallback. See Snapshotter.
+	NativeSnapshot bool
 	// NativeSearchBatch: batched reads amortize real per-operation cost
 	// (one SSMEM epoch bracket for a whole batch, or shard-grouped routing)
 	// instead of looping Search.
@@ -252,6 +256,7 @@ func (a Algorithm) Caps() Capabilities {
 	_, c.NativeGetOrInsert = s.(GetOrInserter)
 	_, c.NativeForEach = s.(Iterable)
 	_, c.NativeRange = s.(Ordered)
+	_, c.NativeSnapshot = s.(Snapshotter)
 	_, c.NativeSearchBatch = s.(Batcher)
 	return c
 }

@@ -96,6 +96,7 @@ type extWrap struct {
 	g  GetOrInserter
 	it Iterable
 	b  Batcher
+	sn Snapshotter
 	mu [updateStripes]sync.Mutex
 }
 
@@ -123,6 +124,7 @@ func Extend(s Set) Extended {
 	w.g, _ = s.(GetOrInserter)
 	w.it, _ = s.(Iterable)
 	w.b, _ = s.(Batcher)
+	w.sn, _ = s.(Snapshotter)
 	if o, ok := s.(Ordered); ok {
 		// Keep the native ordered surface visible through the wrapper,
 		// so OrderedOf(Extend(s)) does not silently downgrade a sorted

@@ -167,6 +167,32 @@ func (c *Client) SendMMax() error {
 	return err
 }
 
+// SendMSnap queues an msnap (on-demand snapshot to the server's configured
+// file; replies OK once the file is durable).
+func (c *Client) SendMSnap() error {
+	_, err := c.bw.WriteString("msnap\r\n")
+	return err
+}
+
+// MSnap triggers a snapshot synchronously. A nil error means the server
+// replied OK: the snapshot file is complete and durable on disk.
+func (c *Client) MSnap() error {
+	if err := c.SendMSnap(); err != nil {
+		return err
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "OK" {
+		return fmt.Errorf("msnap: %s", line)
+	}
+	return nil
+}
+
 // MRange scans [lo, hi] synchronously, returning at most limit entries in
 // ascending lexicographic order.
 func (c *Client) MRange(lo, hi string, limit uint64) ([]Entry, error) {

@@ -84,8 +84,8 @@ func TestBenchCPUSweepSchema(t *testing.T) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		t.Fatal(err)
 	}
-	if f.Schema != "ascylib/bench-server/v6" {
-		t.Fatalf("schema = %q, want ascylib/bench-server/v6", f.Schema)
+	if f.Schema != "ascylib/bench-server/v7" {
+		t.Fatalf("schema = %q, want ascylib/bench-server/v7", f.Schema)
 	}
 	if f.Schema != BenchSchema {
 		t.Fatalf("schema = %q but BenchSchema = %q", f.Schema, BenchSchema)

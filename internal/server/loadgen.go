@@ -274,6 +274,18 @@ type LoadgenResult struct {
 	// must not read a fallback run as a native one.
 	ScanFallback bool
 
+	// Warm-restart accounting (v7), read from the endpoint's stats at
+	// preload time: WarmStart is true when the server booted from a
+	// snapshot (loaded_items > 0), LoadedItems how many items that warm
+	// boot recovered, and SnapshotLoadMS how long the load took. All zero
+	// against servers without persistence. Snapshots counts snapshots the
+	// server took during the run window (Δsnapshots_taken) — the
+	// during-load degradation comparison's marker: a baseline run has 0.
+	WarmStart      bool
+	LoadedItems    uint64
+	SnapshotLoadMS float64
+	Snapshots      uint64
+
 	// Latency is the send-to-response distribution per class plus "all".
 	Latency map[string]stats.Summary
 
@@ -415,7 +427,7 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 			n++
 		}
 	}
-	var batches0, batched0 uint64
+	var batches0, batched0, snaps0 uint64
 	if st, err := pre.Stats(); err == nil {
 		res.Algo = st["algo"]
 		if n, err := strconv.Atoi(st["shards"]); err == nil {
@@ -425,6 +437,12 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		// so the run reports its own achieved depth, not history's.
 		batches0, _ = strconv.ParseUint(st["batches"], 10, 64)
 		batched0, _ = strconv.ParseUint(st["cmd_batched"], 10, 64)
+		// Warm-restart accounting (v7): a server that booted from a
+		// snapshot reports what it recovered and how long the load took.
+		res.LoadedItems, _ = strconv.ParseUint(st["loaded_items"], 10, 64)
+		res.WarmStart = res.LoadedItems > 0
+		res.SnapshotLoadMS, _ = strconv.ParseFloat(st["snapshot_load_ms"], 64)
+		snaps0, _ = strconv.ParseUint(st["snapshots_taken"], 10, 64)
 		// Ordered capability probe: a "yes" (identical on every node, so a
 		// cluster's aggregated stats carry it through) routes range draws
 		// to real mrange scans; anything else falls back to multi-gets.
@@ -549,6 +567,11 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 			// depth instead of honestly reporting none.
 			if batches1 > batches0 && batched1 >= batched0 {
 				res.BatchDepthAvg = float64(batched1-batched0) / float64(batches1-batches0)
+			}
+			// Snapshots taken inside the run window (v7). Forward-only,
+			// like the batch deltas: a restart mid-run resets counters.
+			if snaps1, _ := strconv.ParseUint(st["snapshots_taken"], 10, 64); snaps1 > snaps0 {
+				res.Snapshots = snaps1 - snaps0
 			}
 		}
 		if nv, ok := post.(nodeView); ok && len(nodes0) > 0 {
@@ -778,8 +801,11 @@ func lgReceive(cl Conn, cs *lgConn, tolerate bool, window chan pending) {
 // the outage it was measured under; v6 adds the ordered-scan dimension —
 // per-run range_pct (the scan-mix sweep's variable), scan counts/keys, and
 // the scan_fallback marker separating native mrange runs from multi-get
-// fallbacks, plus scan_span and key_dist in the shared config.
-const BenchSchema = "ascylib/bench-server/v6"
+// fallbacks, plus scan_span and key_dist in the shared config; v7 adds the
+// persistence dimension — per-run warm_start/loaded_items/snapshot_load_ms
+// (warm-vs-cold restart comparisons) and snapshots (background snapshots
+// taken inside the run window, the during-load degradation marker).
+const BenchSchema = "ascylib/bench-server/v7"
 
 // BenchRun is one load-generation run in machine-readable form.
 type BenchRun struct {
@@ -815,24 +841,32 @@ type BenchRun struct {
 	// Failover accounting (v5): responses the endpoint synthesized under
 	// degraded mode and the node failovers/reconnects behind them. All zero
 	// for single-server runs and outage-free cluster runs.
-	DegradedMisses uint64                       `json:"degraded_misses"`
-	DegradedErrors uint64                       `json:"degraded_errors"`
-	NodeFailovers  uint64                       `json:"node_failovers"`
-	NodeReconnects uint64                       `json:"node_reconnects"`
-	Ops            uint64                       `json:"ops"`
-	DurationS      float64                      `json:"duration_s"`
-	ThroughputOpsS float64                      `json:"throughput_ops_s"`
-	MissRate       float64                      `json:"miss_rate"`
-	Gets           uint64                       `json:"gets"`
-	GetHits        uint64                       `json:"get_hits"`
-	GetMisses      uint64                       `json:"get_misses"`
-	Sets           uint64                       `json:"sets"`
-	Deletes        uint64                       `json:"deletes"`
-	MultiGets      uint64                       `json:"multi_gets"`
-	MultiGetKeys   uint64                       `json:"multi_get_keys"`
-	Scans          uint64                       `json:"scans"`
-	ScanKeys       uint64                       `json:"scan_keys"`
-	ScanFallback   bool                         `json:"scan_fallback"`
+	DegradedMisses uint64  `json:"degraded_misses"`
+	DegradedErrors uint64  `json:"degraded_errors"`
+	NodeFailovers  uint64  `json:"node_failovers"`
+	NodeReconnects uint64  `json:"node_reconnects"`
+	Ops            uint64  `json:"ops"`
+	DurationS      float64 `json:"duration_s"`
+	ThroughputOpsS float64 `json:"throughput_ops_s"`
+	MissRate       float64 `json:"miss_rate"`
+	Gets           uint64  `json:"gets"`
+	GetHits        uint64  `json:"get_hits"`
+	GetMisses      uint64  `json:"get_misses"`
+	Sets           uint64  `json:"sets"`
+	Deletes        uint64  `json:"deletes"`
+	MultiGets      uint64  `json:"multi_gets"`
+	MultiGetKeys   uint64  `json:"multi_get_keys"`
+	Scans          uint64  `json:"scans"`
+	ScanKeys       uint64  `json:"scan_keys"`
+	ScanFallback   bool    `json:"scan_fallback"`
+	// Persistence accounting (v7): whether the serving node booted warm
+	// from a snapshot (and what that cost), plus how many background
+	// snapshots were taken during the run window — 0 marks a no-snapshot
+	// baseline in a during-load degradation comparison.
+	WarmStart      bool                         `json:"warm_start"`
+	LoadedItems    uint64                       `json:"loaded_items"`
+	SnapshotLoadMS float64                      `json:"snapshot_load_ms"`
+	Snapshots      uint64                       `json:"snapshots"`
 	LatencyUS      map[string]stats.SummaryJSON `json:"latency_us"`
 	// Generator hygiene (see LoadgenResult): client-side allocations per
 	// request and GC pause totals over the driving window.
@@ -894,6 +928,10 @@ func BenchRunOf(r LoadgenResult) BenchRun {
 		Scans:          r.Scans,
 		ScanKeys:       r.ScanKeys,
 		ScanFallback:   r.ScanFallback,
+		WarmStart:      r.WarmStart,
+		LoadedItems:    r.LoadedItems,
+		SnapshotLoadMS: r.SnapshotLoadMS,
+		Snapshots:      r.Snapshots,
 		LatencyUS:      map[string]stats.SummaryJSON{},
 
 		ClientAllocsPerOp: r.ClientAllocsPerOp,

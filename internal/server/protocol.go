@@ -77,6 +77,10 @@ const (
 	OpMRange
 	OpMMin
 	OpMMax
+	// The persistence extension (served only with Config.SnapshotPath):
+	// "msnap" takes a snapshot to the configured file — memcached's
+	// bgsave analogue — answering OK on success.
+	OpMSnap
 )
 
 var opNames = [...]string{
@@ -85,6 +89,7 @@ var opNames = [...]string{
 	OpDecr: "decr", OpStats: "stats", OpVersion: "version",
 	OpFlushAll: "flush_all", OpQuit: "quit",
 	OpMRange: "mrange", OpMMin: "mmin", OpMMax: "mmax",
+	OpMSnap: "msnap",
 }
 
 // String returns the wire verb.
@@ -555,6 +560,13 @@ func parseFields(r *bufio.Reader, fields [][]byte, maxItem int, cmd *Command, sc
 		if fields[0][2] == 'a' {
 			cmd.Op = OpMMax
 		}
+		if len(fields) != 1 {
+			return clientErr("bad command line format")
+		}
+		return nil
+
+	case "msnap":
+		cmd.Op = OpMSnap
 		if len(fields) != 1 {
 			return clientErr("bad command line format")
 		}

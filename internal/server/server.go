@@ -101,6 +101,18 @@ type Config struct {
 	// stalls mid-frame for the whole window is indistinguishable from a
 	// dead one). 0 picks 5 minutes; negative disables the deadline.
 	IdleTimeout time.Duration
+	// SnapshotPath, when non-empty, enables the persistence layer (see
+	// persist.go and internal/snapshot): the file is loaded on New (warm
+	// restart — a corrupt or truncated file logs loudly and boots empty,
+	// never crashes), the msnap verb snapshots to it on demand, Shutdown
+	// writes a final snapshot after the drain, and SnapshotInterval adds
+	// a background ticker. Writes are crash-safe (temp + fsync + atomic
+	// rename): dying mid-write leaves the previous file intact.
+	SnapshotPath string
+	// SnapshotInterval is the background snapshot period; 0 disables the
+	// ticker (msnap and the shutdown snapshot still work). Ignored
+	// without SnapshotPath.
+	SnapshotInterval time.Duration
 	// Logf, when set, receives connection-level error logs.
 	Logf func(format string, args ...any)
 
@@ -201,6 +213,27 @@ type Server struct {
 	statsMu   sync.Mutex
 	statsAll  []*wireStats
 	statsFree []*wireStats
+
+	// Persistence bookkeeping (see serversnap.go). snapMu single-flights
+	// snapshot writes: the ticker, msnap, and the shutdown snapshot
+	// serialize on it, so two writers can never race on the temp file.
+	snapMu       sync.Mutex
+	snapStop     chan struct{}
+	snapStopOnce sync.Once
+	snapLoopOnce sync.Once
+	snapWG       sync.WaitGroup
+	snapLastUnix atomic.Int64
+	snapCount    atomic.Uint64
+	snapItems    atomic.Uint64
+	snapBytes    atomic.Uint64
+	snapErrs     atomic.Uint64
+	loadedItems  atomic.Uint64
+	loadExpired  atomic.Uint64
+	loadMicros   atomic.Int64
+
+	// finalStats makes the post-mortem stats line single-shot whichever
+	// path closes the server first.
+	finalStats sync.Once
 }
 
 // New builds a server (not yet listening) for cfg.
@@ -218,13 +251,21 @@ func New(cfg Config) (*Server, error) {
 	// Seed one counter slot: the shared slot in globalWireStats mode, the
 	// first connection's otherwise.
 	ws0 := &wireStats{}
-	return &Server{
+	srv := &Server{
 		cfg:       cfg,
 		store:     st,
 		conns:     map[net.Conn]struct{}{},
 		statsAll:  []*wireStats{ws0},
 		statsFree: []*wireStats{ws0},
-	}, nil
+		snapStop:  make(chan struct{}),
+	}
+	if cfg.SnapshotPath != "" {
+		// Warm restart. Never fatal: a missing file is a cold boot, a
+		// damaged one logs loudly and boots empty (the file itself is
+		// left in place for the operator).
+		srv.loadSnapshot()
+	}
+	return srv, nil
 }
 
 // Store returns the backing store (for in-process inspection and tests).
@@ -312,6 +353,12 @@ func (s *Server) Serve() error {
 			return err
 		}
 	}
+	if s.cfg.SnapshotPath != "" && s.cfg.SnapshotInterval > 0 {
+		s.snapLoopOnce.Do(func() {
+			s.snapWG.Add(1)
+			go s.snapshotLoop()
+		})
+	}
 	var awg sync.WaitGroup
 	for i := 0; i < s.cfg.AcceptWorkers; i++ {
 		// With per-worker SO_REUSEPORT listeners each worker accepts on
@@ -358,6 +405,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.stopSnapshotLoop()
 	var err error
 	for _, ln := range lns {
 		if cerr := ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) && err == nil {
@@ -365,6 +413,7 @@ func (s *Server) Close() error {
 		}
 	}
 	s.wg.Wait()
+	s.emitFinalStats()
 	return err
 }
 
@@ -411,6 +460,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		err = ctx.Err()
+	}
+	// Final snapshot, after the drain boundary: every request the server
+	// accepted before Shutdown has executed, so the cut is the server's
+	// last word — what a warm restart will serve. Failure is logged and
+	// counted, never fatal to the shutdown.
+	if s.cfg.SnapshotPath != "" {
+		s.stopSnapshotLoop()
+		if _, _, serr := s.TakeSnapshot(); serr != nil {
+			s.logf("server: final snapshot: %v", serr)
+		}
 	}
 	if cerr := s.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -736,6 +795,24 @@ func (s *Server) execute(p Pin, cmd *Command, w *respWriter, ws *wireStats) {
 		}
 		w.line("END")
 
+	case OpMSnap:
+		ws.cmdMSnap.Add(1)
+		if s.cfg.SnapshotPath == "" {
+			w.line(respSnapshotDisabled)
+			return
+		}
+		// Synchronous by design: OK on the wire means the snapshot file
+		// is durable on disk — the client can SIGKILL the server the
+		// moment it reads the reply (the CI smoke job does exactly
+		// that). The write runs under snapMu, not the store: every
+		// other connection keeps serving while the cut is taken.
+		if _, _, err := s.TakeSnapshot(); err != nil {
+			s.logf("server: msnap: %v", err)
+			w.line("SERVER_ERROR snapshot failed")
+			return
+		}
+		w.line("OK")
+
 	case OpStats:
 		for _, kv := range s.Stats() {
 			w.line("STAT " + kv[0] + " " + kv[1])
@@ -788,6 +865,7 @@ func (s *Server) Stats() [][2]string {
 		{"cmd_mrange", u(t.cmdMRange)},
 		{"cmd_mmin", u(t.cmdMMin)},
 		{"cmd_mmax", u(t.cmdMMax)},
+		{"cmd_msnap", u(t.cmdMSnap)},
 		{"range_keys_returned", u(t.rangeKeys)},
 		{"get_hits", u(t.getHits)},
 		{"get_misses", u(t.getMisses)},
@@ -835,6 +913,21 @@ func (s *Server) Stats() [][2]string {
 	pairs = append(pairs,
 		[2]string{"value_pool_allocs", u(bs.Allocs)},
 		[2]string{"value_pool_reused", u(bs.Reused)},
+	)
+	// Persistence counters (zero without Config.SnapshotPath):
+	// snapshot_last_unix/_items/_bytes describe the last successful
+	// snapshot, loaded_items/snapshot_load_ms the warm boot (loaded_items
+	// counts only items actually inserted — records already expired at
+	// load time are in neither).
+	pairs = append(pairs,
+		[2]string{"snapshots_taken", u(s.snapCount.Load())},
+		[2]string{"snapshot_last_unix", strconv.FormatInt(s.snapLastUnix.Load(), 10)},
+		[2]string{"snapshot_items", u(s.snapItems.Load())},
+		[2]string{"snapshot_bytes", u(s.snapBytes.Load())},
+		[2]string{"snapshot_errors", u(s.snapErrs.Load())},
+		[2]string{"loaded_items", u(s.loadedItems.Load())},
+		[2]string{"load_expired_skipped", u(s.loadExpired.Load())},
+		[2]string{"snapshot_load_ms", strconv.FormatFloat(float64(s.loadMicros.Load())/1000, 'f', 3, 64)},
 	)
 	return pairs
 }

@@ -1,0 +1,132 @@
+// Server-side persistence lifecycle: warm boot, on-demand and periodic
+// snapshots, and the post-mortem stats line.
+//
+// The division of labor: internal/snapshot owns the bytes and the
+// crash-safe file protocol, Store.SnapshotTo/LoadFrom own the consistent
+// cut and the rebuild, and this file owns *when* — boot, the msnap verb,
+// the ticker, Shutdown — plus the counters that make all of it observable
+// through stats.
+package server
+
+import (
+	"errors"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// respSnapshotDisabled answers msnap on a server without a snapshot path.
+// Recoverable, like respOrderedDisabled: the connection keeps serving.
+const respSnapshotDisabled = "SERVER_ERROR snapshot disabled (start with -snapshot)"
+
+// TakeSnapshot writes a snapshot of the live keyspace to the configured
+// path via the crash-safe protocol (temp file + fsync + atomic rename) and
+// returns what it wrote. Concurrent callers serialize on snapMu — at most
+// one snapshot write is in flight — while serving continues untouched: the
+// cut holds only one shard's epoch at a time, never a store-wide lock.
+func (s *Server) TakeSnapshot() (items uint64, size int64, err error) {
+	if s.cfg.SnapshotPath == "" {
+		return 0, 0, errors.New("server: snapshot disabled (no SnapshotPath)")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	size, err = snapshot.WriteFile(s.cfg.SnapshotPath, func(f io.Writer) error {
+		var serr error
+		items, serr = s.store.SnapshotTo(f)
+		return serr
+	})
+	if err != nil {
+		s.snapErrs.Add(1)
+		return items, size, err
+	}
+	s.snapLastUnix.Store(time.Now().Unix())
+	s.snapCount.Add(1)
+	s.snapItems.Store(items)
+	s.snapBytes.Store(uint64(size))
+	return items, size, nil
+}
+
+// snapshotLoop is the background ticker (Config.SnapshotInterval). It runs
+// until stopSnapshotLoop; errors are counted and logged, never fatal.
+func (s *Server) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			if _, _, err := s.TakeSnapshot(); err != nil {
+				s.logf("server: background snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// stopSnapshotLoop stops the ticker goroutine (if running) and waits for
+// any in-flight tick snapshot to finish. Idempotent.
+func (s *Server) stopSnapshotLoop() {
+	s.snapStopOnce.Do(func() { close(s.snapStop) })
+	s.snapWG.Wait()
+}
+
+// loadSnapshot is the warm-boot path, called from New when SnapshotPath is
+// set. The file is fully verified before a single item is inserted — the
+// empty-or-previous guarantee: a damaged file (any truncation, any CRC
+// mismatch) loads nothing at all, logs loudly, and the server boots empty
+// with the file left in place for the operator. A missing file is an
+// ordinary cold boot.
+func (s *Server) loadSnapshot() {
+	path := s.cfg.SnapshotPath
+	start := time.Now()
+	if _, _, err := snapshot.VerifyFile(path); err != nil {
+		if os.IsNotExist(err) {
+			return // cold boot: no snapshot yet
+		}
+		s.snapErrs.Add(1)
+		s.logf("server: SNAPSHOT REJECTED: %s failed verification (%v); booting with an EMPTY store — the file is untouched", path, err)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		s.snapErrs.Add(1)
+		s.logf("server: snapshot open %s: %v; booting empty", path, err)
+		return
+	}
+	defer f.Close()
+	res, err := s.store.LoadFrom(f)
+	if err != nil {
+		// Verified a moment ago, so this is a racing writer or an I/O
+		// fault mid-read; whatever loaded stays (items are individually
+		// valid — every record clears its block CRC before it is
+		// returned), and the error is loud.
+		s.snapErrs.Add(1)
+		s.logf("server: snapshot load %s: %v after %d items; continuing with the partial load", path, err, res.Loaded)
+	}
+	s.loadedItems.Store(res.Loaded)
+	s.loadExpired.Store(res.Expired)
+	s.loadMicros.Store(time.Since(start).Microseconds())
+	s.logf("server: warm restart: loaded %d items from %s in %s (%d already-expired records skipped)",
+		res.Loaded, path, time.Since(start).Round(time.Millisecond), res.Expired)
+}
+
+// emitFinalStats prints the post-mortem line, exactly once, whichever path
+// closes the server. It lives here on the server (not in cmd/ascyserve's
+// signal handler) so embedded and test users get a last word too — a chaos
+// harness killing nodes greps for it. Quiet without Config.Logf, like all
+// server logging.
+func (s *Server) emitFinalStats() {
+	s.finalStats.Do(func() {
+		if s.cfg.Logf == nil {
+			return
+		}
+		st := s.StatsMap()
+		s.logf("server: final stats: conns=%s gets=%s sets=%s panics=%s shed=%s snapshots=%s snapshot_errors=%s loaded_items=%s",
+			st["total_connections"], st["cmd_get"], st["cmd_set"],
+			st["handler_panics"], st["conns_shed"],
+			st["snapshots_taken"], st["snapshot_errors"], st["loaded_items"])
+	})
+}

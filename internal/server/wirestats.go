@@ -32,6 +32,7 @@ type wireStats struct {
 
 	cmdGet, cmdSet, cmdDelete, cmdIncr, cmdDecr, cmdFlush atomic.Uint64
 	cmdMRange, cmdMMin, cmdMMax, rangeKeys                atomic.Uint64
+	cmdMSnap                                              atomic.Uint64
 	getHits, getMisses                                    atomic.Uint64
 	deleteHits, deleteMisses                              atomic.Uint64
 	incrHits, incrMisses                                  atomic.Uint64
@@ -50,6 +51,7 @@ type wireStats struct {
 type wireTotals struct {
 	cmdGet, cmdSet, cmdDelete, cmdIncr, cmdDecr, cmdFlush uint64
 	cmdMRange, cmdMMin, cmdMMax, rangeKeys                uint64
+	cmdMSnap                                              uint64
 	getHits, getMisses                                    uint64
 	deleteHits, deleteMisses                              uint64
 	incrHits, incrMisses                                  uint64
@@ -73,6 +75,7 @@ func (w *wireStats) addInto(t *wireTotals) {
 	t.cmdMMin += w.cmdMMin.Load()
 	t.cmdMMax += w.cmdMMax.Load()
 	t.rangeKeys += w.rangeKeys.Load()
+	t.cmdMSnap += w.cmdMSnap.Load()
 	t.getHits += w.getHits.Load()
 	t.getMisses += w.getMisses.Load()
 	t.deleteHits += w.deleteHits.Load()

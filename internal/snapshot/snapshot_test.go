@@ -1,0 +1,307 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	key      string
+	data     string
+	flags    uint32
+	expireAt int64
+}
+
+func writeTestFile(t *testing.T, path string, h Header, recs []rec) int64 {
+	t.Helper()
+	size, err := WriteFile(path, func(f io.Writer) error {
+		w, err := NewWriter(f, h)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if err := w.Add([]byte(r.key), r.flags, r.expireAt, []byte(r.data)); err != nil {
+				return err
+			}
+		}
+		return w.Close()
+	})
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return size
+}
+
+func readAll(path string) ([]rec, Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	var out []rec
+	for {
+		rr, err := r.Next()
+		if err == io.EOF {
+			return out, r.Header(), nil
+		}
+		if err != nil {
+			return out, r.Header(), err
+		}
+		out = append(out, rec{
+			key:      string(rr.Key),
+			data:     string(rr.Data),
+			flags:    rr.Flags,
+			expireAt: rr.ExpireAt,
+		})
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var recs []rec
+	for i := 0; i < 5000; i++ {
+		data := make([]byte, rng.Intn(200))
+		rng.Read(data)
+		recs = append(recs, rec{
+			key:      fmt.Sprintf("key-%06d", i),
+			data:     string(data),
+			flags:    rng.Uint32(),
+			expireAt: rng.Int63n(1 << 40),
+		})
+	}
+	// Include the degenerate record shapes.
+	recs = append(recs, rec{key: "", data: "", flags: 0, expireAt: 0})
+
+	path := filepath.Join(t.TempDir(), "snap.db")
+	h := Header{Algo: "sl-fraser-opt", Shards: 4, Ordered: true, CreatedUnix: 1_754_000_000}
+	size := writeTestFile(t, path, h, recs)
+	st, err := os.Stat(path)
+	if err != nil || st.Size() != size {
+		t.Fatalf("size: stat=%v want %d err=%v", st, size, err)
+	}
+
+	gh, n, err := VerifyFile(path)
+	if err != nil {
+		t.Fatalf("VerifyFile: %v", err)
+	}
+	if n != uint64(len(recs)) {
+		t.Fatalf("VerifyFile items = %d, want %d", n, len(recs))
+	}
+	if gh.Algo != h.Algo || gh.Shards != h.Shards || !gh.Ordered || gh.CreatedUnix != h.CreatedUnix || gh.Version != Version {
+		t.Fatalf("header mismatch: %+v", gh)
+	}
+
+	got, _, err := readAll(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestSnapshotEmptyFileOfRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	writeTestFile(t, path, Header{Algo: "ht-clht-lb", Shards: 1}, nil)
+	got, _, err := readAll(path)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty snapshot: got %d records, err %v", len(got), err)
+	}
+	if _, n, err := VerifyFile(path); err != nil || n != 0 {
+		t.Fatalf("VerifyFile: n=%d err=%v", n, err)
+	}
+}
+
+// TestSnapshotCorruptionMatrix is the satellite corruption matrix: every
+// damaged shape must be detected (ErrCorrupt or a read error), and none may
+// panic. The cases mirror what a crash or bit-rot can actually produce.
+func TestSnapshotCorruptionMatrix(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.db")
+	var recs []rec
+	for i := 0; i < 2000; i++ {
+		recs = append(recs, rec{
+			key:  fmt.Sprintf("key-%06d", i),
+			data: fmt.Sprintf("value-%06d-%s", i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+		})
+	}
+	writeTestFile(t, good, Header{Algo: "ll-lazy", Shards: 2}, recs)
+	blob, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"zero-length", func(b []byte) []byte { return nil }},
+		{"truncated-header", func(b []byte) []byte { return b[:10] }},
+		{"truncated-mid-block", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated-trailer", func(b []byte) []byte { return b[:len(b)-6] }},
+		{"flipped-byte-mid-record", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		}},
+		{"flipped-byte-in-header", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[12] ^= 0x01
+			return c
+		}},
+		{"bad-file-crc", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0xFF
+			return c
+		}},
+		{"bad-magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}},
+		{"absurd-length-field", func(b []byte) []byte {
+			// Overwrite the first block's length prefix with a huge
+			// value; the reader must refuse, not allocate gigabytes.
+			c := append([]byte(nil), b...)
+			off := headerSize(t, c)
+			c[off] = 0xFF
+			c[off+1] = 0xFF
+			c[off+2] = 0xFF
+			c[off+3] = 0x7F
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".db")
+			if err := os.WriteFile(path, tc.mutate(blob), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := VerifyFile(path); err == nil {
+				t.Fatalf("VerifyFile accepted %s", tc.name)
+			}
+			// Reading directly must error out too (possibly after a
+			// prefix of valid records), and must never panic.
+			if _, _, err := readAll(path); err == nil {
+				t.Fatalf("readAll accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+// headerSize computes the byte offset just past the header of an encoded
+// snapshot, by re-parsing the algo length at its fixed position.
+func headerSize(t *testing.T, b []byte) int {
+	t.Helper()
+	// magic(8) version(4) flags(4) shards(4) created(8) algoLen(4)
+	if len(b) < 32 {
+		t.Fatalf("blob too short for header")
+	}
+	algoLen := int(uint32(b[28]) | uint32(b[29])<<8 | uint32(b[30])<<16 | uint32(b[31])<<24)
+	return 32 + algoLen + 4 // + header CRC
+}
+
+// TestSnapshotTamperedCountRejected: trailer says N but the stream has
+// fewer records (a targeted splice rather than random damage).
+func TestSnapshotTamperedCountRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Algo: "ht-clht-lb", Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add([]byte("a"), 0, 0, []byte("1"))
+	w.items = 7 // lie
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			t.Fatal("tampered count accepted")
+		}
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+			return
+		}
+	}
+}
+
+// TestWriteFileErrorLeavesOldIntact: a fill that fails mid-way (the
+// in-process analogue of dying mid-snapshot) must leave the previous file
+// byte-identical and clean up its temp file.
+func TestWriteFileErrorLeavesOldIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.db")
+	writeTestFile(t, path, Header{Algo: "ht-clht-lb", Shards: 1}, []rec{{key: "k", data: "v"}})
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	_, err = WriteFile(path, func(f io.Writer) error {
+		w, err := NewWriter(f, Header{Algo: "ht-clht-lb", Shards: 1})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100_000; i++ {
+			if err := w.Add([]byte("kkkkkkkkkk"), 0, 0, []byte("vvvvvvvvvvvvvvvvvvvv")); err != nil {
+				return err
+			}
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteFile error = %v, want boom", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed WriteFile modified the previous snapshot")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+	// A stray temp file from a SIGKILLed writer must not confuse a
+	// subsequent load (loads go by path, never by temp globs) and must
+	// not block the next successful write.
+	stray := filepath.Join(dir, "snap.db.tmp-killed")
+	if err := os.WriteFile(stray, []byte("torn half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := VerifyFile(path); err != nil {
+		t.Fatalf("old file no longer verifies: %v", err)
+	}
+	writeTestFile(t, path, Header{Algo: "ht-clht-lb", Shards: 1}, []rec{{key: "k2", data: "v2"}})
+	got, _, err := readAll(path)
+	if err != nil || len(got) != 1 || got[0].key != "k2" {
+		t.Fatalf("rewrite over stray temp failed: %v %v", got, err)
+	}
+}

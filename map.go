@@ -294,6 +294,23 @@ func (m *Map[K, V]) ForEach(yield func(K, V) bool) {
 	})
 }
 
+// Snapshot enumerates entries through the backing structure's
+// consistent-cut traversal (core.Snapshotter) and reports whether that
+// traversal is the structure's own single-walk cut (native == true) or the
+// ForEach fallback. Each yielded entry was live at some instant during the
+// call; entries deleted under the scan are skipped, exactly as in ForEach.
+func (m *Map[K, V]) Snapshot(yield func(K, V) bool) bool {
+	sn, native := core.SnapshotterOf(m.raw)
+	sn.Snapshot(func(k core.Key, w core.Value) bool {
+		v, valid := m.load(w)
+		if !valid {
+			return true // deleted under the scan
+		}
+		return yield(m.dec(k), v)
+	})
+	return native
+}
+
 // NativeOrder reports whether the backing structure enumerates in key order
 // itself; when false, Range/Min/Max snapshot and sort (O(n log n)). A map
 // built with Sharded(n > 1) is never natively ordered.

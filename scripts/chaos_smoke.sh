@@ -115,7 +115,7 @@ cat "$RUNDIR/loadgen.out"
 python3 - "$RUNDIR/BENCH_chaos.json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "ascylib/bench-server/v6", d["schema"]
+assert d["schema"] == "ascylib/bench-server/v7", d["schema"]
 run = d["runs"][0]
 # Throughput must be positive THROUGH the outage, the failover must have
 # been seen, and the reborn node must have been re-adopted.

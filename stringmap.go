@@ -405,6 +405,21 @@ func (m *StringMap[V]) ForEach(yield func(k string, v V) bool) {
 	})
 }
 
+// Snapshot enumerates entries through the core's consistent-cut traversal
+// (see Map.Snapshot) and reports whether the cut is native. A whole
+// collision chain is one core value, so every key in a chain is observed at
+// the same instant — a chain can never be half-snapshotted.
+func (m *StringMap[V]) Snapshot(yield func(k string, v V) bool) bool {
+	return m.m.Snapshot(func(_ uint64, chain []strEntry[V]) bool {
+		for i := range chain {
+			if !yield(chain[i].key, chain[i].val) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
 // RecycleStats returns the backing structure's SSMEM allocator counters
 // (zero without recycling); see Map.RecycleStats.
 func (m *StringMap[V]) RecycleStats() ssmem.Stats { return m.m.RecycleStats() }
